@@ -1,0 +1,14 @@
+"""Pytest fixtures for the benchmark harnesses (see bench_common)."""
+
+import pytest
+
+from bench_common import BENCH_USERS
+from repro.rubis import rubis_model, rubis_workload
+
+
+@pytest.fixture(scope="session")
+def rubis():
+    """The session-wide RUBiS model and bidding workload."""
+    model = rubis_model(users=BENCH_USERS)
+    workload = rubis_workload(model, mix="bidding")
+    return model, workload

@@ -1,0 +1,106 @@
+"""Fig 11: bidding-workload performance on the three schemas.
+
+Regenerates the per-transaction mean response times of Fig 11 for the
+NoSE-recommended, normalized, and expert schemas, printing the same
+rows the paper plots.  Shape assertions (not absolute numbers): NoSE
+beats both baselines on the weighted average; the normalized schema is
+worst on the read-heavy transactions; NoSE pays more than the expert on
+some write transaction (the denormalization trade the paper discusses);
+and at least one transaction shows a large NoSE-over-expert factor.
+
+Wall-clock numbers reported by pytest-benchmark measure one pass over
+the weighted transaction stream per schema.
+"""
+
+import pytest
+
+from bench_common import (
+    TRANSACTIONS,
+    build_engine,
+    measure_transactions,
+    recommendations_for,
+    write_result,
+)
+from repro.rubis import RubisParameterGenerator, transaction_weights
+
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module")
+def fig11(rubis):
+    """Engines and simulated per-transaction times for all schemas."""
+    model, workload = rubis
+    recommendations = recommendations_for(model, workload)
+    engines = {}
+    times = {}
+    for name, recommendation in recommendations.items():
+        engines[name] = build_engine(model, recommendation, name)
+        times[name] = measure_transactions(engines[name])
+    return engines, times
+
+
+@pytest.mark.parametrize("schema_name", ["NoSE", "Normalized", "Expert"])
+def test_fig11_transaction_stream(benchmark, fig11, schema_name):
+    """Wall-clock benchmark: one weighted pass over all transactions."""
+    engines, times = fig11
+    engine = engines[schema_name]
+    generator = RubisParameterGenerator(engine.dataset, seed=101)
+
+    def one_pass():
+        for transaction in TRANSACTIONS:
+            engine.execute_transaction(
+                generator.requests_for(transaction))
+
+    benchmark.pedantic(one_pass, rounds=3, iterations=1)
+    _RESULTS[schema_name] = times[schema_name]
+
+
+def test_fig11_report_and_shape(benchmark, fig11):
+    """Prints the Fig 11 table and asserts the paper's shape claims."""
+    _engines, times = fig11
+    weights = transaction_weights("bidding")
+
+    lines = [f"{'Transaction':<24}{'NoSE':>10}{'Normalized':>12}"
+             f"{'Expert':>10}"]
+    for transaction in TRANSACTIONS:
+        lines.append(f"{transaction:<24}"
+                     f"{times['NoSE'][transaction]:>10.3f}"
+                     f"{times['Normalized'][transaction]:>12.3f}"
+                     f"{times['Expert'][transaction]:>10.3f}")
+    weighted = {name: sum(values[t] * weights[t] for t in weights)
+                for name, values in times.items()}
+    lines.append("")
+    lines.append("Weighted average (bidding mix):")
+    for name, value in weighted.items():
+        lines.append(f"  {name:<12} {value:.3f} ms")
+    from repro.reporting import grouped_bar_chart
+    chart = grouped_bar_chart(
+        {transaction: {name: times[name][transaction]
+                       for name in ("NoSE", "Normalized", "Expert")}
+         for transaction in TRANSACTIONS},
+        width=30, log_scale=True, unit=" ms")
+    table = "\n".join(lines) + "\n\n" + chart
+    print("\n" + table)
+    write_result("fig11_bidding.txt", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # -- shape assertions (paper §VII-A) --------------------------------
+    assert weighted["NoSE"] < weighted["Expert"], \
+        "NoSE must win the weighted bidding mix"
+    assert weighted["NoSE"] < weighted["Normalized"]
+    assert weighted["Expert"] < weighted["Normalized"]
+    # the normalized schema is worst on read-heavy transactions
+    for transaction in ("ViewItem", "ViewBidHistory", "BrowseCategories"):
+        assert times["Normalized"][transaction] \
+            >= times["NoSE"][transaction]
+    # NoSE trades more expensive writes for fast reads: at least one
+    # write transaction costs NoSE more than the expert
+    writes = ("StoreBid", "StoreBuyNow", "StoreComment", "RegisterItem")
+    assert any(times["NoSE"][t] > times["Expert"][t] for t in writes)
+    # ... and some read transaction shows a large NoSE advantage
+    reads = ("SearchItemsByCategory", "ViewItem", "ViewBidHistory",
+             "AboutMe", "ViewUserInfo")
+    best_factor = max(times["Expert"][t] / times["NoSE"][t]
+                      for t in reads)
+    assert best_factor > 3.0, \
+        f"expected a large single-transaction win, got {best_factor:.1f}x"

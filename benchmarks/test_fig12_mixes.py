@@ -1,0 +1,132 @@
+"""Fig 12: execution-plan performance across workload mixes.
+
+Regenerates the weighted average response times of Fig 12 for the
+Browsing mix, the Bidding mix, and the bidding mix with write
+transactions scaled 10x and 100x.  The NoSE schema is re-recommended
+for every mix (the paper notes each mix "leads to a different NoSE
+schema"); the hand-written schemas are fixed.
+
+Shape assertions: NoSE wins the read-dominated mixes; the expert
+schema's relative position improves monotonically as writes scale and
+it overtakes NoSE at 100x (the crossover the paper attributes to shared
+support-query results and GROUP BY knowledge).
+"""
+
+import pytest
+
+from bench_common import (
+    BENCH_ITERATIONS,
+    build_engine,
+    measure_transactions,
+    write_result,
+)
+from repro import Advisor
+from repro.rubis import (
+    TRANSACTIONS,
+    expert_schema,
+    normalized_schema,
+    rubis_workload,
+)
+from repro.rubis.transactions import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    WRITE_TRANSACTIONS,
+)
+
+MIXES = [
+    ("Browsing", BROWSING_MIX, 1),
+    ("Bidding", BIDDING_MIX, 1),
+    ("10x", BIDDING_MIX, 10),
+    ("100x", BIDDING_MIX, 100),
+]
+
+
+def _frequencies(base_mix, write_scale):
+    scaled = {transaction: weight * write_scale
+              if transaction in WRITE_TRANSACTIONS else weight
+              for transaction, weight in base_mix.items()}
+    total = sum(scaled.values())
+    return {transaction: weight / total
+            for transaction, weight in scaled.items()}
+
+
+def _workload_for(model, mix_name, write_scale):
+    workload = rubis_workload(
+        model, mix="browsing" if mix_name == "Browsing" else "bidding")
+    if write_scale > 1:
+        write_labels = {label for transaction in WRITE_TRANSACTIONS
+                        for label in TRANSACTIONS[transaction]}
+        workload = workload.scale_weights(
+            write_scale, predicate=lambda s: s.label in write_labels)
+    return workload
+
+
+@pytest.fixture(scope="module")
+def fig12(rubis):
+    """Weighted average simulated response time per (mix, schema)."""
+    model, _ = rubis
+    advisor = Advisor(model)
+    results = {}
+    for mix_name, base_mix, write_scale in MIXES:
+        workload = _workload_for(model, mix_name, write_scale)
+        recommendations = {
+            "NoSE": advisor.recommend(workload),
+            "Normalized": advisor.plan_for_schema(
+                workload, normalized_schema(model)),
+            "Expert": advisor.plan_for_schema(workload,
+                                              expert_schema(model)),
+        }
+        frequencies = _frequencies(base_mix, write_scale)
+        row = {}
+        for name, recommendation in recommendations.items():
+            engine = build_engine(model, recommendation, name)
+            times = measure_transactions(
+                engine, iterations=max(BENCH_ITERATIONS // 2, 5),
+                transactions=list(base_mix))
+            row[name] = sum(times[t] * frequencies[t]
+                            for t in frequencies)
+        results[mix_name] = row
+    return results
+
+
+def test_fig12_advisor_adapts_per_mix(benchmark, rubis):
+    """Wall-clock benchmark: re-recommending for a shifted mix."""
+    model, _ = rubis
+    advisor = Advisor(model)
+    workload = _workload_for(model, "100x", 100)
+    benchmark.pedantic(lambda: advisor.recommend(workload), rounds=2,
+                       iterations=1)
+
+
+def test_fig12_report_and_shape(benchmark, fig12):
+    lines = [f"{'Mix':<10}{'NoSE':>10}{'Normalized':>12}{'Expert':>10}"]
+    for mix_name, _base, _scale in MIXES:
+        row = fig12[mix_name]
+        lines.append(f"{mix_name:<10}{row['NoSE']:>10.3f}"
+                     f"{row['Normalized']:>12.3f}{row['Expert']:>10.3f}")
+    from repro.reporting import grouped_bar_chart
+    chart = grouped_bar_chart(
+        {mix_name: dict(fig12[mix_name])
+         for mix_name, _base, _scale in MIXES},
+        width=30, log_scale=True, unit=" ms")
+    table = "\n".join(lines) + "\n\n" + chart
+    print("\n" + table)
+    write_result("fig12_mixes.txt", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # -- shape assertions (paper Fig 12) ---------------------------------
+    # read-dominated mixes: NoSE wins
+    assert fig12["Browsing"]["NoSE"] < fig12["Browsing"]["Expert"]
+    assert fig12["Browsing"]["NoSE"] < fig12["Browsing"]["Normalized"]
+    assert fig12["Bidding"]["NoSE"] < fig12["Bidding"]["Expert"]
+    # the expert's gap narrows monotonically as writes scale ...
+    ratios = [fig12[mix]["Expert"] / fig12[mix]["NoSE"]
+              for mix in ("Bidding", "10x", "100x")]
+    assert ratios[0] > ratios[1] > ratios[2]
+    # ... and crosses over at 100x writes
+    assert fig12["100x"]["Expert"] < fig12["100x"]["NoSE"], \
+        "the expert schema must overtake NoSE at 100x writes"
+    # the normalized schema never wins a mix
+    for mix_name, _base, _scale in MIXES:
+        row = fig12[mix_name]
+        assert row["Normalized"] >= min(row["NoSE"], row["Expert"])

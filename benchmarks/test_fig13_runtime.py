@@ -1,0 +1,101 @@
+"""Fig 13: advisor runtime for varying workload sizes.
+
+Regenerates the paper's advisor-scalability experiment: random
+Watts-Strogatz entity graphs with random-walk statements, scaled by a
+workload factor, timing the advisor and decomposing the runtime into
+the paper's categories (cost calculation / BIP construction / BIP
+solving / other).
+
+Shape assertions: runtime grows superlinearly with the scale factor,
+and the BIP-solving share stays well below the total (the paper notes
+"the runtime of the BIP is relatively short").  Absolute seconds differ
+from the paper's Ruby prototype, and in this implementation plan-space
+generation (part of "other") rather than BIP construction is the
+largest non-solver component; EXPERIMENTS.md discusses the difference.
+"""
+
+import os
+
+import pytest
+
+from bench_common import BENCH_MAX_FACTOR, write_result
+from repro import Advisor
+from repro.randgen import random_model, random_workload
+
+FACTORS = list(range(1, BENCH_MAX_FACTOR + 1))
+#: seeds per factor; the median is reported (MILP hardness varies a lot
+#: across random workloads, so more seeds give a smoother curve)
+BENCH_SEEDS = int(os.environ.get("NOSE_BENCH_SEEDS", "1"))
+
+
+def _advise(factor, seed_offset=0):
+    model = random_model(entities=4 + 2 * factor, seed=factor
+                         + seed_offset)
+    workload = random_workload(model, queries=6 * factor,
+                               updates=2 * factor, inserts=factor,
+                               seed=factor + seed_offset)
+    # branch-and-bound effort varies wildly across random instances;
+    # bound it so the sweep finishes (a 0.5% optimality gap does not
+    # change the runtime *shape* the experiment is about)
+    from repro.optimizer import BIPOptimizer
+    advisor = Advisor(model, optimizer=BIPOptimizer(mip_rel_gap=5e-3,
+                                                    time_limit=60.0))
+    recommendation = advisor.recommend(workload)
+    return recommendation.timing
+
+
+@pytest.fixture(scope="module")
+def fig13():
+    """Stage timings per scale factor (median over BENCH_SEEDS seeds)."""
+    rows = {}
+    for factor in FACTORS:
+        samples = [_advise(factor, seed_offset=100 * offset)
+                   for offset in range(BENCH_SEEDS)]
+        samples.sort(key=lambda timing: timing.total)
+        rows[factor] = samples[len(samples) // 2]
+    return rows
+
+
+def test_fig13_advisor_runtime(benchmark, fig13):
+    """Wall-clock benchmark at the smallest factor (for trend context,
+    the full sweep lives in the report test's table)."""
+    benchmark.pedantic(lambda: _advise(1), rounds=3, iterations=1)
+
+
+def test_fig13_report_and_shape(benchmark, fig13):
+    lines = [f"{'factor':>6}{'total(s)':>10}{'cost calc':>11}"
+             f"{'BIP constr':>12}{'BIP solve':>11}{'other':>9}"
+             f"{'candidates':>12}"]
+    for factor in FACTORS:
+        timing = fig13[factor]
+        row = timing.as_figure13_row()
+        lines.append(f"{factor:>6}{row['total']:>10.2f}"
+                     f"{row['cost_calculation']:>11.2f}"
+                     f"{row['bip_construction']:>12.2f}"
+                     f"{row['bip_solving']:>11.2f}"
+                     f"{row['other']:>9.2f}"
+                     f"{timing.candidates:>12}")
+    from repro.reporting import stacked_series
+    chart = stacked_series(
+        {factor: fig13[factor].as_figure13_row() for factor in FACTORS},
+        ["cost_calculation", "bip_construction", "bip_solving", "other"],
+        width=50)
+    table = "\n".join(lines) + "\n\n" + chart
+    print("\n" + table)
+    write_result("fig13_runtime.txt", table)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    # -- shape assertions (paper Fig 13) ---------------------------------
+    totals = [fig13[factor].total for factor in FACTORS]
+    # runtime grows with the workload size ...
+    assert totals[-1] > totals[0]
+    # ... superlinearly: the largest factor costs disproportionately
+    # more than linear extrapolation from factor 1 would predict
+    assert totals[-1] > totals[0] * FACTORS[-1] * 1.2
+    # every stage is represented and consistent
+    for factor in FACTORS:
+        timing = fig13[factor]
+        named = (timing.cost_calculation + timing.bip_construction
+                 + timing.bip_solving)
+        assert 0 < named < timing.total
+        assert timing.candidates > 0

@@ -1,0 +1,136 @@
+"""Designing a schema for your own application, end to end.
+
+Shows the full workflow on a fresh conceptual model (a micro-blogging
+application): define entities and relationships, write the workload,
+get a recommendation, create the column families in the simulated
+record store, load data, and execute the recommended plans — verifying
+the results against a direct evaluation over the ground truth.
+
+Run with::
+
+    python examples/custom_application.py
+"""
+
+import datetime
+import random
+
+from repro import Advisor, Entity, Model, Workload
+from repro.backend import Dataset, ExecutionEngine
+from repro.model import DateField, IDField, IntegerField, StringField
+
+
+def build_model(users=2_000, posts_per_user=20):
+    model = Model("microblog")
+    model.add_entity(Entity("User", count=users)).add_fields(
+        IDField("UserID"),
+        StringField("Handle", size=12),
+        StringField("Bio", size=60),
+    )
+    model.add_entity(Entity("Post",
+                            count=users * posts_per_user)).add_fields(
+        IDField("PostID"),
+        StringField("Body", size=140),
+        DateField("PostedAt", cardinality=10_000),
+        IntegerField("Likes", cardinality=1000),
+    )
+    model.add_entity(Entity("Topic", count=50)).add_fields(
+        IDField("TopicID"),
+        StringField("TopicName", size=15),
+    )
+    model.add_relationship("User", "Posts", "Post", "Author")
+    model.add_relationship("Topic", "Posts", "Post", "Topic")
+    return model.validate()
+
+
+def build_workload(model):
+    workload = Workload(model)
+    workload.add_statement(
+        "SELECT Post.Body, Post.PostedAt FROM Post.Author "
+        "WHERE User.UserID = ?user ORDER BY Post.PostedAt",
+        weight=10.0, label="timeline_for_user")
+    workload.add_statement(
+        "SELECT Post.PostID, Post.Body FROM Post.Topic "
+        "WHERE Topic.TopicID = ?topic AND Post.Likes > ?likes LIMIT 20",
+        weight=6.0, label="hot_posts_in_topic")
+    workload.add_statement(
+        "SELECT User.Handle, User.Bio FROM User WHERE User.UserID = ?user",
+        weight=8.0, label="profile")
+    workload.add_statement(
+        "INSERT INTO Post SET PostID = ?, Body = ?body, "
+        "PostedAt = ?at, Likes = ?likes "
+        "AND CONNECT TO Author(?user), Topic(?topic)",
+        weight=3.0, label="publish_post")
+    workload.add_statement(
+        "UPDATE Post SET Likes = ?likes WHERE Post.PostID = ?post",
+        weight=4.0, label="like_post")
+    return workload
+
+
+def load_data(model, seed=5):
+    rng = random.Random(seed)
+    dataset = Dataset(model)
+    users = model.entity("User").count
+    posts = model.entity("Post").count
+    for user in range(users):
+        dataset.add_row("User", {"UserID": user,
+                                 "Handle": f"user{user}",
+                                 "Bio": f"bio of user {user}"})
+    for topic in range(model.entity("Topic").count):
+        dataset.add_row("Topic", {"TopicID": topic,
+                                  "TopicName": f"topic-{topic}"})
+    start = datetime.datetime(2016, 1, 1)
+    for post in range(posts):
+        dataset.add_row("Post", {
+            "PostID": post,
+            "Body": f"post number {post}",
+            "PostedAt": start + datetime.timedelta(
+                minutes=rng.randrange(500_000)),
+            "Likes": rng.randrange(1000),
+        })
+        dataset.connect("User", rng.randrange(users), "Posts", post)
+        dataset.connect("Topic", post % 50, "Posts", post)
+    return dataset
+
+
+def main():
+    model = build_model()
+    workload = build_workload(model)
+    advisor = Advisor(model)
+    recommendation = advisor.recommend(workload)
+    print(recommendation.describe())
+
+    dataset = load_data(model)
+    engine = ExecutionEngine(model, recommendation, dataset)
+    rows = engine.load()
+    print(f"\nLoaded {rows} rows into "
+          f"{len(recommendation.indexes)} column families")
+
+    # run the recommended plans and verify against the ground truth
+    timeline = workload.statements["timeline_for_user"]
+    params = {"user": 42}
+    results = engine.execute_query(timeline, params)
+    oracle = dataset.evaluate_query(timeline, params)
+    got = {tuple(row[field.id] for field in timeline.select)
+           for row in results}
+    print(f"\ntimeline_for_user(42): {len(results)} posts "
+          f"(oracle agrees: {got == oracle})")
+
+    hot = workload.statements["hot_posts_in_topic"]
+    results = engine.execute_query(hot, {"topic": 3, "likes": 900})
+    print(f"hot_posts_in_topic(3, >900 likes): {len(results)} posts")
+
+    publish = workload.statements["publish_post"]
+    engine.execute_update(publish, {
+        "PostID": 10_000_000, "body": "hello", "likes": 0,
+        "at": datetime.datetime(2016, 6, 1), "user": 42, "topic": 3})
+    results = engine.execute_query(timeline, params)
+    print(f"after publish_post: timeline has {len(results)} posts")
+
+    print(f"\nSimulated store time so far: "
+          f"{engine.store.metrics.simulated_ms:.2f} ms across "
+          f"{engine.store.metrics.gets} gets / "
+          f"{engine.store.metrics.puts} puts")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: recommend a schema for the paper's hotel-booking example.
+
+Builds the Fig 1 entity graph, describes a small weighted workload in
+the paper's SQL-like statement language, and asks the advisor for a
+schema.  The output shows the recommended column families in the
+paper's ``[partition key][clustering key][values]`` triple notation and
+one implementation plan per statement.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import Advisor, Workload
+from repro.demo import hotel_model
+
+
+def main():
+    model = hotel_model()
+    print(model.describe())
+    print()
+
+    workload = Workload(model)
+    # the paper's Fig 3 query: guests with reservations in a city above
+    # a nightly rate
+    workload.add_statement(
+        "SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate",
+        weight=5.0, label="guests_in_city_above_rate")
+    # the §II running example: points of interest near hotels booked by
+    # a guest
+    workload.add_statement(
+        "SELECT PointOfInterest.POIName, PointOfInterest.POIDescription "
+        "FROM PointOfInterest.Hotels.Rooms.Reservations.Guest "
+        "WHERE Guest.GuestID = ?guest",
+        weight=10.0, label="pois_for_guest")
+    # an update statement (Fig 8 style): its weight controls how much
+    # denormalization of POI attributes the advisor will tolerate
+    workload.add_statement(
+        "UPDATE PointOfInterest SET POIDescription = ?description "
+        "WHERE PointOfInterest.POIID = ?poi",
+        weight=1.0, label="update_poi")
+    workload.add_statement(
+        "INSERT INTO Reservation SET ResID = ?, ResStartDate = ?start, "
+        "ResEndDate = ?end AND CONNECT TO Guest(?guest), Room(?room)",
+        weight=2.0, label="make_reservation")
+
+    advisor = Advisor(model)
+    recommendation = advisor.recommend(workload)
+    print(recommendation.describe())
+
+    print()
+    print(f"Advisor ran in {recommendation.timing.total:.2f}s "
+          f"({recommendation.timing.candidates} candidates considered)")
+
+    # the space constraint (§V) trades performance for storage; too
+    # tight a budget makes the problem infeasible (no covering schema
+    # fits), which the optimizer reports rather than silently relaxing
+    from repro import OptimizationError
+    print()
+    for fraction in (0.75, 0.5, 0.25):
+        budget = recommendation.size * fraction
+        try:
+            constrained = advisor.recommend(workload, space_limit=budget)
+        except OptimizationError:
+            print(f"budget {fraction:.0%}: no covering schema fits")
+            continue
+        print(f"budget {fraction:.0%}: {len(constrained.indexes)} "
+              f"column families, cost {constrained.total_cost:.2f} "
+              f"(unconstrained: {len(recommendation.indexes)} CFs, "
+              f"cost {recommendation.total_cost:.2f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+"""The paper's §VII-A evaluation: RUBiS on three schemas (Fig 11).
+
+Recommends a schema for the RUBiS bidding workload, loads a synthetic
+RUBiS dataset into the simulated record store under the NoSE-recommended
+schema and under the two hand-written baselines ("normalized" and
+"expert"), executes the fourteen user transactions, and prints the mean
+simulated response time per transaction — the same rows as Fig 11.
+
+Run with::
+
+    python examples/rubis_evaluation.py [--users 20000] [--iterations 25]
+"""
+
+import argparse
+
+from repro import Advisor
+from repro.backend import ExecutionEngine
+from repro.rubis import (
+    RubisParameterGenerator,
+    TRANSACTIONS,
+    expert_schema,
+    generate_dataset,
+    normalized_schema,
+    rubis_model,
+    rubis_workload,
+    transaction_weights,
+)
+
+
+def build_engines(model, workload, users):
+    """One loaded execution engine per schema."""
+    advisor = Advisor(model)
+    configurations = {
+        "NoSE": (advisor.recommend(workload), False, "nose"),
+        "Normalized": (advisor.plan_for_schema(
+            workload, normalized_schema(model)), False, "nose"),
+        "Expert": (advisor.plan_for_schema(
+            workload, expert_schema(model)), True, "expert"),
+    }
+    engines = {}
+    for name, (recommendation, share, protocol) in configurations.items():
+        dataset = generate_dataset(model, seed=7)
+        engine = ExecutionEngine(model, recommendation, dataset,
+                                 share_reads=share,
+                                 update_protocol=protocol)
+        rows = engine.load()
+        print(f"  {name}: {len(recommendation.indexes)} column families, "
+              f"{rows} rows loaded")
+        engines[name] = engine
+    return engines
+
+
+def measure(engines, iterations):
+    """Mean simulated response time (ms) per transaction per schema."""
+    results = {}
+    for name, engine in engines.items():
+        generator = RubisParameterGenerator(engine.dataset, seed=11)
+        per_transaction = {}
+        for transaction in TRANSACTIONS:
+            total = 0.0
+            for _ in range(iterations):
+                requests = generator.requests_for(transaction)
+                total += engine.execute_transaction(requests)
+            per_transaction[transaction] = total / iterations
+        results[name] = per_transaction
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--users", type=int, default=20_000)
+    parser.add_argument("--iterations", type=int, default=25)
+    arguments = parser.parse_args()
+
+    model = rubis_model(users=arguments.users)
+    workload = rubis_workload(model, mix="bidding")
+    print(f"RUBiS with {arguments.users} users; "
+          f"{len(workload.statements)} statements in 14 transactions")
+    engines = build_engines(model, workload, arguments.users)
+    results = measure(engines, arguments.iterations)
+
+    print()
+    print(f"{'Transaction':<24}{'NoSE':>10}{'Normalized':>12}{'Expert':>10}")
+    for transaction in TRANSACTIONS:
+        print(f"{transaction:<24}"
+              f"{results['NoSE'][transaction]:>10.3f}"
+              f"{results['Normalized'][transaction]:>12.3f}"
+              f"{results['Expert'][transaction]:>10.3f}")
+
+    weights = transaction_weights("bidding")
+    print()
+    print("Weighted average response time (bidding mix):")
+    for name in ("NoSE", "Normalized", "Expert"):
+        weighted = sum(results[name][t] * weights[t] for t in weights)
+        print(f"  {name:<12} {weighted:.3f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""NoSE: workload-driven schema design for NoSQL extensible record stores.
+
+This package is a from-scratch reproduction of the system described in
+"NoSE: Schema Design for NoSQL Applications" (Mior, Salem, Aboulnaga, Liu;
+ICDE 2016).  Given a conceptual entity graph and a weighted workload of
+queries and updates, NoSE recommends a set of column families (the schema)
+together with one implementation plan per statement, by enumerating
+candidate column families, constructing the space of implementation plans,
+and solving a binary integer program that minimises total weighted cost.
+
+The public API is exposed at the package root:
+
+>>> from repro import Model, Entity, Workload, Advisor
+>>> model = Model("example")
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough using the
+paper's hotel-booking running example.
+"""
+
+from repro.advisor import Advisor, AdvisorTiming, SchemaRecommendation
+from repro.cost import CassandraCostModel, CostModel, SimpleCostModel
+from repro.exceptions import (
+    ExecutionError,
+    ModelError,
+    NoseError,
+    OptimizationError,
+    ParseError,
+    PlanningError,
+)
+from repro.indexes import Index, materialized_view_for
+from repro.model import (
+    BooleanField,
+    DateField,
+    Entity,
+    Field,
+    FloatField,
+    ForeignKeyField,
+    IDField,
+    IntegerField,
+    KeyPath,
+    Model,
+    StringField,
+)
+from repro.workload import (
+    Connect,
+    Delete,
+    Disconnect,
+    Insert,
+    Query,
+    Statement,
+    Update,
+    Workload,
+    parse_statement,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Advisor",
+    "AdvisorTiming",
+    "BooleanField",
+    "CassandraCostModel",
+    "Connect",
+    "CostModel",
+    "DateField",
+    "Delete",
+    "Disconnect",
+    "Entity",
+    "ExecutionError",
+    "Field",
+    "FloatField",
+    "ForeignKeyField",
+    "IDField",
+    "Index",
+    "Insert",
+    "IntegerField",
+    "KeyPath",
+    "Model",
+    "ModelError",
+    "NoseError",
+    "OptimizationError",
+    "ParseError",
+    "PlanningError",
+    "Query",
+    "SchemaRecommendation",
+    "SimpleCostModel",
+    "Statement",
+    "StringField",
+    "Update",
+    "Workload",
+    "materialized_view_for",
+    "parse_statement",
+]

@@ -1,0 +1,223 @@
+"""The NoSE schema advisor facade (Fig 2 / Fig 4 of the paper).
+
+Wires the four stages together — candidate enumeration, query planning,
+schema optimization, plan recommendation — and records a wall-clock
+breakdown per stage so the Fig 13 runtime-decomposition experiment can
+be reproduced (cost calculation / BIP construction / BIP solving /
+other).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.cost import CassandraCostModel
+from repro.enumerator import CandidateEnumerator
+from repro.optimizer import BIPOptimizer, OptimizationProblem
+from repro.optimizer.results import SchemaRecommendation
+from repro.planner import QueryPlanner, UpdatePlanner
+from repro.planner.plans import UpdatePlan
+
+__all__ = ["Advisor", "AdvisorTiming", "SchemaRecommendation"]
+
+
+def prune_dominated_plans(plans, keep=None):
+    """Drop plans that cannot appear in any optimal solution.
+
+    Two plans using the same set of column families impose identical
+    constraints on the BIP, so only the cheaper one can ever be chosen;
+    we keep the cheapest plan per distinct column-family set, and
+    optionally only the ``keep`` cheapest overall (the plan space stays
+    feasible since every retained plan is self-contained).  Requires
+    costed plans.
+    """
+    best = {}
+    for plan in plans:
+        key = frozenset(index.key for index in plan.indexes)
+        current = best.get(key)
+        if current is None or plan.cost < current.cost:
+            best[key] = plan
+    pruned = sorted(best.values(), key=lambda plan: plan.cost)
+    if keep is not None:
+        pruned = pruned[:keep]
+    return pruned
+
+
+@dataclass
+class AdvisorTiming:
+    """Wall-clock seconds spent in each advisor stage.
+
+    ``cost_calculation``, ``bip_construction`` and ``bip_solving`` match
+    the three named components of the paper's Fig 13; everything else
+    (enumeration, plan-space generation, result extraction) is the
+    figure's "other" share.
+    """
+
+    enumeration: float = 0.0
+    planning: float = 0.0
+    cost_calculation: float = 0.0
+    bip_construction: float = 0.0
+    bip_solving: float = 0.0
+    recommendation: float = 0.0
+    total: float = 0.0
+    candidates: int = 0
+    query_plan_count: int = 0
+    support_plan_count: int = 0
+
+    @property
+    def other(self):
+        """Everything outside the three Fig 13 named components."""
+        named = (self.cost_calculation + self.bip_construction
+                 + self.bip_solving)
+        return max(self.total - named, 0.0)
+
+    def as_figure13_row(self):
+        """The four series of Fig 13 for one workload size."""
+        return {
+            "cost_calculation": self.cost_calculation,
+            "bip_construction": self.bip_construction,
+            "bip_solving": self.bip_solving,
+            "other": self.other,
+            "total": self.total,
+        }
+
+
+class Advisor:
+    """End-to-end schema advisor.
+
+    >>> advisor = Advisor(model)
+    >>> recommendation = advisor.recommend(workload)
+    >>> print(recommendation.describe())
+
+    ``cost_model`` defaults to the Cassandra-style model; ``enumerator``
+    and ``optimizer`` may be swapped for the ablation studies.
+    """
+
+    def __init__(self, model, cost_model=None, enumerator=None,
+                 optimizer=None, max_plans=500, prune_to=32,
+                 support_prune_to=8):
+        self.model = model
+        self.cost_model = cost_model or CassandraCostModel()
+        self.enumerator = enumerator or CandidateEnumerator(model)
+        self.optimizer = optimizer or BIPOptimizer()
+        self.max_plans = max_plans
+        #: plans kept per query after dominance pruning (None = all)
+        self.prune_to = prune_to
+        #: plans kept per support query (their spaces are much denser)
+        self.support_prune_to = support_prune_to
+
+    # -- main entry point ----------------------------------------------------
+
+    def recommend(self, workload, space_limit=None):
+        """Recommend a schema and one plan per statement for a workload."""
+        timing = AdvisorTiming()
+        started = time.perf_counter()
+
+        stage = time.perf_counter()
+        candidates = self.enumerator.candidates(workload)
+        timing.enumeration = time.perf_counter() - stage
+        timing.candidates = len(candidates)
+
+        stage = time.perf_counter()
+        planner = QueryPlanner(self.model, candidates,
+                               max_plans=self.max_plans)
+        update_planner = UpdatePlanner(self.model, planner)
+        query_plans = planner.plan_all(workload.queries)
+        update_plans = update_planner.plan_all(workload.updates)
+        timing.planning = time.perf_counter() - stage
+        timing.query_plan_count = sum(len(p) for p in query_plans.values())
+        timing.support_plan_count = sum(
+            len(up.support_plans)
+            for plans in update_plans.values() for up in plans)
+
+        stage = time.perf_counter()
+        for plans in query_plans.values():
+            for plan in plans:
+                self.cost_model.cost_plan(plan)
+        for plans in update_plans.values():
+            for update_plan in plans:
+                self.cost_model.cost_update_plan(update_plan)
+        timing.cost_calculation = time.perf_counter() - stage
+
+        query_plans = {query: prune_dominated_plans(plans, self.prune_to)
+                       for query, plans in query_plans.items()}
+        update_plans = {
+            update: [self._prune_update_plan(update_plan)
+                     for update_plan in plans]
+            for update, plans in update_plans.items()}
+
+        weights = {statement.label: weight
+                   for statement, weight in workload.weighted_statements}
+        problem = OptimizationProblem(query_plans, update_plans, weights,
+                                      space_limit=space_limit)
+
+        stage = time.perf_counter()
+        program = self.optimizer.prepare(problem)
+        timing.bip_construction = time.perf_counter() - stage
+
+        stage = time.perf_counter()
+        recommendation = self.optimizer.optimize(program)
+        timing.bip_solving = time.perf_counter() - stage
+
+        stage = time.perf_counter()
+        recommendation.timing = timing
+        timing.recommendation = time.perf_counter() - stage
+        timing.total = time.perf_counter() - started
+        return recommendation
+
+    def _prune_update_plan(self, update_plan):
+        """Dominance-prune each support query's plan space."""
+        pruned = []
+        for plans in update_plan.support_plans_by_query.values():
+            pruned.extend(prune_dominated_plans(plans,
+                                                self.support_prune_to))
+        return UpdatePlan(update_plan.update, update_plan.index, pruned,
+                          update_plan.steps)
+
+    # -- fixed-schema evaluation -------------------------------------------------
+
+    def plan_for_schema(self, workload, indexes, require_updates=True):
+        """Plan the workload against a fixed, user-supplied schema.
+
+        Used to evaluate hand-designed schemas (the paper's "normalized"
+        and "expert" baselines): no enumeration or optimization happens,
+        the cheapest plan per statement over exactly ``indexes`` is
+        chosen.  Raises :class:`~repro.exceptions.PlanningError` when the
+        schema cannot answer the workload.
+        """
+        planner = QueryPlanner(self.model, indexes,
+                               max_plans=self.max_plans)
+        update_planner = UpdatePlanner(self.model, planner)
+        query_plans = {}
+        total = 0.0
+        for query in workload.queries:
+            plans = planner.plans_for(query)
+            for plan in plans:
+                self.cost_model.cost_plan(plan)
+            chosen = min(plans, key=lambda plan: plan.cost)
+            query_plans[query] = chosen
+            total += workload.weight(query) * chosen.cost
+        update_plans = {}
+        for update in workload.updates:
+            plans = update_planner.plans_for(update,
+                                             require=require_updates)
+            chosen_plans = []
+            for update_plan in plans:
+                self.cost_model.cost_update_plan(update_plan)
+                chosen_support = []
+                for support_plans in \
+                        update_plan.support_plans_by_query.values():
+                    chosen_support.append(
+                        min(support_plans, key=lambda plan: plan.cost))
+                chosen_plans.append(
+                    UpdatePlan(update, update_plan.index, chosen_support,
+                               update_plan.steps))
+                total += workload.weight(update) * (
+                    update_plan.update_cost
+                    + sum(plan.cost for plan in chosen_support))
+            update_plans[update] = chosen_plans
+        weights = {statement.label: weight
+                   for statement, weight in workload.weighted_statements}
+        return SchemaRecommendation(indexes, query_plans, update_plans,
+                                    weights, total)

@@ -1,0 +1,24 @@
+"""Simulated extensible record store and plan execution engine.
+
+The paper evaluated NoSE against Cassandra 2.0.9 on a dedicated testbed;
+this package substitutes an in-memory extensible record store exposing
+the same operation surface (get by partition key plus clustering range,
+put, delete) with a calibrated service-time simulator, so the benchmark
+harnesses can measure schema quality with a yardstick independent of the
+advisor's cost model.
+"""
+
+from repro.backend.dataset import Dataset, materialize_rows
+from repro.backend.executor import ExecutionEngine
+from repro.backend.latency import LatencyModel
+from repro.backend.store import ColumnFamily, Store, StoreMetrics
+
+__all__ = [
+    "ColumnFamily",
+    "Dataset",
+    "ExecutionEngine",
+    "LatencyModel",
+    "Store",
+    "StoreMetrics",
+    "materialize_rows",
+]

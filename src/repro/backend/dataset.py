@@ -1,0 +1,300 @@
+"""Ground-truth data: entity rows plus relationship instances.
+
+The benchmark harnesses need a consistent source of truth from which
+every column family can be (re)materialized: initial loading, and the
+row-level maintenance performed when updates execute.  A
+:class:`Dataset` stores entity rows keyed by ID and adjacency sets for
+both directions of every relationship, and can enumerate the join rows
+of any path — optionally anchored at specific entity IDs, which makes
+update maintenance proportional to the change rather than the data.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExecutionError, ModelError
+from repro.model.fields import ForeignKeyField
+
+
+class Dataset:
+    """In-memory instance of a conceptual model."""
+
+    def __init__(self, model):
+        self.model = model
+        #: entity name -> {id value: {field_id: value}}
+        self.rows = {name: {} for name in model.entities}
+        #: foreign key field id -> {source id: set of target ids}
+        self.links = {}
+        for entity in model.entities.values():
+            for key in entity.foreign_keys:
+                self.links[key.id] = {}
+
+    # -- population ------------------------------------------------------------
+
+    def add_row(self, entity_name, values):
+        """Insert one entity row; ``values`` maps field names (or ids) to
+        values and must include the primary key."""
+        entity = self.model.entity(entity_name)
+        row = {}
+        for name, value in values.items():
+            field = entity.fields.get(name.split(".")[-1])
+            if field is None or isinstance(field, ForeignKeyField):
+                raise ModelError(
+                    f"entity {entity.name!r} has no attribute {name!r}")
+            row[field.id] = value
+        id_field = entity.id_field
+        if id_field.id not in row:
+            raise ModelError(
+                f"row for {entity.name!r} is missing its primary key")
+        self.rows[entity.name][row[id_field.id]] = row
+        return row
+
+    def connect(self, entity_name, source_id, relationship, target_id):
+        """Create a relationship instance (both directions)."""
+        key = self._relationship(entity_name, relationship)
+        self.links[key.id].setdefault(source_id, set()).add(target_id)
+        if key.reverse is not None:
+            self.links[key.reverse.id].setdefault(
+                target_id, set()).add(source_id)
+
+    def disconnect(self, entity_name, source_id, relationship, target_id):
+        key = self._relationship(entity_name, relationship)
+        self.links[key.id].get(source_id, set()).discard(target_id)
+        if key.reverse is not None:
+            self.links[key.reverse.id].get(target_id, set()).discard(
+                source_id)
+
+    def delete_entity(self, entity_name, entity_id):
+        """Remove a row and every relationship instance touching it."""
+        entity = self.model.entity(entity_name)
+        self.rows[entity.name].pop(entity_id, None)
+        for key in entity.foreign_keys:
+            targets = self.links[key.id].pop(entity_id, set())
+            if key.reverse is not None:
+                for target in targets:
+                    self.links[key.reverse.id].get(target, set()).discard(
+                        entity_id)
+
+    def _relationship(self, entity_name, relationship):
+        entity = self.model.entity(entity_name)
+        key = entity.fields.get(relationship) \
+            if isinstance(relationship, str) else relationship
+        if not isinstance(key, ForeignKeyField):
+            raise ModelError(
+                f"{entity.name}.{relationship} is not a relationship")
+        return key
+
+    # -- navigation --------------------------------------------------------------
+
+    def related(self, key, source_id):
+        """Target IDs reached from one source row over one edge."""
+        return self.links[key.id].get(source_id, set())
+
+    def row(self, entity, entity_id):
+        stored = self.rows[entity.name].get(entity_id)
+        if stored is None:
+            raise ExecutionError(
+                f"no {entity.name} row with id {entity_id!r}")
+        return stored
+
+    def join_tuples(self, path, anchor_position=None, anchor_ids=None):
+        """All ID tuples of the join along ``path``.
+
+        When an anchor is given, only join rows containing one of
+        ``anchor_ids`` at ``anchor_position`` are produced — the
+        expansion walks outward from the anchor in both directions, so
+        the work is proportional to the number of produced rows.
+        """
+        if anchor_position is None:
+            anchor_position = 0
+            anchor_ids = list(self.rows[path.first.name])
+        tuples = [(identifier,) for identifier in anchor_ids
+                  if identifier in self.rows[
+                      path.entities[anchor_position].name]]
+        # expand toward the end of the path
+        for key in path.keys[anchor_position:]:
+            tuples = [row + (target,)
+                      for row in tuples
+                      for target in self.related(key, row[-1])]
+        # expand toward the start of the path (via reverse edges)
+        for key in reversed(path.keys[:anchor_position]):
+            reverse = key.reverse
+            if reverse is None:
+                raise ModelError(
+                    f"cannot expand over {key.id}: no reverse edge")
+            tuples = [(source,) + row
+                      for row in tuples
+                      for source in self.related(reverse, row[0])]
+        return tuples
+
+    # -- statement evaluation --------------------------------------------------------
+
+    def matching_ids(self, statement, params):
+        """Target-entity IDs satisfying a statement's predicates.
+
+        Reference (non-simulated) evaluation over the ground truth; used
+        to drive maintenance and to validate plan execution results.
+        """
+        path = statement.key_path
+        tuples = self._filtered_tuples(statement, params, path)
+        return sorted({row[0] for row in tuples})
+
+    def _filtered_tuples(self, statement, params, path):
+        anchor_position, anchor_ids = self._best_anchor(
+            statement, params, path)
+        tuples = self.join_tuples(path, anchor_position, anchor_ids)
+        for condition in statement.conditions:
+            position = path.index_of(condition.field.parent)
+            bound = params[condition.parameter]
+            field_id = condition.field.id
+            tuples = [
+                row for row in tuples
+                if condition.matches(
+                    self.rows[path.entities[position].name]
+                    [row[position]].get(field_id), bound)]
+        return tuples
+
+    def _best_anchor(self, statement, params, path):
+        """Anchor the join at the most selective equality predicate."""
+        best = None
+        for condition in statement.eq_conditions:
+            position = path.index_of(condition.field.parent)
+            entity = path.entities[position]
+            bound = params[condition.parameter]
+            if condition.field is entity.id_field:
+                ids = [bound] if bound in self.rows[entity.name] else []
+            else:
+                field_id = condition.field.id
+                ids = [identifier for identifier, row
+                       in self.rows[entity.name].items()
+                       if row.get(field_id) == bound]
+            if best is None or len(ids) < len(best[1]):
+                best = (position, ids)
+        if best is None:
+            return None, None
+        return best
+
+    def evaluate_query(self, query, params):
+        """Reference answer for a query: distinct selected-field tuples.
+
+        Evaluates the query directly over the ground truth (no plans, no
+        store) — the oracle the execution-engine tests compare against.
+        """
+        path = query.key_path
+        tuples = self._filtered_tuples(query, params, path)
+        positions = {field.id: path.index_of(field.parent)
+                     for field in query.select}
+        results = set()
+        for row in tuples:
+            values = []
+            for field in query.select:
+                position = positions[field.id]
+                source = self.rows[path.entities[position].name].get(
+                    row[position], {})
+                values.append(source.get(field.id))
+            results.add(tuple(values))
+        return results
+
+    # -- mutation by statements ----------------------------------------------------
+
+    def apply(self, statement, params):
+        """Apply a write statement; returns the affected target IDs."""
+        from repro.workload.statements import (
+            Connect,
+            Delete,
+            Insert,
+            Update,
+        )
+        if isinstance(statement, Insert):
+            return self._apply_insert(statement, params)
+        if isinstance(statement, Update):
+            return self._apply_update(statement, params)
+        if isinstance(statement, Delete):
+            return self._apply_delete(statement, params)
+        if isinstance(statement, Connect):
+            return self._apply_connect(statement, params)
+        raise ExecutionError(f"not a write statement: {statement!r}")
+
+    def _apply_insert(self, insert, params):
+        entity = insert.entity
+        values = {field.id: params[parameter]
+                  for field, parameter in insert.settings.items()}
+        new_id = values[entity.id_field.id]
+        self.rows[entity.name][new_id] = values
+        for key, parameter in insert.connections:
+            self.connect(entity.name, new_id, key, params[parameter])
+        return [new_id]
+
+    def _apply_update(self, update, params):
+        affected = self.matching_ids(update, params)
+        for entity_id in affected:
+            row = self.rows[update.entity.name][entity_id]
+            for field, parameter in update.settings.items():
+                row[field.id] = params[parameter]
+        return affected
+
+    def _apply_delete(self, delete, params):
+        affected = self.matching_ids(delete, params)
+        for entity_id in affected:
+            self.delete_entity(delete.entity.name, entity_id)
+        return affected
+
+    def _apply_connect(self, connect, params):
+        source_id = params[connect.source_parameter]
+        target_id = params[connect.target_parameter]
+        if connect.removes_link:
+            self.disconnect(connect.entity.name, source_id,
+                            connect.relationship, target_id)
+        else:
+            self.connect(connect.entity.name, source_id,
+                         connect.relationship, target_id)
+        return [source_id]
+
+    # -- statistics refresh -----------------------------------------------------------
+
+    def entity_count(self, entity_name):
+        return len(self.rows[entity_name])
+
+    def sync_counts(self):
+        """Copy observed row counts back onto the model's entities so
+        cardinality estimates match the loaded data."""
+        for name, rows in self.rows.items():
+            if rows:
+                self.model.entity(name).count = len(rows)
+        return self
+
+    def __repr__(self):
+        total = sum(len(rows) for rows in self.rows.values())
+        return f"Dataset({self.model.name!r}, rows={total})"
+
+
+def materialize_rows(dataset, index, anchor_entity=None, anchor_ids=None):
+    """Rows of a column family: the path join projected onto its fields.
+
+    With an anchor, only the join rows containing the given entity IDs
+    are produced (the rows an update touches).
+    """
+    path = index.path
+    anchor_position = None
+    if anchor_entity is not None:
+        anchor_position = path.index_of(anchor_entity)
+        if anchor_position < 0:
+            return []
+    tuples = dataset.join_tuples(path, anchor_position, anchor_ids)
+    fields_by_position = {}
+    for field in index.all_fields:
+        position = path.index_of(field.parent)
+        fields_by_position.setdefault(position, []).append(field)
+    rows = []
+    for ids in tuples:
+        row = {}
+        for position, fields in fields_by_position.items():
+            source = dataset.rows[path.entities[position].name].get(
+                ids[position])
+            if source is None:
+                row = None
+                break
+            for field in fields:
+                row[field.id] = source.get(field.id)
+        if row is not None:
+            rows.append(row)
+    return rows

@@ -1,0 +1,296 @@
+"""Execution engine: runs recommended plans against the record store.
+
+This is the paper's "simple execution engine which can execute the plans
+recommended by NoSE" (§VII-A): it interprets query plans (get / filter /
+sort / limit / join-by-chained-gets) and update plans (support queries
+followed by puts and deletes) against the simulated store, keeping every
+column family consistent with the ground-truth :class:`Dataset`.
+
+``share_reads`` enables a per-transaction read cache that de-duplicates
+identical get requests across the statements of one transaction — the
+correlation knowledge the paper credits the expert schema with (§VII-A's
+discussion of the 100x write mix), which NoSE plans do not assume.
+"""
+
+from __future__ import annotations
+
+from repro.backend.dataset import materialize_rows
+from repro.backend.store import Store
+from repro.exceptions import ExecutionError
+from repro.planner.steps import (
+    FilterStep,
+    IndexLookupStep,
+    LimitStep,
+    SortStep,
+)
+from repro.workload.statements import Query
+
+
+class ExecutionEngine:
+    """Executes one schema recommendation's plans over a store."""
+
+    def __init__(self, model, recommendation, dataset, store=None,
+                 share_reads=False, update_protocol="nose"):
+        if update_protocol not in ("nose", "expert"):
+            raise ExecutionError(
+                f"unknown update protocol {update_protocol!r}")
+        self.model = model
+        self.recommendation = recommendation
+        self.dataset = dataset
+        self.store = store or Store()
+        self.share_reads = share_reads
+        #: "nose" follows the paper's §VI-B protocol — delete the records
+        #: for the old data, then insert records for the new data;
+        #: "expert" upserts only the rows that actually changed (the
+        #: hand-optimized plans a human designer writes)
+        self.update_protocol = update_protocol
+        self._transaction_cache = None
+        self._query_plans = {query.label: plan
+                             for query, plan
+                             in recommendation.query_plans.items()}
+        self._update_plans = {update.label: plans
+                              for update, plans
+                              in recommendation.update_plans.items()}
+        self._statements = {}
+        for query in recommendation.query_plans:
+            self._statements[query.label] = query
+        for update in recommendation.update_plans:
+            self._statements[update.label] = update
+
+    # -- loading -----------------------------------------------------------
+
+    def load(self):
+        """Create all recommended column families and populate them from
+        the dataset (unmetered — loading is not part of any experiment).
+        Returns the total number of rows materialized."""
+        total = 0
+        for index in self.recommendation.indexes:
+            column_family = self.store.create(index)
+            rows = materialize_rows(self.dataset, index)
+            total += column_family.put_many(rows, charge=False)
+        return total
+
+    # -- dispatch -------------------------------------------------------------
+
+    def execute(self, label, params):
+        """Execute one workload statement by label."""
+        statement = self._statements.get(label)
+        if statement is None:
+            raise ExecutionError(f"unknown statement {label!r}")
+        if isinstance(statement, Query):
+            return self.execute_query(statement, params)
+        return self.execute_update(statement, params)
+
+    def execute_transaction(self, requests):
+        """Execute a list of ``(label, params)`` as one user transaction.
+
+        Returns the simulated service time in milliseconds.  When
+        ``share_reads`` is enabled, identical get requests within the
+        transaction are answered once.
+        """
+        started = self.store.metrics.simulated_ms
+        if self.share_reads:
+            self._transaction_cache = {}
+        try:
+            for label, params in requests:
+                self.execute(label, params)
+        finally:
+            self._transaction_cache = None
+        return self.store.metrics.simulated_ms - started
+
+    # -- queries ------------------------------------------------------------------
+
+    def execute_query(self, query, params, plan=None):
+        """Run a query plan; returns distinct selected rows as dicts."""
+        if plan is None:
+            plan = self._query_plans.get(query.label)
+        if plan is None:
+            raise ExecutionError(
+                f"no recommended plan for query {query.label!r}")
+        bindings = [{}]
+        for step in plan.steps:
+            if isinstance(step, IndexLookupStep):
+                bindings = self._lookup(step, plan.query, params, bindings)
+            elif isinstance(step, FilterStep):
+                bindings = self._filter(step, params, bindings)
+            elif isinstance(step, SortStep):
+                bindings = self._sort(step, bindings)
+            elif isinstance(step, LimitStep):
+                bindings = bindings[:step.limit]
+            else:  # pragma: no cover - queries have no other step types
+                raise ExecutionError(f"unexpected step {step!r}")
+        select = tuple(getattr(plan.query, "select", ()))
+        seen = set()
+        results = []
+        for binding in bindings:
+            values = tuple(binding.get(field.id) for field in select)
+            if values not in seen:
+                seen.add(values)
+                results.append(dict(zip((f.id for f in select), values)))
+        return results
+
+    def _lookup(self, step, query, params, bindings):
+        column_family = self.store[step.index.key]
+        index = step.index
+        prefix_fields = [field for field in step.eq_fields
+                         if field not in index.hash_fields]
+        range_request = None
+        if step.range_field is not None:
+            condition = query.condition_on(step.range_field)
+            range_request = (condition.operator,
+                             params[condition.parameter])
+
+        def value_of(binding, field):
+            if field.id in binding:
+                return binding[field.id]
+            condition = query.condition_on(field)
+            if condition is None:
+                raise ExecutionError(
+                    f"no value available for {field.id} in lookup on "
+                    f"{index.key}")
+            return params[condition.parameter]
+
+        results = []
+        issued = {}
+        for binding in bindings:
+            partition = tuple(value_of(binding, field)
+                              for field in index.hash_fields)
+            prefix = tuple(value_of(binding, field)
+                           for field in prefix_fields)
+            request = (index.key, partition, prefix, range_request)
+            if request in issued:
+                rows = issued[request]
+            elif (self._transaction_cache is not None
+                    and request in self._transaction_cache):
+                rows = self._transaction_cache[request]
+            else:
+                rows = column_family.get(partition, prefix,
+                                         range_filter=range_request)
+                issued[request] = rows
+                if self._transaction_cache is not None:
+                    self._transaction_cache[request] = rows
+            for row in rows:
+                merged = dict(binding)
+                merged.update(row)
+                results.append(merged)
+        return results
+
+    def _filter(self, step, params, bindings):
+        kept = []
+        for binding in bindings:
+            keep = True
+            for condition in step.conditions:
+                value = binding.get(condition.field.id)
+                bound = params[condition.parameter]
+                if value is None or not condition.matches(value, bound):
+                    keep = False
+                    break
+            if keep:
+                kept.append(binding)
+        return kept
+
+    def _sort(self, step, bindings):
+        field_ids = [field.id for field in step.fields]
+        return sorted(bindings,
+                      key=lambda binding: tuple(
+                          binding.get(field_id) for field_id
+                          in field_ids))
+
+    # -- updates -------------------------------------------------------------------
+
+    def execute_update(self, update, params):
+        """Run an update: support queries, dataset mutation, and row-level
+        maintenance of every recommended column family it modifies.
+
+        Returns the number of store rows written plus deleted."""
+        plans = self._update_plans.get(update.label, [])
+        for update_plan in plans:
+            for support_plans in \
+                    update_plan.support_plans_by_query.values():
+                chosen = support_plans[0]
+                self.execute_query(chosen.query, params, plan=chosen)
+        anchor_entity, anchor_ids = self._anchor_for(update, params)
+        before = {}
+        for update_plan in plans:
+            before[update_plan.index.key] = materialize_rows(
+                self.dataset, update_plan.index, anchor_entity, anchor_ids)
+        affected = self.dataset.apply(update, params)
+        if anchor_ids is None:
+            anchor_ids = affected
+        changed = 0
+        for update_plan in plans:
+            index = update_plan.index
+            column_family = self.store[index.key]
+            after = materialize_rows(self.dataset, index, anchor_entity,
+                                     anchor_ids or affected)
+            old_rows = {column_family.row_key(row): row
+                        for row in before[index.key]}
+            new_rows = {column_family.row_key(row): row for row in after}
+            vanished = {key: row for key, row in old_rows.items()
+                        if key not in new_rows}
+            still_alive = self._rows_still_derivable(
+                index, column_family, vanished, anchor_entity)
+            if self.update_protocol == "nose":
+                # the paper's protocol: remove records for the old data,
+                # then insert records corresponding to the new data
+                to_delete = [row for key, row in old_rows.items()
+                             if key not in still_alive]
+                to_put = list(new_rows.values()) \
+                    + list(still_alive.values())
+            else:
+                to_delete = [row for key, row in vanished.items()
+                             if key not in still_alive]
+                to_put = [row for key, row in new_rows.items()
+                          if old_rows.get(key) != row]
+                to_put += [row for key, row in still_alive.items()
+                           if old_rows.get(key) != row]
+            if to_delete:
+                changed += column_family.delete_many(to_delete)
+            if to_put:
+                changed += column_family.put_many(to_put)
+        return changed
+
+    def _rows_still_derivable(self, index, column_family, vanished,
+                              anchor_entity):
+        """Rows among ``vanished`` that other join rows still produce.
+
+        When a column family's record key does not include the anchor
+        entity's ID (e.g. grouped views keyed only by the result
+        entity), a record that stopped being derivable *through the
+        anchor* may still be derivable through other join rows — it
+        must be kept, with freshly materialized values.  Returns
+        ``{key: fresh row}`` for such records.
+        """
+        if not vanished or len(index.path) == 1:
+            return {}
+        key_ids = {field.id for field in index.key_fields}
+        if anchor_entity is not None \
+                and anchor_entity.id_field.id in key_ids:
+            # every record key pins a specific anchor row, so the
+            # anchored recomputation was already authoritative
+            return {}
+        check_field = next(
+            (entity.id_field for entity in index.path.entities
+             if entity is not anchor_entity
+             and entity.id_field.id in key_ids), None)
+        if check_field is not None:
+            check_ids = sorted({row[check_field.id]
+                                for row in vanished.values()
+                                if row.get(check_field.id) is not None})
+            fresh = materialize_rows(self.dataset, index,
+                                     check_field.parent, check_ids)
+        else:  # pragma: no cover - keys without any entity ID are rare
+            fresh = materialize_rows(self.dataset, index)
+        return {key: row for row in fresh
+                for key in [column_family.row_key(row)]
+                if key in vanished}
+
+    def _anchor_for(self, update, params):
+        """Entity (and IDs) whose join neighbourhood the update touches."""
+        from repro.workload.statements import Connect, Insert
+        if isinstance(update, Insert):
+            id_parameter = update.settings[update.entity.id_field]
+            return update.entity, [params[id_parameter]]
+        if isinstance(update, Connect):
+            return update.entity, [params[update.source_parameter]]
+        return update.entity, self.dataset.matching_ids(update, params)

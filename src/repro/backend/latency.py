@@ -1,0 +1,39 @@
+"""Service-time simulation for the in-memory record store.
+
+Charges each operation a latency (in milliseconds) resembling a
+Cassandra deployment on a local network: a fixed per-request round-trip
+plus per-row scan and per-byte transfer components.  The constants are
+intentionally *different* from the advisor's cost model
+(:mod:`repro.cost`) so that benchmark results measure recommendation
+quality with an independent yardstick rather than echoing the advisor's
+own estimates.
+"""
+
+from __future__ import annotations
+
+
+class LatencyModel:
+    """Latency charged per store operation, in milliseconds."""
+
+    def __init__(self, get_base=0.45, row_scan=0.0025, byte_transfer=4e-5,
+                 put_base=0.25, put_row=0.035, delete_base=0.25,
+                 delete_row=0.03):
+        self.get_base = get_base
+        self.row_scan = row_scan
+        self.byte_transfer = byte_transfer
+        self.put_base = put_base
+        self.put_row = put_row
+        self.delete_base = delete_base
+        self.delete_row = delete_row
+
+    def get_time(self, rows_scanned, bytes_returned):
+        """One get request: seek, scan the clustering block, transfer."""
+        return (self.get_base + rows_scanned * self.row_scan
+                + bytes_returned * self.byte_transfer)
+
+    def put_time(self, rows):
+        """One put request writing ``rows`` rows (batched per request)."""
+        return self.put_base + rows * self.put_row
+
+    def delete_time(self, rows):
+        return self.delete_base + rows * self.delete_row

@@ -1,0 +1,123 @@
+"""Command-line interface for the schema advisor.
+
+Usage::
+
+    nose-advisor --demo hotel
+    nose-advisor --demo rubis --mix bidding --space-limit 50000000
+    nose-advisor --model my_model.py --timing
+
+With ``--model``, the given Python file must define ``build()``
+returning a ``(model, workload)`` pair; this mirrors how the original
+prototype loaded workload definition files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import sys
+
+from repro.advisor import Advisor
+from repro.cost import CassandraCostModel, SimpleCostModel
+from repro.exceptions import NoseError
+
+
+def _load_demo(name, mix):
+    if name == "hotel":
+        from repro.demo import hotel_model, hotel_workload
+        model = hotel_model()
+        return model, hotel_workload(model)
+    if name == "rubis":
+        from repro.rubis import rubis_model, rubis_workload
+        model = rubis_model()
+        return model, rubis_workload(model, mix=mix or "bidding")
+    raise NoseError(f"unknown demo {name!r}; available: hotel, rubis")
+
+
+def _load_module(path, mix):
+    spec = importlib.util.spec_from_file_location("nose_workload", path)
+    if spec is None or spec.loader is None:
+        raise NoseError(f"cannot load workload module {path!r}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    if not hasattr(module, "build"):
+        raise NoseError(
+            f"workload module {path!r} must define build() -> "
+            "(model, workload)")
+    model, workload = module.build()
+    if mix:
+        workload = workload.with_mix(mix)
+    return model, workload
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor",
+        description="NoSE: recommend a NoSQL schema for a workload")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--demo", choices=["hotel", "rubis"],
+                        help="use a bundled demo model and workload")
+    source.add_argument("--model", metavar="FILE",
+                        help="Python file defining build() -> "
+                             "(model, workload)")
+    source.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="JSON application document (see repro.io)")
+    parser.add_argument("--mix", help="workload mix to optimize for")
+    parser.add_argument("--space-limit", type=float, default=None,
+                        metavar="BYTES",
+                        help="storage budget for the recommended schema")
+    parser.add_argument("--cost-model", choices=["cassandra", "simple"],
+                        default="cassandra")
+    parser.add_argument("--max-plans", type=int, default=500,
+                        help="cap on enumerated plans per statement")
+    parser.add_argument("--timing", action="store_true",
+                        help="print the advisor stage timing breakdown")
+    parser.add_argument("--cql", action="store_true",
+                        help="also print CREATE TABLE DDL for the schema")
+    parser.add_argument("--output-json", metavar="FILE",
+                        help="write the recommendation as JSON")
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        if arguments.demo:
+            model, workload = _load_demo(arguments.demo, arguments.mix)
+        elif arguments.json_file:
+            from repro.io import load_application
+            model, workload = load_application(arguments.json_file)
+            if arguments.mix:
+                workload = workload.with_mix(arguments.mix)
+        else:
+            model, workload = _load_module(arguments.model, arguments.mix)
+        cost_model = CassandraCostModel() \
+            if arguments.cost_model == "cassandra" else SimpleCostModel()
+        advisor = Advisor(model, cost_model=cost_model,
+                          max_plans=arguments.max_plans)
+        recommendation = advisor.recommend(
+            workload, space_limit=arguments.space_limit)
+    except NoseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(recommendation.describe())
+    if arguments.cql:
+        print()
+        print(recommendation.as_cql())
+    if arguments.output_json:
+        import json
+        with open(arguments.output_json, "w") as handle:
+            json.dump(recommendation.as_dict(), handle, indent=2)
+        print(f"\nrecommendation written to {arguments.output_json}")
+    if arguments.timing:
+        print()
+        print("Stage timing (seconds):")
+        for stage, seconds in \
+                recommendation.timing.as_figure13_row().items():
+            print(f"  {stage:<18} {seconds:.3f}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI entry
+    sys.exit(main())

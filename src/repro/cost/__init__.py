@@ -1,0 +1,32 @@
+"""Cost models estimating plan execution cost (tech-report companion).
+
+The paper notes that "the exact cost model ... is not important to our
+approach" and that richer models can be substituted without changing the
+rest of the system; accordingly the model is pluggable.  Two are
+provided: a Cassandra-style model charging per-request, per-partition and
+per-row costs, and a simple request-counting model useful for tests.
+"""
+
+from repro.cost.calibrate import (
+    CalibrationSample,
+    calibrate_store,
+    fit_cost_model,
+    probe_store,
+)
+from repro.cost.cost_model import (
+    CassandraCostModel,
+    CostModel,
+    HBaseCostModel,
+    SimpleCostModel,
+)
+
+__all__ = [
+    "CalibrationSample",
+    "CassandraCostModel",
+    "CostModel",
+    "HBaseCostModel",
+    "SimpleCostModel",
+    "calibrate_store",
+    "fit_cost_model",
+    "probe_store",
+]

@@ -1,0 +1,158 @@
+"""Fitting cost-model constants to measured store behaviour.
+
+The paper's cost model used constants calibrated against measurements
+of the target Cassandra installation.  This module reproduces that
+step: probe a record store with gets/puts of varying shapes, collect
+(requests, rows, bytes) -> latency samples, and fit the
+:class:`~repro.cost.CassandraCostModel` constants by least squares.
+
+Pointing the probe at the bundled simulator recovers the latency
+model's constants exactly (it is linear by construction) — and the same
+machinery would calibrate against a real cluster by timing the
+equivalent operations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy
+
+from repro.cost.cost_model import CassandraCostModel
+from repro.exceptions import ExecutionError
+from repro.indexes import Index
+from repro.model import Entity, IDField, IntegerField, Model, StringField
+
+
+class CalibrationSample:
+    """One measured operation: its shape and observed latency (ms)."""
+
+    __slots__ = ("kind", "requests", "rows", "row_bytes", "time_ms")
+
+    def __init__(self, kind, requests, rows, row_bytes, time_ms):
+        if kind not in ("get", "put", "delete"):
+            raise ExecutionError(f"unknown sample kind {kind!r}")
+        self.kind = kind
+        self.requests = requests
+        self.rows = rows
+        self.row_bytes = row_bytes
+        self.time_ms = time_ms
+
+    def __repr__(self):
+        return (f"CalibrationSample({self.kind}, requests="
+                f"{self.requests}, rows={self.rows}, "
+                f"time_ms={self.time_ms:.4f})")
+
+
+def _fit_nonnegative(design, observed):
+    """Least-squares fit with coefficients clamped to be nonnegative."""
+    coefficients, _residual, _rank, _sv = numpy.linalg.lstsq(
+        design, observed, rcond=None)
+    return numpy.clip(coefficients, 0.0, None)
+
+
+def fit_cost_model(samples, partition_share=0.5):
+    """Fit a :class:`CassandraCostModel` from calibration samples.
+
+    The per-request overhead recovered from get samples is split
+    between the model's ``request_cost`` and ``partition_cost`` by
+    ``partition_share`` (the two are not separable from single-partition
+    probes; only their sum affects plan costs).
+    """
+    gets = [sample for sample in samples if sample.kind == "get"]
+    puts = [sample for sample in samples if sample.kind == "put"]
+    deletes = [sample for sample in samples if sample.kind == "delete"]
+    if len(gets) < 3:
+        raise ExecutionError(
+            "calibration needs at least three get samples")
+    design = numpy.array([[sample.requests, sample.rows,
+                           sample.rows * sample.row_bytes]
+                          for sample in gets])
+    observed = numpy.array([sample.time_ms for sample in gets])
+    per_request, per_row, per_byte = _fit_nonnegative(design, observed)
+    arguments = {
+        "request_cost": per_request * (1.0 - partition_share),
+        "partition_cost": per_request * partition_share,
+        "row_cost": per_row,
+        "row_byte_cost": per_byte,
+    }
+    if puts:
+        design = numpy.array([[sample.requests, sample.rows]
+                              for sample in puts])
+        observed = numpy.array([sample.time_ms for sample in puts])
+        _base, per_put_row = _fit_nonnegative(design, observed)
+        arguments["put_cost"] = per_put_row
+    if deletes:
+        design = numpy.array([[sample.requests, sample.rows]
+                              for sample in deletes])
+        observed = numpy.array([sample.time_ms for sample in deletes])
+        _base, per_delete_row = _fit_nonnegative(design, observed)
+        arguments["delete_cost"] = per_delete_row
+    return CassandraCostModel(**arguments)
+
+
+def _probe_index(value_size):
+    """A synthetic column family for probing: int partitions, int
+    clustering, one string value of the requested size."""
+    model = Model("calibration")
+    entity = Entity("Probe", count=1_000_000)
+    entity.add_fields(IDField("ProbeID"),
+                      IntegerField("Partition"),
+                      IntegerField("Position"),
+                      StringField("Payload", size=value_size))
+    model.add_entity(entity)
+    return Index((entity["Partition"],),
+                 (entity["Position"], entity["ProbeID"]),
+                 (entity["Payload"],), model.path(["Probe"]))
+
+
+def probe_store(store, partition_sizes=(1, 10, 100, 1000),
+                value_sizes=(8, 64, 256), batches=(1, 10, 100), seed=17):
+    """Measure a store with synthetic operations; returns samples.
+
+    For each (partition size, value size) combination, one partition is
+    populated and fully read; put/delete batches of varying sizes are
+    also timed.  Works against any object with the
+    :class:`~repro.backend.store.Store` interface.
+    """
+    rng = random.Random(seed)
+    samples = []
+    for value_size in value_sizes:
+        index = _probe_index(value_size)
+        column_family = store.create(index)
+        row_bytes = index.entry_size
+        for partition, size in enumerate(partition_sizes):
+            rows = [{"Probe.Partition": partition,
+                     "Probe.Position": position,
+                     "Probe.ProbeID": rng.randrange(10 ** 9),
+                     "Probe.Payload": "x" * value_size}
+                    for position in range(size)]
+            column_family.put_many(rows, charge=False)
+            before = store.metrics.simulated_ms
+            returned = column_family.get((partition,))
+            samples.append(CalibrationSample(
+                "get", 1, len(returned), row_bytes,
+                store.metrics.simulated_ms - before))
+        for batch in batches:
+            rows = [{"Probe.Partition": 10_000 + batch,
+                     "Probe.Position": position,
+                     "Probe.ProbeID": position,
+                     "Probe.Payload": "x" * value_size}
+                    for position in range(batch)]
+            before = store.metrics.simulated_ms
+            column_family.put_many(rows)
+            samples.append(CalibrationSample(
+                "put", 1, batch, row_bytes,
+                store.metrics.simulated_ms - before))
+            before = store.metrics.simulated_ms
+            column_family.delete_many(rows)
+            samples.append(CalibrationSample(
+                "delete", 1, batch, row_bytes,
+                store.metrics.simulated_ms - before))
+        store.drop(index)
+    return samples
+
+
+def calibrate_store(store, **probe_options):
+    """Probe a store and fit a cost model in one call."""
+    return fit_cost_model(probe_store(store, **probe_options))

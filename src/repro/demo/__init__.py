@@ -1,0 +1,5 @@
+"""Demonstration models: the paper's running examples."""
+
+from repro.demo.hotel import hotel_dataset, hotel_model, hotel_workload
+
+__all__ = ["hotel_dataset", "hotel_model", "hotel_workload"]

@@ -1,0 +1,189 @@
+"""The hotel-booking running example (paper §II, Fig 1).
+
+The entity graph is adapted, as in the paper, from Hewitt's Cassandra
+hotel example: hotels with rooms and amenities, guests making
+reservations for rooms, and points of interest near hotels.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.backend.dataset import Dataset
+from repro.model import (
+    DateField,
+    Entity,
+    FloatField,
+    IDField,
+    IntegerField,
+    Model,
+    StringField,
+)
+from repro.workload import Workload
+
+
+def hotel_model(scale=1.0):
+    """Build the Fig 1 entity graph.
+
+    ``scale`` multiplies every entity count, keeping ratios fixed
+    (1.0 gives a small-city-sized instance).
+    """
+    def count(base):
+        return max(int(base * scale), 1)
+
+    model = Model("hotel")
+    model.add_entity(Entity("Hotel", count=count(100))).add_fields(
+        IDField("HotelID"),
+        StringField("HotelName", size=20),
+        StringField("HotelCity", size=12, cardinality=count(20)),
+        StringField("HotelState", size=2, cardinality=10),
+        StringField("HotelAddress", size=30),
+        StringField("HotelPhone", size=10),
+    )
+    model.add_entity(Entity("Room", count=count(10_000))).add_fields(
+        IDField("RoomID"),
+        IntegerField("RoomNumber", cardinality=500),
+        FloatField("RoomRate", cardinality=100),
+    )
+    model.add_entity(Entity("Reservation", count=count(100_000))).add_fields(
+        IDField("ResID"),
+        DateField("ResStartDate", cardinality=365),
+        DateField("ResEndDate", cardinality=365),
+    )
+    model.add_entity(Entity("Guest", count=count(50_000))).add_fields(
+        IDField("GuestID"),
+        StringField("GuestName", size=20),
+        StringField("GuestEmail", size=25),
+    )
+    model.add_entity(Entity("PointOfInterest", count=count(500))).add_fields(
+        IDField("POIID"),
+        StringField("POIName", size=20),
+        StringField("POIDescription", size=100),
+    )
+    model.add_entity(Entity("Amenity", count=count(1_000))).add_fields(
+        IDField("AmenityID"),
+        StringField("AmenityName", size=15),
+    )
+    model.add_relationship("Hotel", "Rooms", "Room", "Hotel")
+    model.add_relationship("Hotel", "Amenities", "Amenity", "Hotel")
+    model.add_relationship("Room", "Reservations", "Reservation", "Room")
+    model.add_relationship("Guest", "Reservations", "Reservation", "Guest")
+    # each hotel lists ~5 nearby POIs; with 5x as many POIs as hotels the
+    # average POI is listed by one hotel (100 x 5 == 500 x 1 connections)
+    model.add_relationship("Hotel", "PointsOfInterest", "PointOfInterest",
+                           "Hotels", kind="many_to_many",
+                           forward_fanout=5.0, reverse_fanout=1.0)
+    return model.validate()
+
+
+def hotel_workload(model, include_updates=True):
+    """A workload over the hotel model, centred on the paper's examples.
+
+    Includes the Fig 3 query (guests with reservations in a city above a
+    rate), the §II points-of-interest queries, and — when
+    ``include_updates`` is set — Fig 8-style update statements.
+    """
+    workload = Workload(model)
+    workload.add_statement(
+        "SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate",
+        weight=5.0, label="guests_in_city_above_rate")
+    workload.add_statement(
+        "SELECT PointOfInterest.POIName, PointOfInterest.POIDescription "
+        "FROM PointOfInterest.Hotels.Rooms.Reservations.Guest "
+        "WHERE Guest.GuestID = ?guest",
+        weight=10.0, label="pois_for_guest")
+    workload.add_statement(
+        "SELECT PointOfInterest.POIName, PointOfInterest.POIDescription "
+        "FROM PointOfInterest.Hotels WHERE Hotel.HotelID = ?hotel",
+        weight=3.0, label="pois_for_hotel")
+    workload.add_statement(
+        "SELECT Hotel.HotelName, Hotel.HotelAddress, Hotel.HotelPhone "
+        "FROM Hotel WHERE Hotel.HotelCity = ?city "
+        "AND Hotel.HotelState = ?state ORDER BY Hotel.HotelName",
+        weight=2.0, label="hotels_by_location")
+    workload.add_statement(
+        "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?guest",
+        weight=4.0, label="guest_by_id")
+    if include_updates:
+        workload.add_statement(
+            "INSERT INTO Reservation SET ResID = ?, "
+            "ResStartDate = ?start, ResEndDate = ?end "
+            "AND CONNECT TO Guest(?guest), Room(?room)",
+            weight=2.0, label="make_reservation")
+        workload.add_statement(
+            "UPDATE PointOfInterest SET POIDescription = ?description "
+            "WHERE PointOfInterest.POIID = ?poi",
+            weight=1.0, label="update_poi_description")
+        workload.add_statement(
+            "DELETE FROM Guest WHERE Guest.GuestID = ?guest",
+            weight=0.1, label="delete_guest")
+    return workload
+
+
+def hotel_dataset(model, seed=42):
+    """Populate a :class:`~repro.backend.Dataset` for the hotel model.
+
+    Generates rows matching the model's entity counts (so cardinality
+    statistics agree with the data), deterministic under ``seed``.
+    """
+    rng = random.Random(seed)
+    dataset = Dataset(model)
+    counts = {name: entity.count
+              for name, entity in model.entities.items()}
+    cities = [f"city-{i}" for i in
+              range(model.entity("Hotel")["HotelCity"].cardinality)]
+    for hotel in range(counts["Hotel"]):
+        dataset.add_row("Hotel", {
+            "HotelID": hotel,
+            "HotelName": f"hotel-{hotel}",
+            "HotelCity": rng.choice(cities),
+            "HotelState": f"S{hotel % 10}",
+            "HotelAddress": f"{hotel} Main Street",
+            "HotelPhone": f"555-{hotel:04d}",
+        })
+    for room in range(counts["Room"]):
+        dataset.add_row("Room", {
+            "RoomID": room,
+            "RoomNumber": room % 500,
+            "RoomRate": float(rng.randint(50, 500)),
+        })
+        dataset.connect("Hotel", room % counts["Hotel"], "Rooms", room)
+    for amenity in range(counts["Amenity"]):
+        dataset.add_row("Amenity", {
+            "AmenityID": amenity,
+            "AmenityName": f"amenity-{amenity % 20}",
+        })
+        dataset.connect("Hotel", amenity % counts["Hotel"], "Amenities",
+                        amenity)
+    for guest in range(counts["Guest"]):
+        dataset.add_row("Guest", {
+            "GuestID": guest,
+            "GuestName": f"guest-{guest}",
+            "GuestEmail": f"guest{guest}@example.com",
+        })
+    for poi in range(counts["PointOfInterest"]):
+        dataset.add_row("PointOfInterest", {
+            "POIID": poi,
+            "POIName": f"poi-{poi}",
+            "POIDescription": f"a sight to see, number {poi}",
+        })
+        for _ in range(2):
+            dataset.connect("Hotel", rng.randrange(counts["Hotel"]),
+                            "PointsOfInterest", poi)
+    day_zero = datetime.datetime(2016, 1, 1)
+    for reservation in range(counts["Reservation"]):
+        start = day_zero + datetime.timedelta(days=rng.randint(0, 364))
+        dataset.add_row("Reservation", {
+            "ResID": reservation,
+            "ResStartDate": start,
+            "ResEndDate": start + datetime.timedelta(days=rng.randint(1,
+                                                                      14)),
+        })
+        dataset.connect("Room", rng.randrange(counts["Room"]),
+                        "Reservations", reservation)
+        dataset.connect("Guest", rng.randrange(counts["Guest"]),
+                        "Reservations", reservation)
+    return dataset

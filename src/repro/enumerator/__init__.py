@@ -1,0 +1,24 @@
+"""Candidate column-family enumeration (paper §IV-A, Algorithm 1).
+
+Candidates are generated per query by recursive decomposition along the
+query path (materialized views, key-only variants, relaxed-predicate
+variants, join segments, and point-lookup "fetch" indexes), then the pool
+is extended with support-query candidates for every update and closed
+with the Combine step.
+"""
+
+from repro.enumerator.combiner import combine_candidates
+from repro.enumerator.enumerator import CandidateEnumerator
+from repro.enumerator.support import (
+    modified_row_counts,
+    modifies,
+    support_queries,
+)
+
+__all__ = [
+    "CandidateEnumerator",
+    "combine_candidates",
+    "modified_row_counts",
+    "modifies",
+    "support_queries",
+]

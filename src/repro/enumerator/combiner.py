@@ -1,0 +1,45 @@
+"""The Combine step of candidate enumeration (paper §IV-A3).
+
+Combine looks for pairs of candidates that share a partition key, have no
+clustering key, and store different value attributes, and adds their
+merge: one column family that can serve both queries while consuming less
+space than the two separate ones.
+"""
+
+from __future__ import annotations
+
+from repro.indexes.index import Index
+
+
+def _mergeable(left, right):
+    if left.order_fields or right.order_fields:
+        return False
+    if set(left.hash_fields) != set(right.hash_fields):
+        return False
+    if left.path.signature != right.path.signature:
+        return False
+    left_extra = {f.id for f in left.extra_fields}
+    right_extra = {f.id for f in right.extra_fields}
+    return left_extra != right_extra
+
+
+def combine_candidates(pool):
+    """New candidates obtained by merging compatible pairs in the pool.
+
+    Returns only the additional column families (the originals stay in
+    the pool; the optimizer chooses).
+    """
+    candidates = sorted(pool, key=lambda index: index.key)
+    merged = set()
+    for i, left in enumerate(candidates):
+        for right in candidates[i + 1:]:
+            if not _mergeable(left, right):
+                continue
+            extras = dict.fromkeys(left.extra_fields)
+            extras.update(dict.fromkeys(right.extra_fields))
+            taken = set(left.hash_fields)
+            extra_fields = tuple(f for f in extras if f not in taken)
+            combined = Index(left.hash_fields, (), extra_fields, left.path)
+            if combined not in pool:
+                merged.add(combined)
+    return merged

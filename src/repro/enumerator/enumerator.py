@@ -1,0 +1,214 @@
+"""Per-query candidate generation and Algorithm 1 (paper §IV-A, §VI-C).
+
+For each query the enumerator walks the reversed query path and emits,
+for every prefix segment (the prefix queries of Fig 5):
+
+* the materialized view answering the prefix with one get, for every
+  choice of partition-key entity among those with equality predicates;
+* the key-only variant (IDs only, attributes fetched separately);
+* relaxed variants that move a range or ORDER BY attribute out of the
+  clustering key (to be filtered/sorted client-side) or drop it entirely;
+
+plus join-segment indexes for every interior segment, and point-lookup
+"fetch" indexes for predicate attributes and selected attributes.  The
+workload-level entry point then folds in support-query candidates for
+every update (Algorithm 1) and closes the pool with Combine.
+"""
+
+from __future__ import annotations
+
+from repro.enumerator.combiner import combine_candidates
+from repro.enumerator.support import modifies, support_queries
+from repro.indexes.index import Index
+from repro.indexes.materialize import entity_fetch_index
+from repro.model.paths import KeyPath
+
+
+def _dedupe(fields):
+    return tuple(dict.fromkeys(fields))
+
+
+class CandidateEnumerator:
+    """Generates the candidate column-family pool for a workload.
+
+    ``relax`` enables the relaxed-predicate variants of §IV-A2 and
+    ``combine`` the candidate-combination step of §IV-A3; both are on by
+    default and exposed as switches for the ablation benchmarks.
+
+    ``grouped`` enables an *extension* the paper leaves as future work
+    (§VII-A: "NoSE is not currently capable of exploiting queries which
+    make use of GROUP BY"): materialized views whose clustering key
+    keeps only the target entity's ID, collapsing one row per join
+    tuple into one row per distinct result — the trick the paper's
+    human expert used for "items a user has bid on".  Correct because
+    query results are distinct tuples anyway (the application model's
+    final merge discards duplicates) and maintenance recomputes
+    affected rows from the ground truth; off by default to stay
+    faithful to the paper's enumerator.
+    """
+
+    def __init__(self, model, relax=True, combine=True, grouped=False):
+        self.model = model
+        self.relax = relax
+        self.combine = combine
+        self.grouped = grouped
+
+    # -- workload-level enumeration (Algorithm 1) ---------------------------
+
+    def candidates(self, workload):
+        """The full candidate pool for a workload, including support-query
+        candidates for updates, closed under Combine."""
+        pool = set()
+        for query in workload.queries:
+            pool |= self.enumerate_query(query)
+        updates = workload.updates
+        # run support enumeration twice: support queries may traverse
+        # paths not covered by any workload query (Algorithm 1)
+        for _round in range(2):
+            additions = set()
+            for update in updates:
+                for index in pool:
+                    if not modifies(update, index):
+                        continue
+                    for support in support_queries(update, index):
+                        additions |= self.enumerate_query(support)
+            pool |= additions
+        if self.combine:
+            pool |= combine_candidates(pool)
+        return sorted(pool, key=lambda index: index.key)
+
+    # -- per-query enumeration ------------------------------------------------
+
+    def enumerate_query(self, query):
+        """Candidate column families for a single query (§IV-A2)."""
+        candidates = set()
+        rpath = query.key_path.reverse() if len(query.key_path) > 1 \
+            else query.key_path
+        length = len(rpath)
+        conditions_at = {}
+        for condition in query.conditions:
+            position = rpath.index_of(condition.field.parent)
+            conditions_at.setdefault(position, []).append(condition)
+        select = tuple(query.select)
+        order_by = tuple(query.order_by)
+        # anchored prefix segments (the prefix queries of Fig 5)
+        for end in range(length):
+            segment = rpath[:end + 1]
+            segment_conditions = [c for position in range(end + 1)
+                                  for c in conditions_at.get(position, [])]
+            eq_entities = _dedupe(c.field.parent for c in segment_conditions
+                                  if c.is_equality)
+            if not eq_entities:
+                continue
+            is_final = end == length - 1
+            segment_select = select if is_final \
+                else (rpath[end].id_field,)
+            segment_order = order_by if all(
+                segment.includes(f.parent) for f in order_by) else ()
+            for hash_entity in eq_entities:
+                candidates |= self._anchored(segment, segment_conditions,
+                                             hash_entity, segment_select,
+                                             segment_order,
+                                             grouped_target=rpath[end]
+                                             if is_final else None)
+        # interior join segments
+        for start in range(length - 1):
+            for end in range(start + 1, length):
+                segment = rpath[start:end + 1]
+                segment_conditions = [
+                    c for position in range(start, end + 1)
+                    for c in conditions_at.get(position, [])]
+                is_final = end == length - 1
+                candidates |= self._join_segment(
+                    segment, segment_conditions,
+                    select if is_final else ())
+        # point lookups for predicate attributes and selected attributes
+        for condition in query.conditions:
+            entity = condition.field.parent
+            candidates.add(entity_fetch_index(entity, [condition.field]))
+            candidates.add(entity_fetch_index(entity))
+        by_entity = {}
+        for field in select:
+            by_entity.setdefault(field.parent, []).append(field)
+        for entity, fields in by_entity.items():
+            candidates.add(entity_fetch_index(entity, fields))
+            candidates.add(entity_fetch_index(entity))
+        return candidates
+
+    # -- candidate construction ---------------------------------------------------
+
+    def _anchored(self, segment, conditions, hash_entity, select, order_by,
+                  grouped_target=None):
+        """Materialized-view family for one prefix segment and one choice
+        of partition-key entity."""
+        eq_fields = [c.field for c in conditions
+                     if c.is_equality and c.field.parent is hash_entity]
+        if not eq_fields:
+            return set()
+        other_eq = [c.field for c in conditions
+                    if c.is_equality and c.field.parent is not hash_entity]
+        range_condition = next((c for c in conditions if c.is_range), None)
+        ids = [entity.id_field for entity in reversed(segment.entities)]
+        layouts = []
+        range_fields = [range_condition.field] if range_condition else []
+        if self.grouped and grouped_target is not None \
+                and all(field.parent is grouped_target
+                        for field in select):
+            # grouped view (GROUP BY extension): clustering keeps only
+            # the target's ID, collapsing duplicate results; every
+            # predicate/order attribute stays in the key so no data is
+            # lost to collisions
+            layouts.append((other_eq + list(order_by) + range_fields
+                            + [grouped_target.id_field], ()))
+        # served layout: range scanned via the clustering order
+        layouts.append((other_eq + list(order_by) + range_fields + ids, ()))
+        if self.relax and range_condition is not None:
+            # relaxation (§IV-A2): move the predicate attribute to the
+            # value columns (client-side filter) or drop it entirely
+            layouts.append((other_eq + list(order_by) + ids,
+                            (range_condition.field,)))
+            layouts.append((other_eq + list(order_by) + ids, ()))
+        if self.relax and order_by:
+            # order relaxation: sort client-side instead
+            layouts.append((other_eq + range_fields + ids,
+                            tuple(order_by)))
+        candidates = set()
+        for order_fields, forced_extra in layouts:
+            order_fields = [f for f in _dedupe(order_fields)
+                            if f not in eq_fields]
+            taken = set(eq_fields) | set(order_fields)
+            extras = _dedupe([f for f in forced_extra if f not in taken]
+                             + [f for f in select if f not in taken])
+            candidates.add(Index(eq_fields, order_fields, extras,
+                                 segment))
+            if extras:
+                candidates.add(Index(eq_fields, order_fields,
+                                     tuple(f for f in forced_extra
+                                           if f not in taken),
+                                     segment))
+        return candidates
+
+    def _join_segment(self, segment, conditions, select):
+        """Indexes chaining a plan across one interior segment: keyed by
+        the pivot entity's ID, clustering through to the frontier."""
+        pivot = segment.first.id_field
+        ids = [entity.id_field
+               for entity in reversed(segment.entities[1:])]
+        eq_fields = [c.field for c in conditions
+                     if c.is_equality and c.field is not pivot]
+        range_condition = next((c for c in conditions if c.is_range), None)
+        range_fields = [range_condition.field] if range_condition else []
+        layouts = [ids]
+        if eq_fields or range_fields:
+            layouts.append(eq_fields + range_fields + ids)
+        candidates = set()
+        for order_fields in layouts:
+            order_fields = [f for f in _dedupe(order_fields)
+                            if f is not pivot]
+            taken = {pivot, *order_fields}
+            extras = tuple(f for f in _dedupe(select) if f not in taken)
+            candidates.add(Index((pivot,), order_fields, (), segment))
+            if extras:
+                candidates.add(Index((pivot,), order_fields, extras,
+                                     segment))
+        return candidates

@@ -1,0 +1,238 @@
+"""Update/column-family interaction: Modifies? and Support (§VI-B, §VI-C).
+
+``modifies(update, index)`` is the paper's ``Modifies?`` predicate:
+whether executing the update requires maintaining the column family.
+``support_queries(update, index)`` builds the queries that fetch the
+primary-key attributes (and displaced values) of the affected rows so a
+valid put/delete can be constructed.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import PlanningError
+from repro.model.paths import KeyPath
+from repro.workload.conditions import Condition
+from repro.workload.statements import (
+    Connect,
+    Delete,
+    Insert,
+    SupportQuery,
+    Update,
+)
+
+
+def modifies(update, index):
+    """True when ``update`` requires modifying rows of ``index``."""
+    if isinstance(update, Insert):
+        return _insert_modifies(update, index)
+    if isinstance(update, Update):
+        return any(index.contains_field(f) for f in update.set_fields)
+    if isinstance(update, Delete):
+        return index.path.includes(update.entity)
+    if isinstance(update, Connect):
+        return _edge_position(update.relationship, index) is not None
+    return False
+
+
+def _insert_modifies(insert, index):
+    """An insert creates index rows only when the new entity row joins
+    onto the index path, i.e. the edges adjacent to the entity are
+    established by the insert's CONNECT clause."""
+    entity = insert.entity
+    position = index.path.index_of(entity)
+    if position < 0:
+        return False
+    own_fields = [f for f in index.all_fields if f.parent is entity]
+    if not own_fields:
+        return False
+    connected = set()
+    for key, _parameter in insert.connections:
+        connected.add(key)
+        if key.reverse is not None:
+            connected.add(key.reverse)
+    for adjacent in (position - 1, position):
+        if 0 <= adjacent < len(index.path.keys):
+            edge = index.path.keys[adjacent]
+            if edge not in connected and edge.reverse not in connected:
+                return False
+    return True
+
+
+def _edge_position(relationship, index):
+    """Position of a relationship edge on the index path, or None."""
+    for position, key in enumerate(index.path.keys):
+        if key is relationship or key is relationship.reverse:
+            return position
+    return None
+
+
+def _segment_between(index, start_entity, end_entity):
+    """The index-path segment from one entity to another, oriented from
+    ``start_entity``; a single-entity path when they coincide."""
+    start = index.path.index_of(start_entity)
+    end = index.path.index_of(end_entity)
+    if start < 0 or end < 0:
+        raise PlanningError(
+            f"entities {start_entity.name}/{end_entity.name} not on index "
+            f"path {index.path}")
+    if start == end:
+        return KeyPath(start_entity)
+    if start < end:
+        return index.path[start:end + 1]
+    return index.path[end:start + 1].reverse()
+
+
+def _needed_fields(update, index):
+    """Index fields whose values must be known to modify affected rows.
+
+    The §VI-B protocol rewrites every affected record (delete the old
+    record, insert the new one), so an UPDATE needs the full record —
+    keys *and* values — while a DELETE only needs the primary key.
+    Values the statement itself supplies (equality parameters, SET
+    values for non-key columns, CONNECT TO identifiers) need no query;
+    a SET field inside the record key still needs its *old* value to
+    address the record being deleted.
+    """
+    if isinstance(update, Update):
+        fields = index.all_fields
+    elif isinstance(update, Delete):
+        fields = index.key_fields
+    else:  # Insert / Connect / Disconnect create rows: full values needed
+        fields = index.all_fields
+    given = {f.id for f in update.given_fields}
+    if isinstance(update, Insert):
+        given.update(f.id for f in update.set_fields)
+        # CONNECT TO parameters supply the IDs of adjacent entities
+        given.update(key.entity.id_field.id
+                     for key, _parameter in update.connections)
+    elif isinstance(update, Update):
+        key_ids = {f.id for f in index.key_fields}
+        given.update(f.id for f in update.set_fields
+                     if f.id not in key_ids)
+    return [f for f in fields if f.id not in given]
+
+
+def _support_query(path, select, conditions, update, index, label):
+    owner = select[0].parent
+    fields = tuple(dict.fromkeys(list(select) + [owner.id_field]))
+    return SupportQuery(path, fields, conditions, update=update,
+                        index=index, label=label)
+
+
+def support_queries(update, index):
+    """All support queries needed to maintain ``index`` under ``update``.
+
+    Returns an empty list when the update does not modify the index or
+    when the update's parameters already identify the affected rows.
+    """
+    if not modifies(update, index):
+        return []
+    needed = _needed_fields(update, index)
+    if not needed:
+        return []
+    by_entity = {}
+    for field in needed:
+        by_entity.setdefault(field.parent, []).append(field)
+    queries = []
+    for number, (entity, fields) in enumerate(by_entity.items()):
+        builder = _support_path_and_conditions(update, index, entity)
+        if builder is None:
+            continue
+        path, conditions = builder
+        label = (f"{update.label or type(update).__name__}"
+                 f"__{index.key}__sq{number}")
+        queries.append(_support_query(path, fields, conditions, update,
+                                      index, label))
+    return queries
+
+
+def _support_path_and_conditions(update, index, entity):
+    """Path rooted at ``entity`` plus predicates locating affected rows."""
+    if isinstance(update, (Update, Delete)):
+        segment = _segment_between(index, entity, update.entity)
+        if len(update.key_path) > 1:
+            path = segment.concat(update.key_path)
+        else:
+            path = segment
+        return path, update.conditions
+    if isinstance(update, Insert):
+        return _insert_support(update, index, entity)
+    if isinstance(update, Connect):
+        return _connect_support(update, index, entity)
+    return None
+
+
+def _insert_support(insert, index, entity):
+    """Support for inserts: anchor at the entity named in the CONNECT
+    clause adjacent to the new row, since the new row itself cannot be
+    queried yet."""
+    if entity is insert.entity:
+        # values of the new row come from the SET clause, never a query
+        return None
+    new_position = index.path.index_of(insert.entity)
+    target_position = index.path.index_of(entity)
+    step = 1 if target_position > new_position else -1
+    adjacent = index.path[new_position + step]
+    parameter = None
+    for key, connect_parameter in insert.connections:
+        if key.entity is adjacent:
+            parameter = connect_parameter
+            break
+    if parameter is None:  # pragma: no cover - guarded by modifies()
+        return None
+    path = _segment_between(index, entity, adjacent)
+    condition = Condition(adjacent.id_field, "=", parameter)
+    return path, (condition,)
+
+
+def _connect_support(connect, index, entity):
+    """Support for CONNECT/DISCONNECT: each side of the new edge is
+    anchored by the ID parameter of that side's endpoint."""
+    position = _edge_position(connect.relationship, index)
+    if position is None:  # pragma: no cover - guarded by modifies()
+        return None
+    source = connect.entity
+    target = connect.relationship.entity
+    entity_position = index.path.index_of(entity)
+    # entities at path positions <= position are on one side of the edge
+    side_first = index.path[position]
+    on_first_side = entity_position <= position
+    side_entity = side_first if on_first_side else index.path[position + 1]
+    if side_entity is source:
+        anchor, parameter = source, connect.source_parameter
+    else:
+        anchor, parameter = target, connect.target_parameter
+    if entity is anchor:
+        path = KeyPath(entity)
+    else:
+        path = _segment_between(index, entity, anchor)
+    condition = Condition(anchor.id_field, "=", parameter)
+    return path, (condition,)
+
+
+def modified_row_counts(update, index):
+    """Estimated ``(deleted_rows, inserted_rows)`` in ``index``.
+
+    These drive the ``C'_mn`` terms of the BIP objective (Fig 10): the
+    put/delete work of keeping the column family consistent, charged only
+    when the optimizer includes it in the schema.
+    """
+    if not modifies(update, index):
+        return (0.0, 0.0)
+    rows_per_entity = index.entries / max(update.entity.count, 1)
+    if isinstance(update, Insert):
+        return (0.0, max(index.entries / max(update.entity.count, 1), 1.0))
+    if isinstance(update, Update):
+        # §VI-B protocol: every affected record is deleted and re-inserted
+        affected = max(update.matching_target_rows * rows_per_entity, 1.0)
+        return (affected, affected)
+    if isinstance(update, Delete):
+        affected = max(update.matching_target_rows * rows_per_entity, 1.0)
+        return (affected, 0.0)
+    # Connect / Disconnect: rows created or removed per link change
+    relationship = update.relationship
+    links = max(relationship.parent.count * relationship.fanout, 1.0)
+    rows = max(index.entries / links, 1.0)
+    if update.removes_link:
+        return (rows, 0.0)
+    return (0.0, rows)

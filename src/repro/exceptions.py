@@ -1,0 +1,50 @@
+"""Exception hierarchy for the NoSE reproduction.
+
+All errors raised by this package derive from :class:`NoseError`, so client
+code can catch a single exception type at the API boundary while still
+being able to distinguish failure modes.
+"""
+
+
+class NoseError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ModelError(NoseError):
+    """An entity graph is malformed or referenced inconsistently.
+
+    Raised, for example, when adding a duplicate entity, traversing a
+    relationship that does not exist, or building a key path whose edges
+    are not connected.
+    """
+
+
+class ParseError(NoseError):
+    """A workload statement could not be parsed or resolved.
+
+    Carries the offending statement text (when available) so callers can
+    report the failing input.
+    """
+
+    def __init__(self, message, text=None):
+        if text is not None:
+            message = f"{message} (in statement: {text!r})"
+        super().__init__(message)
+        self.text = text
+
+
+class PlanningError(NoseError):
+    """No valid implementation plan exists for a statement.
+
+    This signals that the candidate pool cannot answer a query — e.g. when
+    planning against a fixed, user-supplied schema that does not cover the
+    workload.
+    """
+
+
+class OptimizationError(NoseError):
+    """The schema optimization problem is infeasible or the solver failed."""
+
+
+class ExecutionError(NoseError):
+    """A plan could not be executed against the backend record store."""

@@ -1,0 +1,21 @@
+"""Column families: the physical schema objects NoSE recommends (§III-C).
+
+A column family maps a partition key to clustering-key-ordered columns,
+``K -> (C -> V)``.  We follow the paper's triple notation: an
+:class:`Index` is ``[hash fields][order fields][extra fields]`` defined
+over a path through the entity graph.
+"""
+
+from repro.indexes.index import Index
+from repro.indexes.materialize import (
+    entity_fetch_index,
+    id_index_for,
+    materialized_view_for,
+)
+
+__all__ = [
+    "Index",
+    "entity_fetch_index",
+    "id_index_for",
+    "materialized_view_for",
+]

@@ -1,0 +1,69 @@
+"""CQL3 DDL generation for recommended column families.
+
+The paper's prototype created its recommended column families on a live
+Cassandra cluster; this module emits the equivalent ``CREATE TABLE``
+statements so a recommendation can be deployed outside the simulator.
+"""
+
+from __future__ import annotations
+
+from repro.model.fields import (
+    BooleanField,
+    DateField,
+    Field,
+    FloatField,
+    ForeignKeyField,
+    IDField,
+    IntegerField,
+    StringField,
+)
+
+#: conceptual field type -> CQL column type
+_CQL_TYPES = (
+    (ForeignKeyField, "uuid"),
+    (IDField, "uuid"),
+    (BooleanField, "boolean"),
+    (IntegerField, "bigint"),
+    (FloatField, "double"),
+    (DateField, "timestamp"),
+    (StringField, "text"),
+)
+
+
+def cql_type(field):
+    """The CQL column type for a conceptual-model field."""
+    for field_type, cql in _CQL_TYPES:
+        if isinstance(field, field_type):
+            return cql
+    if isinstance(field, Field):
+        return "text"
+    raise TypeError(f"not a field: {field!r}")
+
+
+def column_name(field):
+    """Flatten ``Entity.Field`` into a CQL-safe column name."""
+    return field.id.replace(".", "_").lower()
+
+
+def create_table(index, keyspace=None):
+    """A ``CREATE TABLE`` statement for one column family."""
+    table = f"{keyspace}.{index.key}" if keyspace else index.key
+    lines = [f"CREATE TABLE \"{table}\" ("]
+    for field in index.all_fields:
+        lines.append(f"    \"{column_name(field)}\" {cql_type(field)},")
+    partition = ", ".join(f'"{column_name(field)}"'
+                          for field in index.hash_fields)
+    clustering = ", ".join(f'"{column_name(field)}"'
+                           for field in index.order_fields)
+    if clustering:
+        lines.append(f"    PRIMARY KEY (({partition}), {clustering})")
+    else:
+        lines.append(f"    PRIMARY KEY (({partition}))")
+    lines.append(");")
+    return "\n".join(lines)
+
+
+def create_schema(indexes, keyspace=None):
+    """DDL for a whole recommendation, one statement per column family."""
+    return "\n\n".join(create_table(index, keyspace=keyspace)
+                       for index in indexes)

@@ -1,0 +1,100 @@
+"""Constructing column families from queries (paper §IV-A1).
+
+For any query in the language we can build a *materialized view*: a
+column family answering the query with a single get.  Its partition key
+holds equality-predicate attributes, its clustering key carries the
+remaining predicate/ordering attributes followed by the IDs of every
+entity along the path (guaranteeing one record per join row — the paper
+notes the same), and its values are the selected attributes.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.indexes.index import Index
+from repro.model.paths import KeyPath
+
+
+def _dedupe(fields):
+    """Order-preserving de-duplication by field identity."""
+    return tuple(dict.fromkeys(fields))
+
+
+def _hash_entity_for(query):
+    """Default partition-key entity: the eq-predicate entity nearest the
+    far end of the query path (the anchor of the paper's decomposition)."""
+    best = None
+    for condition in query.eq_conditions:
+        position = query.key_path.index_of(condition.field.parent)
+        if best is None or position > best[0]:
+            best = (position, condition.field.parent)
+    if best is None:
+        raise ModelError(
+            f"query has no equality predicate to hash on: {query}")
+    return best[1]
+
+
+def materialized_view_for(query, hash_entity=None):
+    """The column family answering ``query`` with one get request.
+
+    ``hash_entity`` selects which entity's equality attributes form the
+    partition key (the enumerator tries each candidate entity, since e.g.
+    Fig 9 of the paper hashes on the target entity while Fig 3 hashes on
+    the far end of the path).  Remaining equality attributes become the
+    leading clustering columns, where a get can still bind them exactly.
+    """
+    if hash_entity is None:
+        hash_entity = _hash_entity_for(query)
+    hash_fields = tuple(c.field for c in query.eq_conditions
+                        if c.field.parent is hash_entity)
+    if not hash_fields:
+        raise ModelError(
+            f"entity {hash_entity.name!r} has no equality predicate in "
+            f"{query}")
+    other_eq = tuple(c.field for c in query.eq_conditions
+                     if c.field.parent is not hash_entity)
+    range_fields = ()
+    if query.range_condition is not None:
+        range_fields = (query.range_condition.field,)
+    order_by = tuple(getattr(query, "order_by", ()))
+    ids = tuple(entity.id_field for entity in query.key_path)
+    order_fields = _dedupe(other_eq + order_by + range_fields + ids)
+    taken = set(hash_fields)
+    order_fields = tuple(f for f in order_fields if f not in taken)
+    select = tuple(getattr(query, "select", ()))
+    taken.update(order_fields)
+    extra_fields = tuple(f for f in _dedupe(select) if f not in taken)
+    path = query.key_path.reverse() if len(query.key_path) > 1 \
+        else query.key_path
+    return Index(hash_fields, order_fields, extra_fields, path)
+
+
+def id_index_for(query, hash_entity=None):
+    """The key-only variant: same keys as the materialized view, no values.
+
+    Used when the optimizer prefers fetching the selected attributes
+    through a separate per-entity column family (§IV-A2).
+    """
+    view = materialized_view_for(query, hash_entity=hash_entity)
+    if not view.extra_fields:
+        return view
+    return Index(view.hash_fields, view.order_fields, (), view.path)
+
+
+def entity_fetch_index(entity, fields=None):
+    """A per-entity lookup column family ``[ID][][attributes]``.
+
+    Maps an entity's primary key to (by default all of) its attributes;
+    the second stage of the paper's two-step plans.
+    """
+    id_field = entity.id_field
+    if id_field is None:
+        raise ModelError(f"entity {entity.name!r} has no ID field")
+    if fields is None:
+        fields = entity.data_fields
+    extra = tuple(f for f in _dedupe(fields) if f is not id_field)
+    for field in extra:
+        if field.parent is not entity:
+            raise ModelError(
+                f"field {field.id} does not belong to {entity.name}")
+    return Index((id_field,), (), extra, KeyPath(entity))

@@ -1,0 +1,25 @@
+"""Serialization of models, workloads, and recommendations.
+
+The original prototype loaded applications from workload definition
+files; this package provides the equivalent: a stable JSON document
+format for conceptual models and weighted workloads (round-trippable),
+plus loaders used by the command line.
+"""
+
+from repro.io.serialize import (
+    dump_application,
+    load_application,
+    model_from_dict,
+    model_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+__all__ = [
+    "dump_application",
+    "load_application",
+    "model_from_dict",
+    "model_to_dict",
+    "workload_from_dict",
+    "workload_to_dict",
+]

@@ -1,0 +1,208 @@
+"""JSON document format for models and workloads.
+
+A complete application is one document::
+
+    {
+      "model": {
+        "name": "hotel",
+        "entities": [
+          {"name": "Hotel", "count": 100,
+           "id": "HotelID",
+           "fields": [
+             {"name": "HotelCity", "type": "string", "size": 12,
+              "cardinality": 20},
+             ...]},
+          ...],
+        "relationships": [
+          {"from": "Hotel", "forward": "Rooms",
+           "to": "Room", "reverse": "Hotel",
+           "kind": "one_to_many"},
+          ...]
+      },
+      "workload": {
+        "mix": "default",
+        "statements": [
+          {"label": "q1", "statement": "SELECT ...",
+           "weight": 2.0},
+          {"label": "q2", "statement": "SELECT ...",
+           "mixes": {"read": 3.0, "write": 0.5}},
+          ...]
+      }
+    }
+
+Field types map to the conceptual-model field classes; sizes and
+cardinalities are optional (class defaults / entity count apply).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.exceptions import ModelError, ParseError
+from repro.model import (
+    BooleanField,
+    DateField,
+    Entity,
+    FloatField,
+    ForeignKeyField,
+    IDField,
+    IntegerField,
+    Model,
+    StringField,
+)
+from repro.workload import Workload
+
+_FIELD_TYPES = {
+    "string": StringField,
+    "integer": IntegerField,
+    "float": FloatField,
+    "boolean": BooleanField,
+    "date": DateField,
+}
+
+_TYPE_NAMES = {cls: name for name, cls in _FIELD_TYPES.items()}
+
+
+# -- model ------------------------------------------------------------------
+
+
+def model_to_dict(model):
+    """Serialize a conceptual model to the document format."""
+    entities = []
+    relationships = []
+    seen_edges = set()
+    for entity in model.entities.values():
+        id_field = entity.id_field
+        fields = []
+        for field in entity.data_fields:
+            record = {"name": field.name,
+                      "type": _TYPE_NAMES.get(type(field), "string"),
+                      "size": field.size}
+            if field._cardinality is not None:
+                record["cardinality"] = field._cardinality
+            fields.append(record)
+        entities.append({
+            "name": entity.name,
+            "count": entity.count,
+            "id": id_field.name if id_field else None,
+            "fields": fields,
+        })
+        for key in entity.foreign_keys:
+            if key.id in seen_edges:
+                continue
+            seen_edges.add(key.id)
+            if key.reverse is not None:
+                seen_edges.add(key.reverse.id)
+            kind = {
+                ("one", "one"): "one_to_one",
+                ("many", "one"): "one_to_many",
+                ("one", "many"): "many_to_one",
+                ("many", "many"): "many_to_many",
+            }[(key.relationship,
+               key.reverse.relationship if key.reverse else "one")]
+            record = {
+                "from": entity.name, "forward": key.name,
+                "to": key.entity.name,
+                "reverse": key.reverse.name if key.reverse else None,
+                "kind": kind,
+            }
+            if key._avg_fanout is not None:
+                record["forward_fanout"] = key._avg_fanout
+            if key.reverse is not None \
+                    and key.reverse._avg_fanout is not None:
+                record["reverse_fanout"] = key.reverse._avg_fanout
+            relationships.append(record)
+    return {"name": model.name, "entities": entities,
+            "relationships": relationships}
+
+
+def model_from_dict(document):
+    """Rebuild a conceptual model from the document format."""
+    try:
+        model = Model(document.get("name", "model"))
+        for spec in document["entities"]:
+            entity = Entity(spec["name"], count=spec.get("count", 1))
+            if spec.get("id"):
+                entity.add_field(IDField(spec["id"]))
+            for field_spec in spec.get("fields", []):
+                field_type = _FIELD_TYPES.get(
+                    field_spec.get("type", "string"))
+                if field_type is None:
+                    raise ModelError(
+                        f"unknown field type {field_spec.get('type')!r}")
+                kwargs = {}
+                if "size" in field_spec:
+                    kwargs["size"] = field_spec["size"]
+                if "cardinality" in field_spec:
+                    kwargs["cardinality"] = field_spec["cardinality"]
+                entity.add_field(field_type(field_spec["name"],
+                                            **kwargs))
+            model.add_entity(entity)
+        for spec in document.get("relationships", []):
+            model.add_relationship(
+                spec["from"], spec["forward"], spec["to"],
+                spec["reverse"], kind=spec.get("kind", "one_to_many"),
+                forward_fanout=spec.get("forward_fanout"),
+                reverse_fanout=spec.get("reverse_fanout"))
+        return model.validate()
+    except KeyError as missing:
+        raise ModelError(
+            f"model document is missing key {missing}") from None
+
+
+# -- workload ------------------------------------------------------------------
+
+
+def workload_to_dict(workload):
+    """Serialize a workload; statements must carry their source text."""
+    statements = []
+    for label, statement in workload.statements.items():
+        if not statement.text:
+            raise ParseError(
+                f"statement {label!r} has no source text to serialize")
+        record = {"label": label, "statement": statement.text}
+        mixes = workload._weights[label]
+        if set(mixes) == {Workload.DEFAULT_MIX}:
+            record["weight"] = mixes[Workload.DEFAULT_MIX]
+        else:
+            record["mixes"] = dict(mixes)
+        statements.append(record)
+    return {"mix": workload.active_mix, "statements": statements}
+
+
+def workload_from_dict(model, document):
+    """Rebuild a workload over ``model`` from the document format."""
+    workload = Workload(model, mix=document.get("mix"))
+    try:
+        for record in document["statements"]:
+            workload.add_statement(
+                record["statement"],
+                weight=record.get("weight", 1.0),
+                label=record.get("label"),
+                mixes=record.get("mixes"))
+    except KeyError as missing:
+        raise ParseError(
+            f"workload document is missing key {missing}") from None
+    return workload
+
+
+# -- applications ------------------------------------------------------------------
+
+
+def load_application(path):
+    """Load ``(model, workload)`` from a JSON application file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    model = model_from_dict(document["model"])
+    workload = workload_from_dict(model, document.get(
+        "workload", {"statements": []}))
+    return model, workload
+
+
+def dump_application(model, workload, path):
+    """Write a model and workload to a JSON application file."""
+    document = {"model": model_to_dict(model),
+                "workload": workload_to_dict(workload)}
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2)
+    return path

@@ -1,0 +1,37 @@
+"""Conceptual data model: entities, attributes, relationships, paths.
+
+NoSE operates on an *entity graph* (a restricted entity-relationship
+model, §III-A of the paper): boxes are entity sets with typed attributes,
+edges are relationships with one-to-one / one-to-many / many-to-many
+cardinality.  Relationships are represented as pairs of foreign-key
+fields, one on each side, so that paths through the graph can be walked
+and reversed in either direction.
+"""
+
+from repro.model.entity import Entity
+from repro.model.fields import (
+    BooleanField,
+    DateField,
+    Field,
+    FloatField,
+    ForeignKeyField,
+    IDField,
+    IntegerField,
+    StringField,
+)
+from repro.model.graph import Model
+from repro.model.paths import KeyPath
+
+__all__ = [
+    "BooleanField",
+    "DateField",
+    "Entity",
+    "Field",
+    "FloatField",
+    "ForeignKeyField",
+    "IDField",
+    "IntegerField",
+    "KeyPath",
+    "Model",
+    "StringField",
+]

@@ -1,0 +1,110 @@
+"""Entity sets of the conceptual model."""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.model.fields import Field, ForeignKeyField, IDField
+
+
+class Entity:
+    """One entity set (a box in the entity graph, Fig 1 of the paper).
+
+    An entity has a name, a row count (used for all cardinality
+    estimation), exactly one :class:`~repro.model.fields.IDField`, any
+    number of data fields, and foreign keys linking it to other entities.
+
+    Fields are accessed by name with ``entity["FieldName"]``; data fields
+    and foreign keys live in separate namespaces internally but names must
+    be unique across both.
+    """
+
+    def __init__(self, name, count=1):
+        if not name or not isinstance(name, str):
+            raise ValueError("entity name must be a non-empty string")
+        if count < 1:
+            raise ValueError("entity count must be at least 1")
+        self.name = name
+        self.count = count
+        #: all fields (ID, data, and foreign keys) by name, insertion order
+        self.fields = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_field(self, field):
+        """Attach a field to this entity and return it.
+
+        Raises :class:`ModelError` on duplicate names or a second ID field.
+        """
+        if not isinstance(field, Field):
+            raise ModelError(f"not a field: {field!r}")
+        if field.name in self.fields:
+            raise ModelError(
+                f"duplicate field {field.name!r} on entity {self.name!r}")
+        if isinstance(field, IDField) and not isinstance(
+                field, ForeignKeyField) and self.id_field is not None:
+            raise ModelError(f"entity {self.name!r} already has an ID field")
+        field.parent = self
+        self.fields[field.name] = field
+        return field
+
+    def add_fields(self, *fields):
+        """Attach several fields at once; returns the entity for chaining."""
+        for field in fields:
+            self.add_field(field)
+        return self
+
+    # -- access ------------------------------------------------------------
+
+    def __getitem__(self, name):
+        try:
+            return self.fields[name]
+        except KeyError:
+            raise ModelError(
+                f"entity {self.name!r} has no field {name!r}") from None
+
+    def __contains__(self, name):
+        return name in self.fields
+
+    @property
+    def id_field(self):
+        """The entity's primary-key field, or None before one is added."""
+        for field in self.fields.values():
+            if isinstance(field, IDField) and not isinstance(
+                    field, ForeignKeyField):
+                return field
+        return None
+
+    @property
+    def data_fields(self):
+        """Non-key attributes, in insertion order."""
+        return [f for f in self.fields.values()
+                if not isinstance(f, (IDField, ForeignKeyField))]
+
+    @property
+    def foreign_keys(self):
+        """Foreign-key fields (relationship edges leaving this entity)."""
+        return [f for f in self.fields.values()
+                if isinstance(f, ForeignKeyField)]
+
+    @property
+    def attributes(self):
+        """ID field plus data fields — everything a query may select."""
+        id_field = self.id_field
+        head = [id_field] if id_field is not None else []
+        return head + self.data_fields
+
+    def validate(self):
+        """Check structural invariants; raises :class:`ModelError`."""
+        if self.id_field is None:
+            raise ModelError(f"entity {self.name!r} has no ID field")
+        for fk in self.foreign_keys:
+            if fk.reverse is None:
+                raise ModelError(
+                    f"foreign key {fk.id} has no reverse direction; "
+                    "add relationships through Model.add_relationship")
+
+    def __repr__(self):
+        return f"Entity({self.name!r}, count={self.count})"
+
+    def __str__(self):
+        return self.name

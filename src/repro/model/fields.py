@@ -1,0 +1,205 @@
+"""Attribute (field) types for entities in the conceptual model.
+
+Each field carries the two statistics the cost model needs:
+
+``size``
+    average encoded size of one value, in bytes, used for column-family
+    size estimation and the optional storage constraint (§V).
+
+``cardinality``
+    number of distinct values the attribute takes, used for predicate
+    selectivity and partition-count estimation.  For fields whose
+    cardinality is not set explicitly it defaults to the owning entity's
+    row count when the entity is known.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+
+class Field:
+    """An attribute of an entity in the conceptual model.
+
+    Subclasses fix the value type and a sensible default size.  Fields are
+    identified globally by ``"<Entity>.<name>"`` once attached to an
+    entity; identity-based hashing is deliberate, since a field object is
+    unique within a model.
+    """
+
+    #: default encoded size in bytes, overridden per subclass
+    default_size = 8
+    #: Python type of values held by this field (used for validation)
+    value_type: type = object
+
+    def __init__(self, name, size=None, cardinality=None):
+        if not name or not isinstance(name, str):
+            raise ValueError("field name must be a non-empty string")
+        self.name = name
+        self.size = self.default_size if size is None else size
+        self._cardinality = cardinality
+        #: owning entity, set by :meth:`repro.model.entity.Entity.add_field`
+        self.parent = None
+
+    @property
+    def id(self):
+        """Globally unique identifier, ``"<Entity>.<field>"``."""
+        parent = self.parent.name if self.parent is not None else "?"
+        return f"{parent}.{self.name}"
+
+    @property
+    def cardinality(self):
+        """Number of distinct values of this attribute.
+
+        Defaults to the owning entity's row count (every row distinct) and
+        is never reported larger than it.
+        """
+        count = self.parent.count if self.parent is not None else None
+        if self._cardinality is None:
+            return count if count is not None else 1
+        if count is not None:
+            return min(self._cardinality, count)
+        return self._cardinality
+
+    @cardinality.setter
+    def cardinality(self, value):
+        self._cardinality = value
+
+    def validate(self, value):
+        """Return True if ``value`` is an acceptable value for this field."""
+        return isinstance(value, self.value_type)
+
+    def __repr__(self):
+        return f"{type(self).__name__}({self.id!r})"
+
+    def __str__(self):
+        return self.id
+
+
+class IDField(Field):
+    """The primary-key attribute of an entity.
+
+    Every entity has exactly one ID field; its cardinality is always the
+    entity row count.
+    """
+
+    default_size = 16
+    value_type = (int, str)
+
+    @property
+    def cardinality(self):
+        if self.parent is not None:
+            return self.parent.count
+        return super().cardinality
+
+    @cardinality.setter
+    def cardinality(self, value):  # pragma: no cover - defensive
+        raise ValueError("the cardinality of an ID field is the entity count")
+
+
+class ForeignKeyField(Field):
+    """One direction of a relationship edge in the entity graph.
+
+    A foreign key on entity ``A`` named ``r`` pointing at entity ``B``
+    lets paths traverse ``A.r`` to reach ``B``.  ``relationship`` states
+    how many ``B`` rows one ``A`` row relates to:
+
+    ``"one"``
+        each ``A`` row relates to (at most) one ``B`` row;
+
+    ``"many"``
+        each ``A`` row relates to several ``B`` rows, on average
+        ``B.count / A.count`` unless ``avg_fanout`` overrides it (needed
+        for many-to-many relationships, where the ratio of entity counts
+        under-estimates the number of connections).
+
+    Relationships are created in pairs via
+    :meth:`repro.model.graph.Model.add_relationship`, which wires
+    ``reverse`` on both directions so paths can be reversed.
+    """
+
+    default_size = 16
+    value_type = (int, str)
+
+    def __init__(self, name, entity, relationship="one", size=None,
+                 avg_fanout=None):
+        if relationship not in ("one", "many"):
+            raise ValueError(
+                f"relationship must be 'one' or 'many', got {relationship!r}")
+        super().__init__(name, size=size)
+        #: the target :class:`~repro.model.entity.Entity`
+        self.entity = entity
+        self.relationship = relationship
+        self._avg_fanout = avg_fanout
+        #: the foreign key on ``entity`` pointing back at ``self.parent``
+        self.reverse = None
+
+    @property
+    def cardinality(self):
+        """Distinct values = number of rows in the target entity."""
+        return self.entity.count
+
+    @cardinality.setter
+    def cardinality(self, value):  # pragma: no cover - defensive
+        raise ValueError(
+            "the cardinality of a foreign key is the target entity count")
+
+    @property
+    def fanout(self):
+        """Average number of target rows reached from one source row."""
+        if self._avg_fanout is not None:
+            return self._avg_fanout
+        if self.relationship == "one":
+            return 1.0
+        source = self.parent.count if self.parent is not None else 1
+        return self.entity.count / max(source, 1)
+
+    def __repr__(self):
+        return (f"ForeignKeyField({self.id!r} -> {self.entity.name!r}, "
+                f"{self.relationship!r})")
+
+
+class StringField(Field):
+    """A variable-length string attribute; ``size`` is the average length."""
+
+    default_size = 10
+    value_type = str
+
+
+class IntegerField(Field):
+    """A 64-bit integer attribute."""
+
+    default_size = 8
+    value_type = int
+
+    def validate(self, value):
+        # bool is an int subclass but not a valid integer column value
+        return isinstance(value, int) and not isinstance(value, bool)
+
+
+class FloatField(Field):
+    """A double-precision floating point attribute."""
+
+    default_size = 8
+    value_type = (int, float)
+
+    def validate(self, value):
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+
+
+class BooleanField(Field):
+    """A boolean attribute (cardinality 2 unless overridden)."""
+
+    default_size = 1
+    value_type = bool
+
+    def __init__(self, name, size=None, cardinality=2):
+        super().__init__(name, size=size, cardinality=cardinality)
+
+
+class DateField(Field):
+    """A date/timestamp attribute, stored as :class:`datetime.datetime`."""
+
+    default_size = 8
+    value_type = datetime.datetime

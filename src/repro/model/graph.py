@@ -1,0 +1,169 @@
+"""The entity graph: the conceptual model NoSE designs schemas for."""
+
+from __future__ import annotations
+
+from repro.exceptions import ModelError
+from repro.model.entity import Entity
+from repro.model.fields import ForeignKeyField
+from repro.model.paths import KeyPath
+
+#: multiplicities of the forward/reverse foreign keys per relationship kind
+_RELATIONSHIP_KINDS = {
+    "one_to_one": ("one", "one"),
+    "one_to_many": ("many", "one"),
+    "many_to_one": ("one", "many"),
+    "many_to_many": ("many", "many"),
+}
+
+
+class Model:
+    """A named collection of entities connected by relationships.
+
+    This is the first input to the schema advisor (Fig 2 of the paper).
+    Entities are added with :meth:`add_entity`, relationships with
+    :meth:`add_relationship`, which creates a foreign key in each
+    direction so that paths can be traversed and reversed freely.
+
+    >>> model = Model("hotel")
+    >>> hotel = model.add_entity(Entity("Hotel", count=100))
+    """
+
+    def __init__(self, name="model"):
+        self.name = name
+        self.entities = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_entity(self, entity):
+        """Register an entity; names must be unique within the model."""
+        if not isinstance(entity, Entity):
+            raise ModelError(f"not an entity: {entity!r}")
+        if entity.name in self.entities:
+            raise ModelError(f"duplicate entity {entity.name!r}")
+        self.entities[entity.name] = entity
+        return entity
+
+    def add_relationship(self, source, forward_name, target, reverse_name,
+                         kind="one_to_many", forward_fanout=None,
+                         reverse_fanout=None):
+        """Connect two entities with a named, reversible relationship.
+
+        ``kind`` reads source-to-target: ``one_to_many`` means one source
+        row relates to many target rows (e.g. one Hotel has many Rooms via
+        ``model.add_relationship("Hotel", "Rooms", "Room", "Hotel")``).
+        ``forward_fanout`` / ``reverse_fanout`` override the default
+        average-fanout estimates, which is necessary for many-to-many
+        relationships where entity-count ratios under-estimate the number
+        of connections.
+
+        Returns the forward :class:`ForeignKeyField`.
+        """
+        if kind not in _RELATIONSHIP_KINDS:
+            raise ModelError(f"unknown relationship kind {kind!r}")
+        forward_rel, reverse_rel = _RELATIONSHIP_KINDS[kind]
+        source_entity = self.entity(source)
+        target_entity = self.entity(target)
+        if forward_fanout is not None and reverse_fanout is not None:
+            # both directions must describe the same number of
+            # connections, or join-cardinality estimates will depend on
+            # the traversal direction
+            forward_links = source_entity.count * forward_fanout
+            reverse_links = target_entity.count * reverse_fanout
+            if abs(forward_links - reverse_links) \
+                    > 1e-6 * max(forward_links, reverse_links, 1.0):
+                raise ModelError(
+                    f"inconsistent fanouts for {source_entity.name}-"
+                    f"{target_entity.name}: {forward_links:.0f} vs "
+                    f"{reverse_links:.0f} connections")
+        forward = ForeignKeyField(forward_name, target_entity,
+                                  relationship=forward_rel,
+                                  avg_fanout=forward_fanout)
+        reverse = ForeignKeyField(reverse_name, source_entity,
+                                  relationship=reverse_rel,
+                                  avg_fanout=reverse_fanout)
+        forward.reverse = reverse
+        reverse.reverse = forward
+        source_entity.add_field(forward)
+        target_entity.add_field(reverse)
+        return forward
+
+    # -- access -----------------------------------------------------------
+
+    def entity(self, name):
+        """Look up an entity, accepting an :class:`Entity` pass-through."""
+        if isinstance(name, Entity):
+            if self.entities.get(name.name) is not name:
+                raise ModelError(
+                    f"entity {name.name!r} does not belong to model "
+                    f"{self.name!r}")
+            return name
+        try:
+            return self.entities[name]
+        except KeyError:
+            raise ModelError(f"unknown entity {name!r}") from None
+
+    def __getitem__(self, name):
+        return self.entity(name)
+
+    def __contains__(self, name):
+        return name in self.entities
+
+    def field(self, entity_name, field_name):
+        """Convenience lookup of ``Entity.field``."""
+        return self.entity(entity_name)[field_name]
+
+    # -- paths ------------------------------------------------------------
+
+    def path(self, names):
+        """Build a :class:`KeyPath` from ``[entity, rel, rel, ...]`` names.
+
+        The first element names the starting entity; each following
+        element names a foreign key on the current entity.
+        """
+        if not names:
+            raise ModelError("a path needs at least an entity name")
+        current = self.entity(names[0])
+        keys = []
+        for rel_name in names[1:]:
+            key = current[rel_name]
+            if not isinstance(key, ForeignKeyField):
+                raise ModelError(
+                    f"{current.name}.{rel_name} is not a relationship")
+            keys.append(key)
+            current = key.entity
+        return KeyPath(self.entity(names[0]), keys)
+
+    # -- validation / introspection -----------------------------------------
+
+    def validate(self):
+        """Check every entity; raises :class:`ModelError` on problems."""
+        if not self.entities:
+            raise ModelError(f"model {self.name!r} has no entities")
+        for entity in self.entities.values():
+            entity.validate()
+        return self
+
+    @property
+    def relationship_count(self):
+        """Number of (undirected) relationships in the graph."""
+        return sum(len(e.foreign_keys) for e in self.entities.values()) // 2
+
+    def describe(self):
+        """Human-readable summary of the entity graph."""
+        lines = [f"Model {self.name!r}: {len(self.entities)} entities, "
+                 f"{self.relationship_count} relationships"]
+        for entity in self.entities.values():
+            lines.append(f"  {entity.name} (count={entity.count})")
+            for field in entity.fields.values():
+                if isinstance(field, ForeignKeyField):
+                    lines.append(
+                        f"    {field.name} -> {field.entity.name} "
+                        f"[{field.relationship}]")
+                else:
+                    lines.append(
+                        f"    {field.name}: {type(field).__name__}")
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"Model({self.name!r}, entities={len(self.entities)}, "
+                f"relationships={self.relationship_count})")

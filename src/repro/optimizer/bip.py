@@ -1,0 +1,297 @@
+"""Binary integer program for schema selection (paper §V, Fig 7 & Fig 10).
+
+The paper formulates schema choice with one variable per (query, column
+family) use plus per-column-family selection variables, tied together by
+per-query path constraints.  We solve the equivalent per-plan
+formulation: one binary variable per enumerated plan, exactly one plan
+per query, and plan variables dominated by the selection variables of
+every column family they touch.  Updates contribute the ``C'_mn`` terms
+of Fig 10 directly on the selection variables, and support queries are
+planned iff their column family is selected (an equality constraint on
+the plan variables).  After minimising cost, a second solve finds the
+smallest schema achieving that optimum, as §V describes.
+
+Solved with scipy's HiGHS MILP backend (substituting for Gurobi, which
+is unavailable offline); the formulation is identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+from scipy.sparse import csr_matrix
+
+from repro.exceptions import OptimizationError
+from repro.optimizer.results import SchemaRecommendation
+from repro.planner.plans import UpdatePlan
+
+
+class _Program:
+    """A fully materialized BIP instance, ready to optimize."""
+
+    def __init__(self, problem):
+        self.problem = problem
+        self.indexes = problem.indexes
+        self.index_column = {index.key: column
+                             for column, index in enumerate(self.indexes)}
+        self.columns = len(self.indexes)
+        self.costs = [0.0] * self.columns
+        #: (query, plan, column) for workload query plans
+        self.plan_columns = []
+        #: (update_plan, support query, plan, column)
+        self.support_columns = []
+        self._entries = []  # (row, column, value)
+        self._lower = []
+        self._upper = []
+        self._build()
+
+    # -- construction -----------------------------------------------------
+
+    def _new_row(self, lower, upper):
+        self._lower.append(lower)
+        self._upper.append(upper)
+        return len(self._lower) - 1
+
+    def _new_column(self, cost):
+        self.costs.append(cost)
+        column = self.columns
+        self.columns += 1
+        return column
+
+    def _build(self):
+        problem = self.problem
+        for query, plans in problem.query_plans.items():
+            weight = problem.weight(query)
+            choose_one = self._new_row(1.0, 1.0)
+            links = {}
+            for plan in plans:
+                column = self._new_column(weight * plan.cost)
+                self.plan_columns.append((query, plan, column))
+                self._entries.append((choose_one, column, 1.0))
+                self._link_plan(column, plan, links)
+        for update, update_plans in problem.update_plans.items():
+            weight = problem.weight(update)
+            for update_plan in update_plans:
+                index_column = self.index_column[update_plan.index.key]
+                self.costs[index_column] += weight * update_plan.update_cost
+                grouped = update_plan.support_plans_by_query
+                for support, plans in grouped.items():
+                    # one support plan iff the column family is selected
+                    gate = self._new_row(0.0, 0.0)
+                    self._entries.append((gate, index_column, -1.0))
+                    links = {}
+                    for plan in plans:
+                        column = self._new_column(weight * plan.cost)
+                        self.support_columns.append(
+                            (update_plan, support, plan, column))
+                        self._entries.append((gate, column, 1.0))
+                        self._link_plan(column, plan, links)
+        if problem.space_limit is not None:
+            space = self._new_row(-np.inf, float(problem.space_limit))
+            for index in self.indexes:
+                self._entries.append(
+                    (space, self.index_column[index.key], index.size))
+
+    def _link_plan(self, column, plan, links):
+        """Plan usable only when every column family it touches exists.
+
+        Links are aggregated per (statement, column family): since each
+        statement selects exactly one plan, ``sum of plans using j <= d_j``
+        is valid and gives a tighter LP relaxation than per-plan rows.
+        """
+        for index in plan.indexes:
+            row = links.get(index.key)
+            if row is None:
+                row = self._new_row(-np.inf, 0.0)
+                links[index.key] = row
+                self._entries.append(
+                    (row, self.index_column[index.key], -1.0))
+            self._entries.append((row, column, 1.0))
+
+    # -- solving --------------------------------------------------------------
+
+    def _matrix(self, extra_entries=(), extra_bounds=()):
+        entries = list(self._entries) + list(extra_entries)
+        lower = list(self._lower) + [b[0] for b in extra_bounds]
+        upper = list(self._upper) + [b[1] for b in extra_bounds]
+        rows = [e[0] for e in entries]
+        columns = [e[1] for e in entries]
+        values = [e[2] for e in entries]
+        matrix = csr_matrix((values, (rows, columns)),
+                            shape=(len(lower), self.columns))
+        return LinearConstraint(matrix, np.asarray(lower),
+                                np.asarray(upper))
+
+    def _solve(self, objective, constraints, options=None):
+        # Only the column-family selection variables need integrality:
+        # for any 0/1 selection, every plan whose column families are
+        # all selected is feasible on its own (the aggregated links
+        # allow x_p = 1), so a linear objective over the plan variables
+        # attains its optimum at a pure plan — fractional plan mixes
+        # can never beat the cheapest feasible plan.  Declaring the
+        # plan variables continuous cuts the binaries from thousands to
+        # the number of candidates.
+        integrality = np.zeros(self.columns)
+        integrality[:len(self.indexes)] = 1
+        result = milp(
+            c=np.asarray(objective),
+            constraints=constraints,
+            integrality=integrality,
+            bounds=Bounds(0, 1),
+            options=options or {},
+        )
+        acceptable = result.success or (result.status == 1
+                                        and result.x is not None)
+        if not acceptable:
+            raise OptimizationError(
+                f"BIP solve failed: {result.message}")
+        return result
+
+    def optimize(self, minimize_schema_size=True, mip_rel_gap=1e-4,
+                 time_limit=120.0):
+        """Two-phase solve: min cost, then min #column families.
+
+        ``mip_rel_gap`` and ``time_limit`` bound the branch-and-bound
+        effort; with a time limit the incumbent solution is returned
+        (still feasible, within the reported gap of optimal).
+        """
+        options = {"mip_rel_gap": mip_rel_gap, "time_limit": time_limit}
+        cost_vector = np.asarray(self.costs)
+        result = self._solve(self.costs, [self._matrix()], options)
+        best_cost = float(cost_vector @ result.x)
+        if minimize_schema_size:
+            # pin the cost at the incumbent — slack proportional to the
+            # MIP gap, so the second solve is never knife-edge — and
+            # minimise the number of selected column families
+            row = len(self._lower)
+            tolerance = (mip_rel_gap * abs(best_cost)
+                         + 1e-7 * (1.0 + abs(best_cost)))
+            cost_row = [(row, column, value)
+                        for column, value in enumerate(self.costs)
+                        if value != 0.0]
+            constraint = self._matrix(
+                extra_entries=cost_row,
+                extra_bounds=[(-np.inf, best_cost + tolerance)])
+            objective = [0.0] * self.columns
+            for column in range(len(self.indexes)):
+                objective[column] = 1.0
+            # the second solve only shrinks the schema at equal cost, so
+            # it gets a bounded budget and a loose gap (its objective is
+            # a small integer count); on failure the phase-1 solution is
+            # kept and _extract prunes unused column families
+            phase2_options = {
+                "mip_rel_gap": max(mip_rel_gap, 0.02),
+                "time_limit": min(time_limit, 30.0),
+            }
+            try:
+                result = self._solve(objective, [constraint],
+                                     phase2_options)
+            except OptimizationError:
+                pass
+        return self._extract(result, best_cost)
+
+    def _extract(self, result, total_cost):
+        selected = result.x > 0.5
+        # plan variables are continuous and may split across
+        # equal-cost alternatives; pick the highest-weight plan per
+        # statement (ties broken toward cheaper plans)
+        query_plans = {}
+        query_best = {}
+        for query, plan, column in self.plan_columns:
+            weight = result.x[column]
+            if weight < 1e-6:
+                continue
+            best = query_best.get(query)
+            if best is None or (weight, -plan.cost) > best:
+                query_best[query] = (weight, -plan.cost)
+                query_plans[query] = plan
+        chosen_support = {}
+        support_best = {}
+        for update_plan, support, plan, column in self.support_columns:
+            weight = result.x[column]
+            if weight < 1e-6:
+                continue
+            key = (id(update_plan), id(support))
+            best = support_best.get(key)
+            if best is None or (weight, -plan.cost) > best[0]:
+                support_best[key] = ((weight, -plan.cost), plan)
+        for (plan_id, _support_id), (_rank, plan) in support_best.items():
+            chosen_support.setdefault(plan_id, []).append(plan)
+        chosen_keys = self._used_keys(selected, query_plans,
+                                      chosen_support)
+        indexes = [index for index in self.indexes
+                   if index.key in chosen_keys]
+        update_plans = {}
+        for update, plans in self.problem.update_plans.items():
+            kept = []
+            for update_plan in plans:
+                if update_plan.index.key not in chosen_keys:
+                    continue
+                support = chosen_support.get(id(update_plan), [])
+                kept.append(UpdatePlan(update, update_plan.index, support,
+                                       update_plan.steps))
+            if kept:
+                update_plans[update] = kept
+        weights = {label: weight
+                   for label, weight in self.problem.weights.items()}
+        return SchemaRecommendation(indexes, query_plans, update_plans,
+                                    weights, total_cost)
+
+    def _used_keys(self, selected, query_plans, chosen_support):
+        """Selected column families actually needed by some chosen plan.
+
+        When the two-phase solve runs this matches the solver's minimal
+        selection; when it is skipped, cost-free selected-but-unused
+        column families are pruned here (dropping one never violates a
+        constraint: no chosen plan references it, and its maintenance
+        gates only bind when it is kept).
+        """
+        selected_keys = {self.indexes[column].key
+                         for column in range(len(self.indexes))
+                         if selected[column]}
+        used = set()
+        for plan in query_plans.values():
+            used.update(index.key for index in plan.indexes)
+        # fixpoint: keeping a column family keeps its support plans,
+        # whose lookups may require further column families
+        plans_by_target = {}
+        for update_plan, _support, _plan, _column in self.support_columns:
+            plans_by_target.setdefault(update_plan.index.key,
+                                       set()).add(id(update_plan))
+        frontier = set(used)
+        while frontier:
+            next_frontier = set()
+            for key in frontier:
+                for plan_id in plans_by_target.get(key, ()):
+                    for chosen in chosen_support.get(plan_id, []):
+                        for index in chosen.indexes:
+                            if index.key not in used:
+                                next_frontier.add(index.key)
+            used |= next_frontier
+            frontier = next_frontier
+        return used & selected_keys
+
+
+class BIPOptimizer:
+    """Facade exposing BIP construction and solving as separate stages,
+    so the advisor can report the paper's Fig 13 runtime breakdown."""
+
+    def __init__(self, minimize_schema_size=True, mip_rel_gap=1e-4,
+                 time_limit=120.0):
+        self.minimize_schema_size = minimize_schema_size
+        self.mip_rel_gap = mip_rel_gap
+        self.time_limit = time_limit
+
+    def prepare(self, problem):
+        """Construct the program (the 'BIP construction' stage)."""
+        return _Program(problem)
+
+    def optimize(self, program):
+        """Solve a prepared program (the 'BIP solving' stage)."""
+        return program.optimize(self.minimize_schema_size,
+                                mip_rel_gap=self.mip_rel_gap,
+                                time_limit=self.time_limit)
+
+    def solve(self, problem):
+        """Construct and solve in one call."""
+        return self.optimize(self.prepare(problem))

@@ -1,0 +1,66 @@
+"""The schema-design optimization problem instance."""
+
+from __future__ import annotations
+
+from repro.exceptions import OptimizationError
+
+
+class OptimizationProblem:
+    """Everything the optimizers need, in one container.
+
+    ``query_plans`` maps each workload query to its (costed) plan space;
+    ``update_plans`` maps each update to its list of
+    :class:`~repro.planner.plans.UpdatePlan` (one per modified candidate
+    column family, support plans costed).  ``weights`` maps statements to
+    their workload weights.  ``space_limit`` optionally bounds the total
+    estimated size of the recommended schema in bytes.
+    """
+
+    def __init__(self, query_plans, update_plans, weights,
+                 space_limit=None):
+        self.query_plans = dict(query_plans)
+        self.update_plans = dict(update_plans)
+        self.weights = dict(weights)
+        self.space_limit = space_limit
+        for query, plans in self.query_plans.items():
+            if not plans:
+                raise OptimizationError(
+                    f"query has an empty plan space: {query.text or query!r}")
+
+    @property
+    def indexes(self):
+        """Every candidate column family referenced by any plan."""
+        seen = {}
+        for plans in self.query_plans.values():
+            for plan in plans:
+                for index in plan.indexes:
+                    seen.setdefault(index.key, index)
+        for update_plans in self.update_plans.values():
+            for update_plan in update_plans:
+                seen.setdefault(update_plan.index.key, update_plan.index)
+                for plan in update_plan.support_plans:
+                    for index in plan.indexes:
+                        seen.setdefault(index.key, index)
+        return list(seen.values())
+
+    def weight(self, statement):
+        try:
+            return self.weights[statement.label]
+        except KeyError:
+            raise OptimizationError(
+                f"no weight for statement {statement.label!r}") from None
+
+    @property
+    def size(self):
+        """Rough problem size: (candidates, query plans, support plans)."""
+        query_plan_count = sum(len(p) for p in self.query_plans.values())
+        support_plan_count = sum(
+            len(up.support_plans)
+            for plans in self.update_plans.values() for up in plans)
+        return (len(self.indexes), query_plan_count, support_plan_count)
+
+    def __repr__(self):
+        candidates, query_plans, support_plans = self.size
+        return (f"OptimizationProblem(candidates={candidates}, "
+                f"query_plans={query_plans}, "
+                f"support_plans={support_plans})")

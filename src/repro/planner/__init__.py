@@ -1,0 +1,36 @@
+"""Query and update planning (paper §IV-B, §IV-C, §VI-B).
+
+The planner enumerates, for each statement, the space of implementation
+plans available over a pool of candidate column families.  Plans are
+sequences of the application model's four primitive operations — get
+(:class:`IndexLookupStep`), filter, sort, join (chained lookups) — plus
+put/delete steps for updates.  The optimizer later selects one plan per
+statement.
+"""
+
+from repro.planner.plans import QueryPlan, UpdatePlan
+from repro.planner.query_planner import QueryPlanner
+from repro.planner.steps import (
+    DeleteStep,
+    FilterStep,
+    IndexLookupStep,
+    InsertStep,
+    LimitStep,
+    PlanStep,
+    SortStep,
+)
+from repro.planner.update_planner import UpdatePlanner
+
+__all__ = [
+    "DeleteStep",
+    "FilterStep",
+    "IndexLookupStep",
+    "InsertStep",
+    "LimitStep",
+    "PlanStep",
+    "QueryPlan",
+    "QueryPlanner",
+    "SortStep",
+    "UpdatePlan",
+    "UpdatePlanner",
+]

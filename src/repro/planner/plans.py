@@ -1,0 +1,136 @@
+"""Plan containers: one implementation strategy for one statement."""
+
+from __future__ import annotations
+
+from repro.planner.steps import DeleteStep, IndexLookupStep, InsertStep
+
+
+class QueryPlan:
+    """A sequence of primitive steps answering one query.
+
+    Plans are comparable by cost once a cost model has annotated their
+    steps; ``indexes`` is the set of column families the plan requires,
+    which is what the optimizer's BIP links plan choice to schema choice
+    with.
+    """
+
+    def __init__(self, query, steps):
+        self.query = query
+        self.steps = tuple(steps)
+
+    @property
+    def indexes(self):
+        """Distinct column families used, in first-use order."""
+        seen = {}
+        for step in self.steps:
+            if isinstance(step, IndexLookupStep):
+                seen.setdefault(step.index.key, step.index)
+        return tuple(seen.values())
+
+    @property
+    def lookup_steps(self):
+        return tuple(s for s in self.steps
+                     if isinstance(s, IndexLookupStep))
+
+    @property
+    def cost(self):
+        """Total plan cost; requires a prior cost-model pass."""
+        total = 0.0
+        for step in self.steps:
+            if step.cost is None:
+                raise ValueError(
+                    f"step {step!r} has no cost; run a cost model first")
+            total += step.cost
+        return total
+
+    @property
+    def cardinality(self):
+        """Estimated number of result rows."""
+        return self.steps[-1].cardinality if self.steps else 0.0
+
+    @property
+    def signature(self):
+        """Stable identity for de-duplication within a plan space."""
+        parts = []
+        for step in self.steps:
+            if isinstance(step, IndexLookupStep):
+                parts.append(f"L:{step.index.key}")
+            else:
+                parts.append(type(step).__name__[0])
+        return "|".join(parts)
+
+    def describe(self):
+        lines = [f"Plan for {self.query.label or self.query}:"]
+        lines.extend(f"  {i + 1}. {step.describe()}"
+                     for i, step in enumerate(self.steps))
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"QueryPlan({self.signature})"
+
+
+class UpdatePlan:
+    """Maintenance of one column family under one update statement (§VI-B).
+
+    Consists of the support query plans that locate the affected rows,
+    followed by delete and/or insert steps against the maintained column
+    family.  The optimizer charges ``cost`` only when the column family
+    is part of the recommended schema.
+    """
+
+    def __init__(self, update, index, support_plans, steps):
+        self.update = update
+        self.index = index
+        self.support_plans = tuple(support_plans)
+        self.steps = tuple(steps)
+
+    @property
+    def update_steps(self):
+        return tuple(s for s in self.steps
+                     if isinstance(s, (InsertStep, DeleteStep)))
+
+    @property
+    def update_cost(self):
+        """Cost of the put/delete work alone (C'_mn in the paper's BIP)."""
+        total = 0.0
+        for step in self.steps:
+            if step.cost is None:
+                raise ValueError(
+                    f"step {step!r} has no cost; run a cost model first")
+            total += step.cost
+        return total
+
+    @property
+    def cost(self):
+        """Update cost plus the cost of the cheapest support-query plans.
+
+        Used by reporting and the brute-force optimizer; the BIP instead
+        lets the solver choose support-query plans jointly.
+        """
+        total = self.update_cost
+        for plans in self.support_plans_by_query.values():
+            total += min(plan.cost for plan in plans)
+        return total
+
+    @property
+    def support_plans_by_query(self):
+        """Support-query plan spaces, grouped per support query."""
+        grouped = {}
+        for plan in self.support_plans:
+            grouped.setdefault(plan.query, []).append(plan)
+        return grouped
+
+    def describe(self):
+        label = self.update.label or str(self.update)
+        lines = [f"Maintenance of {self.index.key} under {label}:"]
+        for query, plans in self.support_plans_by_query.items():
+            best = min(plans, key=lambda p: p.cost if p.steps
+                       and p.steps[0].cost is not None else 0)
+            lines.append(f"  support: {query.text or query}")
+            lines.extend(f"    {step.describe()}" for step in best.steps)
+        lines.extend(f"  {step.describe()}" for step in self.update_steps)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return (f"UpdatePlan({self.update.label or type(self.update).__name__}"
+                f" on {self.index.key})")

@@ -1,0 +1,381 @@
+"""Plan-space enumeration for queries (paper §IV-C).
+
+A plan answers a query by walking the query's path *backwards* — from the
+far end (where the anchoring equality predicates usually live) toward the
+target entity — through a chain of get requests, exactly mirroring the
+prefix/remainder decomposition of Fig 5.  Each get advances the frontier
+across one contiguous path segment using a column family defined over
+that segment; predicates are served inside the get (partition key and
+clustering-prefix binding), applied as client-side filters when the
+column family stores the attribute, or resolved through an extra point
+lookup ("fetch") on the attribute's entity followed by a filter — the
+CF2/CF5 pattern of Fig 6.
+
+The planner enumerates every such chain over a pool of candidate column
+families and returns the resulting plan space.  Costs are *not* assigned
+here; the advisor runs a separate cost-calculation pass so the runtime
+decomposition of Fig 13 can be reported.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.exceptions import PlanningError
+from repro.planner.plans import QueryPlan
+from repro.planner.steps import (
+    FilterStep,
+    IndexLookupStep,
+    LimitStep,
+    SortStep,
+)
+
+
+class _Binding:
+    """How one column family serves one get in a plan: which predicates
+    bind the partition/clustering keys, which become client filters, and
+    which are left pending for a later fetch."""
+
+    __slots__ = ("eq_fields", "range_condition", "filters", "pending",
+                 "served", "per_binding_raw", "order_served")
+
+    def __init__(self, eq_fields, range_condition, filters, pending,
+                 served, per_binding_raw, order_served):
+        self.eq_fields = eq_fields
+        self.range_condition = range_condition
+        self.filters = filters
+        self.pending = pending
+        self.served = served
+        self.per_binding_raw = per_binding_raw
+        self.order_served = order_served
+
+
+class QueryPlanner:
+    """Enumerates the space of implementation plans for queries.
+
+    ``indexes`` is the candidate pool (or a fixed schema, when planning
+    against a user-supplied design).  ``max_plans`` bounds the plan space
+    per query to keep the optimizer's program tractable.
+    """
+
+    def __init__(self, model, indexes, max_plans=500):
+        self.model = model
+        self.pool = list(dict.fromkeys(indexes))
+        self.max_plans = max_plans
+        self._segments = {}
+        self._fetches = {}
+        for index in self.pool:
+            for segment_key, single in _servable_segments(index):
+                self._segments.setdefault(segment_key, []).append(index)
+                if single is not None \
+                        and index.hash_fields == (single.id_field,):
+                    self._fetches.setdefault(single.name,
+                                             []).append(index)
+
+    # -- public API ---------------------------------------------------------
+
+    def plans_for(self, query, require=True, max_plans=None):
+        """All plans for ``query`` over the pool, deduplicated.
+
+        Raises :class:`PlanningError` when ``require`` is set and no plan
+        exists (i.e. the pool cannot answer the query).  ``max_plans``
+        overrides the planner-wide cap for this query.
+        """
+        rpath = query.key_path.reverse() if len(query.key_path) > 1 \
+            else query.key_path
+        plans = {}
+        state = _PlannerState(self, query, rpath, plans,
+                              max_plans or self.max_plans)
+        state.advance(-1, (), 1.0, frozenset(), frozenset(), False)
+        if require and not plans:
+            raise PlanningError(
+                f"no plan found for query: {query.text or query!r}")
+        return list(plans.values())
+
+    def plan_all(self, queries, require=True):
+        """Plan spaces for many queries: ``{query: [plans]}``."""
+        return {query: self.plans_for(query, require=require)
+                for query in queries}
+
+    def best_plan(self, query, cost_model):
+        """Cost all plans and return the cheapest one."""
+        plans = self.plans_for(query)
+        for plan in plans:
+            cost_model.cost_plan(plan)
+        return min(plans, key=lambda p: p.cost)
+
+    # -- pool access ----------------------------------------------------------
+
+    def segment_indexes(self, segment):
+        """Pool indexes defined over exactly this path segment."""
+        return self._segments.get(segment.signature, [])
+
+    def fetch_indexes(self, entity, fields):
+        """Point-lookup indexes ``[E.id][][...]`` covering ``fields``."""
+        options = self._fetches.get(entity.name, [])
+        return [index for index in options if index.covers(fields)]
+
+
+def _servable_segments(index):
+    """Path segments an index can serve without duplicating rows.
+
+    An index always serves its own path (either orientation).  It can
+    additionally serve a contiguous sub-path when every trimmed edge,
+    oriented away from the kept segment, is a to-one relationship — the
+    paper's "possibly larger" column families (a suffix on the
+    clustering key or extra data does not change the join's row count).
+    Yields ``(path signature, entity-or-None)`` pairs, the entity being
+    set for single-entity segments (fetch candidates).
+    """
+    path = index.path
+    length = len(path)
+    produced = set()
+    for start in range(length):
+        if any(key.reverse is None or key.reverse.relationship != "one"
+               for key in path.keys[:start]):
+            continue
+        for end in range(length - 1, start - 1, -1):
+            if any(key.relationship != "one" for key in path.keys[end:]):
+                continue
+            signature = path[start:end + 1].signature
+            if signature in produced:
+                continue
+            produced.add(signature)
+            single = path.entities[start] if start == end else None
+            yield signature, single
+
+
+class _PlannerState:
+    """Depth-first enumeration of lookup chains for one query."""
+
+    def __init__(self, planner, query, rpath, plans, max_plans):
+        self.planner = planner
+        self.query = query
+        self.rpath = rpath
+        self.plans = plans
+        self.max_plans = max_plans
+        self.length = len(rpath)
+        self.order_by = tuple(query.order_by) \
+            if hasattr(query, "order_by") else ()
+        # conditions assigned to the first reversed-path position covering
+        # their entity
+        self.conditions_at = {}
+        for condition in query.conditions:
+            position = rpath.index_of(condition.field.parent)
+            self.conditions_at.setdefault(position, []).append(condition)
+
+    # -- recursion ------------------------------------------------------------
+
+    def advance(self, position, steps, cardinality, consumed, available,
+                order_served):
+        """Extend the chain from frontier ``position`` (-1 = nothing yet)."""
+        if len(self.plans) >= self.max_plans:
+            return
+        if position == self.length - 1:
+            self._finalize(steps, cardinality, available, order_served)
+            return
+        start = max(position, 0)
+        pivot = None if position < 0 else self.rpath[position].id_field
+        if pivot is not None and pivot.id not in available:
+            return
+        # explore the longest segments first: the single-get materialized
+        # view plan is always found before the plan cap can bite
+        first_end = start + (0 if position < 0 else 1)
+        for end in range(self.length - 1, first_end - 1, -1):
+            segment = self.rpath[start:end + 1]
+            span = range(start if position < 0 else position,
+                         end + 1)
+            segment_conditions = self._conditions_in(span, consumed)
+            for index in self.planner.segment_indexes(segment):
+                binding = self._bind(index, segment_conditions, pivot)
+                if binding is None:
+                    continue
+                self._emit(index, segment, binding, position, end, steps,
+                           cardinality, consumed, available, order_served)
+
+    def _conditions_in(self, positions, consumed):
+        conditions = []
+        for position in positions:
+            for condition in self.conditions_at.get(position, []):
+                if condition.field.id not in consumed:
+                    conditions.append(condition)
+        return conditions
+
+    def _bind(self, index, conditions, pivot):
+        """Work out how ``index`` can serve one get over its segment."""
+        by_field = {c.field.id: c for c in conditions}
+        served = []
+        eq_fields = []
+        per_binding_raw = index.entries
+        for field in index.hash_fields:
+            if pivot is not None and field is pivot:
+                eq_fields.append(field)
+                per_binding_raw /= max(field.parent.count, 1)
+                continue
+            condition = by_field.get(field.id)
+            if condition is None or not condition.is_equality:
+                return None
+            served.append(condition)
+            eq_fields.append(field)
+            per_binding_raw *= condition.selectivity
+        # clustering prefix: bind equalities greedily, then one range
+        position = 0
+        order_fields = index.order_fields
+        while position < len(order_fields):
+            condition = by_field.get(order_fields[position].id)
+            if condition is None or not condition.is_equality \
+                    or condition in served:
+                break
+            served.append(condition)
+            eq_fields.append(order_fields[position])
+            per_binding_raw *= condition.selectivity
+            position += 1
+        eq_prefix_end = position
+        range_condition = None
+        if position < len(order_fields):
+            condition = by_field.get(order_fields[position].id)
+            if condition is not None and condition.is_range:
+                range_condition = condition
+                served.append(condition)
+                per_binding_raw *= condition.selectivity
+                position += 1
+        # results come back sorted by the clustering columns that follow
+        # the equality-bound prefix (a bound range column still orders its
+        # rows), so the ordering is served when those columns lead with
+        # the query's ORDER BY list
+        remaining = tuple(order_fields[eq_prefix_end:])
+        order_served = bool(self.order_by) \
+            and remaining[:len(self.order_by)] == self.order_by
+        filters = []
+        pending = []
+        for condition in conditions:
+            if condition in served:
+                continue
+            if index.contains_field(condition.field):
+                filters.append(condition)
+            else:
+                pending.append(condition)
+        return _Binding(tuple(eq_fields), range_condition, tuple(filters),
+                        tuple(pending), tuple(served), per_binding_raw,
+                        order_served)
+
+    def _emit(self, index, segment, binding, position, end, steps,
+              cardinality, consumed, available, order_served):
+        """Create the lookup (+ filter/fetch) steps and recurse."""
+        bindings = cardinality
+        raw_rows = max(bindings * binding.per_binding_raw, 0.0)
+        out = raw_rows
+        new_steps = list(steps)
+        lookup = IndexLookupStep(
+            index, bindings, raw_rows, out,
+            eq_fields=binding.eq_fields,
+            range_field=(binding.range_condition.field
+                         if binding.range_condition else None),
+            order_served=binding.order_served)
+        new_steps.append(lookup)
+        new_available = set(available)
+        new_available.update(f.id for f in index.all_fields)
+        new_consumed = set(consumed)
+        new_consumed.update(c.field.id for c in binding.served)
+        if binding.filters:
+            filtered = out
+            for condition in binding.filters:
+                filtered *= condition.selectivity
+                new_consumed.add(condition.field.id)
+            new_steps.append(FilterStep(binding.filters, out, filtered))
+            out = filtered
+        # the first (and only) lookup of a plan can serve the ordering;
+        # later joins interleave partitions and lose it
+        new_order = binding.order_served if position < 0 else False
+        fetch_groups = self._fetch_options(binding.pending, new_available)
+        if fetch_groups is None:
+            return
+        for fetch_combo in fetch_groups:
+            combo_steps = list(new_steps)
+            combo_out = out
+            combo_consumed = set(new_consumed)
+            combo_available = set(new_available)
+            for fetch_index, fetch_conditions in fetch_combo:
+                fetch = IndexLookupStep(
+                    fetch_index, combo_out, combo_out, combo_out,
+                    eq_fields=fetch_index.hash_fields, is_fetch=True)
+                combo_steps.append(fetch)
+                combo_available.update(
+                    f.id for f in fetch_index.all_fields)
+                filtered = combo_out
+                for condition in fetch_conditions:
+                    filtered *= condition.selectivity
+                    combo_consumed.add(condition.field.id)
+                combo_steps.append(
+                    FilterStep(fetch_conditions, combo_out, filtered))
+                combo_out = filtered
+            self.advance(end, tuple(combo_steps), max(combo_out, 0.0),
+                         frozenset(combo_consumed),
+                         frozenset(combo_available), new_order)
+
+    def _fetch_options(self, pending, available):
+        """Ways to resolve pending predicates via point lookups.
+
+        Returns a list of alternatives, each a tuple of
+        ``(fetch index, conditions filtered after it)``; None when some
+        predicate cannot be resolved with the current pool.
+        """
+        if not pending:
+            return [()]
+        by_entity = {}
+        for condition in pending:
+            by_entity.setdefault(condition.field.parent, []).append(condition)
+        per_entity_options = []
+        for entity, conditions in by_entity.items():
+            if entity.id_field.id not in available:
+                return None
+            fields = [c.field for c in conditions]
+            options = self.planner.fetch_indexes(entity, fields)
+            if not options:
+                return None
+            per_entity_options.append(
+                [(index, tuple(conditions)) for index in options])
+        return [tuple(combo) for combo
+                in itertools.product(*per_entity_options)]
+
+    # -- plan completion ---------------------------------------------------------
+
+    def _finalize(self, steps, cardinality, available, order_served):
+        """Resolve remaining select fields, ordering and limit; record."""
+        select = tuple(getattr(self.query, "select", ()))
+        needed = dict.fromkeys(select)
+        if self.order_by and not order_served:
+            # a client-side sort needs the ordering attributes fetched
+            needed.update(dict.fromkeys(self.order_by))
+        missing = [f for f in needed if f.id not in available]
+        variants = [()]
+        if missing:
+            by_entity = {}
+            for field in missing:
+                by_entity.setdefault(field.parent, []).append(field)
+            per_entity = []
+            for entity, fields in by_entity.items():
+                if entity.id_field.id not in available:
+                    return
+                options = self.planner.fetch_indexes(entity, fields)
+                if not options:
+                    return
+                per_entity.append(options)
+            variants = [tuple(combo)
+                        for combo in itertools.product(*per_entity)]
+        for fetch_indexes in variants:
+            final_steps = list(steps)
+            out = cardinality
+            for fetch_index in fetch_indexes:
+                final_steps.append(IndexLookupStep(
+                    fetch_index, out, out, out,
+                    eq_fields=fetch_index.hash_fields, is_fetch=True))
+            if self.order_by and not order_served:
+                final_steps.append(SortStep(self.order_by, out))
+            limit = getattr(self.query, "limit", None)
+            if limit is not None:
+                final_steps.append(LimitStep(limit, out))
+            plan = QueryPlan(self.query, final_steps)
+            self.plans.setdefault(plan.signature, plan)
+            if len(self.plans) >= self.max_plans:
+                return

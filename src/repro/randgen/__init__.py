@@ -1,0 +1,13 @@
+"""Random workload generation for advisor-scalability experiments.
+
+Implements the paper's §VII-B methodology: entity graphs drawn from the
+Watts–Strogatz small-world model (edges directed randomly, a foreign key
+created at the head node), random attributes per entity, and statements
+defined by random walks through the graph with randomly generated
+predicates.
+"""
+
+from repro.randgen.network import random_model
+from repro.randgen.statements import random_workload
+
+__all__ = ["random_model", "random_workload"]

@@ -1,0 +1,61 @@
+"""Random entity graphs based on the Watts–Strogatz model (§VII-B).
+
+"The entity graph generation is based on the Watts-Strogatz random
+graph model.  After generating the graph, we randomly assign a direction
+to each edge and create a foreign key at the head node.  We then add a
+random number of attributes to each entity in the graph."
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx
+
+from repro.model import (
+    Entity,
+    FloatField,
+    IDField,
+    IntegerField,
+    Model,
+    StringField,
+)
+
+_FIELD_TYPES = (StringField, IntegerField, FloatField)
+
+
+def random_model(entities=8, seed=0, mean_degree=4, rewire_probability=0.3,
+                 min_attributes=2, max_attributes=6, min_count=100,
+                 max_count=100_000):
+    """Generate a random entity graph with ``entities`` entity sets.
+
+    Returns a validated :class:`~repro.model.Model`.  The graph is
+    connected (``connected_watts_strogatz_graph``), so every pair of
+    entities is reachable and random walks can always proceed.
+    """
+    rng = random.Random(seed)
+    degree = min(mean_degree, entities - 1)
+    graph = networkx.connected_watts_strogatz_graph(
+        entities, max(degree, 2), rewire_probability,
+        seed=rng.randrange(2 ** 31))
+    model = Model(f"random_{seed}")
+    for node in graph.nodes:
+        entity = Entity(f"E{node}",
+                        count=rng.randint(min_count, max_count))
+        entity.add_field(IDField(f"E{node}ID"))
+        for attribute in range(rng.randint(min_attributes,
+                                           max_attributes)):
+            field_type = rng.choice(_FIELD_TYPES)
+            entity.add_field(field_type(
+                f"E{node}A{attribute}",
+                cardinality=rng.randint(2, entity.count)))
+        model.add_entity(entity)
+    for edge_number, (left, right) in enumerate(sorted(graph.edges)):
+        # random direction: the head node holds the foreign key
+        if rng.random() < 0.5:
+            left, right = right, left
+        kind = rng.choice(["one_to_many", "one_to_many", "one_to_one"])
+        model.add_relationship(
+            f"E{left}", f"R{edge_number}To{right}",
+            f"E{right}", f"R{edge_number}From{left}", kind=kind)
+    return model.validate()

@@ -1,0 +1,127 @@
+"""Random statements over a random entity graph (§VII-B).
+
+Statements follow the paper's recipe: a random walk through the entity
+graph fixes the statement path; WHERE clauses draw up to three random
+predicates over attributes along the path (at least one equality, at
+most one range); queries select random attributes of the target entity
+and updates modify them.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.model.paths import KeyPath
+from repro.workload import Workload
+from repro.workload.conditions import Condition
+from repro.workload.statements import Insert, Query, Update
+
+
+def _random_walk(model, rng, max_path):
+    """A loop-free random walk: (start entity, foreign keys taken)."""
+    entity = rng.choice(sorted(model.entities.values(),
+                               key=lambda e: e.name))
+    visited = {entity.name}
+    keys = []
+    length = rng.randint(1, max_path)
+    while len(keys) + 1 < length:
+        options = [key for key in entity.foreign_keys
+                   if key.entity.name not in visited]
+        if not options:
+            break
+        key = rng.choice(options)
+        keys.append(key)
+        entity = key.entity
+        visited.add(entity.name)
+    return keys
+
+
+def _random_conditions(path, rng, count=3):
+    """Up to ``count`` predicates over distinct attributes on the path.
+
+    The first predicate is an equality on the far end of the path (the
+    natural anchor of a get request); later ones may include one range.
+    """
+    conditions = []
+    used = set()
+    anchor_fields = [f for f in path.last.attributes]
+    anchor = rng.choice(anchor_fields)
+    conditions.append(Condition(anchor, "=", f"p{len(conditions)}"))
+    used.add(anchor.id)
+    candidates = [field
+                  for entity in path.entities
+                  for field in entity.attributes
+                  if field.id not in used]
+    rng.shuffle(candidates)
+    have_range = False
+    for field in candidates[:max(count - 1, 0)]:
+        if not have_range and rng.random() < 0.4:
+            operator = rng.choice([">", ">=", "<", "<="])
+            have_range = True
+        else:
+            operator = "="
+        conditions.append(Condition(field, operator,
+                                    f"p{len(conditions)}"))
+    return conditions
+
+
+def _random_query(model, rng, number, max_path):
+    keys = _random_walk(model, rng, max_path)
+    entity = keys[0].parent if keys else rng.choice(
+        sorted(model.entities.values(), key=lambda e: e.name))
+    path = KeyPath(entity, keys)
+    conditions = _random_conditions(path, rng)
+    selectable = path.first.attributes
+    take = rng.randint(1, len(selectable))
+    select = rng.sample(selectable, take)
+    return Query(path, select, conditions, label=f"q{number}")
+
+
+def _random_update(model, rng, number, max_path):
+    keys = _random_walk(model, rng, max_path)
+    entity = keys[0].parent if keys else rng.choice(
+        sorted(model.entities.values(), key=lambda e: e.name))
+    path = KeyPath(entity, keys)
+    conditions = _random_conditions(path, rng, count=2)
+    settable = [field for field in path.first.data_fields]
+    if not settable:
+        return None
+    field = rng.choice(settable)
+    return Update(path, {field: "v0"}, conditions, label=f"u{number}")
+
+
+def _random_insert(model, rng, number):
+    entity = rng.choice(sorted(model.entities.values(),
+                               key=lambda e: e.name))
+    settings = {field: field.name for field in entity.attributes}
+    connections = []
+    for key in entity.foreign_keys:
+        if rng.random() < 0.5:
+            connections.append((key, key.name))
+    return Insert(KeyPath(entity), settings, connections,
+                  label=f"i{number}")
+
+
+def random_workload(model, queries=10, updates=3, inserts=2, seed=0,
+                    max_path=4):
+    """A random weighted workload over ``model`` (Fig 13 methodology)."""
+    rng = random.Random(seed)
+    workload = Workload(model)
+    for number in range(queries):
+        statement = _random_query(model, rng, number, max_path)
+        workload.add_statement(statement,
+                               weight=round(rng.uniform(0.1, 10.0), 2))
+    made = 0
+    attempt = 0
+    while made < updates and attempt < updates * 5:
+        statement = _random_update(model, rng, made, max_path)
+        attempt += 1
+        if statement is not None:
+            workload.add_statement(statement,
+                                   weight=round(rng.uniform(0.1, 5.0), 2))
+            made += 1
+    for number in range(inserts):
+        statement = _random_insert(model, rng, number)
+        workload.add_statement(statement,
+                               weight=round(rng.uniform(0.1, 5.0), 2))
+    return workload

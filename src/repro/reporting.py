@@ -1,0 +1,97 @@
+"""Plain-text rendering of evaluation results.
+
+The paper's figures are bar charts (Fig 11, Fig 12) and a stacked area
+chart (Fig 13).  These helpers render the same data as ASCII charts so
+benchmark output is readable in a terminal and diffable in result
+files; no plotting dependency is needed.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import NoseError
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def _scale(value, maximum, width):
+    if maximum <= 0:
+        return 0.0
+    return max(value, 0.0) / maximum * width
+
+
+def bar_chart(rows, width=40, log_scale=False, unit=""):
+    """Render ``{label: value}`` (or pairs) as a horizontal bar chart.
+
+    ``log_scale`` mimics the paper's Fig 11 log-axis: bars are sized by
+    log10 of the value, which keeps 100x spreads readable.
+    """
+    rows = list(rows.items()) if isinstance(rows, dict) else list(rows)
+    if not rows:
+        raise NoseError("nothing to chart")
+    label_width = max(len(str(label)) for label, _ in rows)
+    values = [value for _, value in rows]
+    if log_scale:
+        floor = min(value for value in values if value > 0) / 10
+        transform = (lambda value:
+                     math.log10(max(value, floor) / floor))
+    else:
+        def transform(value):
+            return value
+    maximum = max(transform(value) for value in values)
+    lines = []
+    for label, value in rows:
+        length = _scale(transform(value), maximum, width)
+        bar = _BAR * int(length)
+        if length - int(length) >= 0.5:
+            bar += _HALF
+        lines.append(f"{str(label):<{label_width}}  {bar:<{width}} "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(table, width=30, log_scale=False, unit=""):
+    """Render ``{row: {series: value}}`` as grouped horizontal bars —
+    the shape of Fig 11/Fig 12 (one group per transaction or mix)."""
+    if not table:
+        raise NoseError("nothing to chart")
+    lines = []
+    for group, row in table.items():
+        lines.append(f"{group}:")
+        chart = bar_chart(row, width=width, log_scale=log_scale,
+                          unit=unit)
+        for line in chart.splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines)
+
+
+def stacked_series(rows, components, width=50, unit="s"):
+    """Render Fig 13-style stacked horizontal bars.
+
+    ``rows`` maps an x-label (scale factor) to ``{component: value}``;
+    components are stacked in the given order with distinct fills.
+    """
+    fills = ["█", "▓", "▒", "░"]
+    if len(components) > len(fills):
+        raise NoseError(f"at most {len(fills)} stacked components")
+    if not rows:
+        raise NoseError("nothing to chart")
+    totals = {label: sum(row.get(part, 0.0) for part in components)
+              for label, row in rows.items()}
+    maximum = max(totals.values())
+    label_width = max(len(str(label)) for label in rows)
+    lines = []
+    for label, row in rows.items():
+        bar = ""
+        for fill, part in zip(fills, components):
+            length = int(round(_scale(row.get(part, 0.0), maximum,
+                                      width)))
+            bar += fill * length
+        lines.append(f"{str(label):<{label_width}}  {bar:<{width}} "
+                     f"{totals[label]:.2f}{unit}")
+    legend = "  ".join(f"{fill}={part}"
+                       for fill, part in zip(fills, components))
+    lines.append(f"({legend})")
+    return "\n".join(lines)

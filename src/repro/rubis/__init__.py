@@ -1,0 +1,34 @@
+"""RUBiS adaptation: the paper's evaluation target application (§VII-A).
+
+RUBiS is an online-auction web benchmark; the paper adapted it for
+Cassandra by building a conceptual model of its entities (eight entity
+sets, eleven relationships) and translating the bidding/browsing request
+mixes into NoSE statements.  This package provides the same adaptation:
+the entity graph, the weighted workload with both mixes, the fourteen
+user transactions of Fig 11, a deterministic data generator, and the
+hand-written "normalized" and "expert" comparison schemas.
+"""
+
+from repro.rubis.datagen import RubisParameterGenerator, generate_dataset
+from repro.rubis.model import rubis_model
+from repro.rubis.schemas import expert_schema, normalized_schema
+from repro.rubis.transactions import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    TRANSACTIONS,
+    transaction_weights,
+)
+from repro.rubis.workload import rubis_workload
+
+__all__ = [
+    "BIDDING_MIX",
+    "BROWSING_MIX",
+    "RubisParameterGenerator",
+    "TRANSACTIONS",
+    "expert_schema",
+    "generate_dataset",
+    "normalized_schema",
+    "rubis_model",
+    "rubis_workload",
+    "transaction_weights",
+]

@@ -1,0 +1,111 @@
+"""The RUBiS conceptual model: eight entity sets, eleven relationships.
+
+Entity counts follow the RUBiS database specification's ratios, scaled
+by the number of users (the paper populated 200,000 users; the default
+here is laptop-friendly and the benchmarks scale it up).  ``Category``
+carries a constant ``Dummy`` attribute so that the browse-all-categories
+request is expressible in the query language, the same device the
+original NoSE workload used.
+"""
+
+from __future__ import annotations
+
+from repro.model import (
+    DateField,
+    Entity,
+    FloatField,
+    IDField,
+    IntegerField,
+    Model,
+    StringField,
+)
+
+
+def rubis_counts(users):
+    """Entity-set sizes derived from the user count (RUBiS ratios)."""
+    return {
+        "Region": 62,
+        "Category": 20,
+        "User": users,
+        "Item": max(users // 30, 20),
+        "OldItem": max(users // 2, 20),
+        "Bid": max(users // 3, 60),
+        "Comment": max(users // 2, 20),
+        "BuyNow": max(users // 90, 10),
+    }
+
+
+def rubis_model(users=20_000):
+    """Build the RUBiS entity graph (8 entities, 11 relationships)."""
+    counts = rubis_counts(users)
+    model = Model("rubis")
+    model.add_entity(Entity("Region", count=counts["Region"])).add_fields(
+        IDField("RegionID"),
+        StringField("RegionName", size=15),
+    )
+    model.add_entity(Entity("Category", count=counts["Category"])).add_fields(
+        IDField("CategoryID"),
+        StringField("CategoryName", size=20),
+        IntegerField("Dummy", cardinality=1, size=1),
+    )
+    model.add_entity(Entity("User", count=counts["User"])).add_fields(
+        IDField("UserID"),
+        StringField("UserFirstName", size=10),
+        StringField("UserLastName", size=10),
+        StringField("UserNickname", size=12),
+        StringField("UserPassword", size=12),
+        StringField("UserEmail", size=20),
+        IntegerField("UserRating", cardinality=100),
+        FloatField("UserBalance", cardinality=1000),
+        DateField("UserCreationDate", cardinality=365),
+    )
+    model.add_entity(Entity("Item", count=counts["Item"])).add_fields(
+        IDField("ItemID"),
+        StringField("ItemName", size=20),
+        StringField("ItemDescription", size=100),
+        FloatField("InitialPrice", cardinality=1000),
+        IntegerField("ItemQuantity", cardinality=10),
+        FloatField("ReservePrice", cardinality=1000),
+        FloatField("BuyNowPrice", cardinality=1000),
+        IntegerField("NbOfBids", cardinality=100),
+        FloatField("MaxBid", cardinality=1000),
+        DateField("StartDate", cardinality=365),
+        DateField("EndDate", cardinality=365),
+    )
+    model.add_entity(Entity("OldItem", count=counts["OldItem"])).add_fields(
+        IDField("OldItemID"),
+        StringField("OldItemName", size=20),
+        FloatField("OldItemSoldPrice", cardinality=1000),
+        DateField("OldItemEndDate", cardinality=365),
+    )
+    model.add_entity(Entity("Bid", count=counts["Bid"])).add_fields(
+        IDField("BidID"),
+        IntegerField("BidQty", cardinality=10),
+        FloatField("BidAmount", cardinality=1000),
+        DateField("BidDate", cardinality=365),
+    )
+    model.add_entity(Entity("Comment", count=counts["Comment"])).add_fields(
+        IDField("CommentID"),
+        IntegerField("CommentRating", cardinality=11),
+        DateField("CommentDate", cardinality=365),
+        StringField("CommentText", size=80),
+    )
+    model.add_entity(Entity("BuyNow", count=counts["BuyNow"])).add_fields(
+        IDField("BuyNowID"),
+        IntegerField("BuyNowQty", cardinality=10),
+        DateField("BuyNowDate", cardinality=365),
+    )
+    # the eleven relationships of the paper's adapted model
+    model.add_relationship("Region", "Users", "User", "Region")
+    model.add_relationship("User", "ItemsSold", "Item", "Seller")
+    model.add_relationship("Category", "Items", "Item", "Category")
+    model.add_relationship("User", "OldItemsSold", "OldItem", "Seller")
+    model.add_relationship("User", "Bids", "Bid", "Bidder")
+    model.add_relationship("Item", "Bids", "Bid", "Item")
+    model.add_relationship("User", "CommentsWritten", "Comment", "Author")
+    model.add_relationship("User", "CommentsReceived", "Comment",
+                           "Recipient")
+    model.add_relationship("Item", "Comments", "Comment", "Item")
+    model.add_relationship("User", "Purchases", "BuyNow", "Buyer")
+    model.add_relationship("Item", "BuyNows", "BuyNow", "Item")
+    return model.validate()

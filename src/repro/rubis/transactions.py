@@ -1,0 +1,78 @@
+"""The fourteen RUBiS user transactions of Fig 11 and the request mixes.
+
+A *transaction* is a group of statements executed for a single request
+to the application server (the unit Fig 11 reports response times for).
+Frequencies approximate the RUBiS request distribution: the bidding mix
+is roughly 15% writes, the browsing mix is read-only.
+"""
+
+from __future__ import annotations
+
+#: transaction name -> statement labels executed per request
+TRANSACTIONS = {
+    "BrowseCategories": ["bc_categories"],
+    "ViewBidHistory": ["vbh_item_name", "vbh_bids", "vbh_bidders"],
+    "ViewItem": ["vi_item", "vi_bids"],
+    "SearchItemsByCategory": ["sic_items"],
+    "ViewUserInfo": ["vui_user", "vui_comments"],
+    "BuyNow": ["bn_auth", "bn_item"],
+    "StoreBuyNow": ["sbn_insert", "sbn_update_item"],
+    "PutBid": ["pb_auth", "pb_item", "pb_bids"],
+    "StoreBid": ["sb_insert", "sb_update_item"],
+    "PutComment": ["pc_auth", "pc_item", "pc_to_user"],
+    "StoreComment": ["sc_insert", "sc_update_rating"],
+    "AboutMe": ["am_user", "am_items_selling", "am_old_items",
+                "am_bid_items", "am_purchases", "am_bought_items",
+                "am_comments"],
+    "RegisterItem": ["ri_insert"],
+    "RegisterUser": ["ru_insert"],
+}
+
+#: relative transaction frequencies, RUBiS bidding mix (≈15% writes)
+BIDDING_MIX = {
+    "BrowseCategories": 0.075,
+    "SearchItemsByCategory": 0.235,
+    "ViewItem": 0.190,
+    "ViewUserInfo": 0.040,
+    "ViewBidHistory": 0.030,
+    "BuyNow": 0.030,
+    "StoreBuyNow": 0.012,
+    "PutBid": 0.090,
+    "StoreBid": 0.070,
+    "PutComment": 0.012,
+    "StoreComment": 0.010,
+    "AboutMe": 0.045,
+    "RegisterItem": 0.024,
+    "RegisterUser": 0.012,
+}
+
+#: read-only browsing mix
+BROWSING_MIX = {
+    "BrowseCategories": 0.120,
+    "SearchItemsByCategory": 0.370,
+    "ViewItem": 0.300,
+    "ViewUserInfo": 0.070,
+    "ViewBidHistory": 0.060,
+    "AboutMe": 0.080,
+}
+
+#: transactions that write to the store (scaled in the Fig 12 sweep)
+WRITE_TRANSACTIONS = frozenset({
+    "StoreBuyNow", "StoreBid", "StoreComment", "RegisterItem",
+    "RegisterUser",
+})
+
+
+def transaction_weights(mix="bidding"):
+    """Normalized transaction frequencies for a mix."""
+    table = BIDDING_MIX if mix == "bidding" else BROWSING_MIX
+    total = sum(table.values())
+    return {name: weight / total for name, weight in table.items()}
+
+
+def write_statement_labels():
+    """Labels of all statements belonging to write transactions."""
+    labels = set()
+    for transaction in WRITE_TRANSACTIONS:
+        labels.update(TRANSACTIONS[transaction])
+    return labels

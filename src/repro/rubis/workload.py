@@ -1,0 +1,166 @@
+"""The RUBiS workload: NoSE statements for every user transaction.
+
+Each statement corresponds to one SQL statement of the original RUBiS
+bidding workload, expressed over the conceptual model.  Statement
+weights equal the frequency of the transaction they belong to, under the
+active mix (bidding or browsing).  As in the paper, region
+browse/search interactions are excluded, and the queries RUBiS answers
+with GROUP BY are expressed as plain selections (NoSE cannot exploit
+grouping — §VII-A discusses the consequences).
+"""
+
+from __future__ import annotations
+
+from repro.rubis.transactions import TRANSACTIONS, transaction_weights
+from repro.workload import Workload
+
+#: statement label -> statement text
+STATEMENTS = {
+    # BrowseCategories
+    "bc_categories": (
+        "SELECT Category.CategoryID, Category.CategoryName FROM Category "
+        "WHERE Category.Dummy = ?dummy"),
+    # SearchItemsByCategory
+    "sic_items": (
+        "SELECT Item.ItemID, Item.ItemName, Item.InitialPrice, "
+        "Item.MaxBid, Item.NbOfBids, Item.EndDate "
+        "FROM Item.Category WHERE Category.CategoryID = ?category "
+        "AND Item.EndDate > ?now ORDER BY Item.EndDate LIMIT 25"),
+    # ViewItem
+    "vi_item": (
+        "SELECT Item.ItemName, Item.ItemDescription, Item.InitialPrice, "
+        "Item.ItemQuantity, Item.ReservePrice, Item.BuyNowPrice, "
+        "Item.NbOfBids, Item.MaxBid, Item.StartDate, Item.EndDate "
+        "FROM Item WHERE Item.ItemID = ?item"),
+    "vi_bids": (
+        "SELECT Bid.BidID, Bid.BidAmount, Bid.BidDate "
+        "FROM Bid.Item WHERE Item.ItemID = ?item"),
+    # ViewBidHistory
+    "vbh_item_name": (
+        "SELECT Item.ItemName FROM Item WHERE Item.ItemID = ?item"),
+    "vbh_bids": (
+        "SELECT Bid.BidID, Bid.BidQty, Bid.BidAmount, Bid.BidDate "
+        "FROM Bid.Item WHERE Item.ItemID = ?item "
+        "ORDER BY Bid.BidDate"),
+    "vbh_bidders": (
+        "SELECT User.UserID, User.UserNickname "
+        "FROM User.Bids.Item WHERE Item.ItemID = ?item"),
+    # ViewUserInfo
+    "vui_user": (
+        "SELECT User.UserNickname, User.UserRating, "
+        "User.UserCreationDate, User.UserEmail "
+        "FROM User WHERE User.UserID = ?user"),
+    "vui_comments": (
+        "SELECT Comment.CommentID, Comment.CommentRating, "
+        "Comment.CommentDate, Comment.CommentText "
+        "FROM Comment.Recipient WHERE User.UserID = ?user"),
+    # BuyNow (authentication + item display)
+    "bn_auth": (
+        "SELECT User.UserPassword FROM User WHERE User.UserID = ?user"),
+    "bn_item": (
+        "SELECT Item.ItemName, Item.ItemQuantity, Item.BuyNowPrice, "
+        "Item.EndDate FROM Item WHERE Item.ItemID = ?item"),
+    # StoreBuyNow
+    "sbn_insert": (
+        "INSERT INTO BuyNow SET BuyNowID = ?, BuyNowQty = ?qty, "
+        "BuyNowDate = ?date AND CONNECT TO Buyer(?user), Item(?item)"),
+    "sbn_update_item": (
+        "UPDATE Item SET ItemQuantity = ?quantity "
+        "WHERE Item.ItemID = ?item"),
+    # PutBid
+    "pb_auth": (
+        "SELECT User.UserPassword FROM User WHERE User.UserID = ?user"),
+    "pb_item": (
+        "SELECT Item.ItemName, Item.InitialPrice, Item.NbOfBids, "
+        "Item.MaxBid, Item.EndDate FROM Item WHERE Item.ItemID = ?item"),
+    "pb_bids": (
+        "SELECT Bid.BidAmount, Bid.BidQty FROM Bid.Item "
+        "WHERE Item.ItemID = ?item"),
+    # StoreBid
+    "sb_insert": (
+        "INSERT INTO Bid SET BidID = ?, BidQty = ?qty, "
+        "BidAmount = ?amount, BidDate = ?date "
+        "AND CONNECT TO Bidder(?user), Item(?item)"),
+    "sb_update_item": (
+        "UPDATE Item SET NbOfBids = ?nb_of_bids, MaxBid = ?max_bid "
+        "WHERE Item.ItemID = ?item"),
+    # PutComment
+    "pc_auth": (
+        "SELECT User.UserPassword FROM User WHERE User.UserID = ?user"),
+    "pc_item": (
+        "SELECT Item.ItemName FROM Item WHERE Item.ItemID = ?item"),
+    "pc_to_user": (
+        "SELECT User.UserNickname FROM User WHERE User.UserID = ?to_user"),
+    # StoreComment
+    "sc_insert": (
+        "INSERT INTO Comment SET CommentID = ?, "
+        "CommentRating = ?rating, CommentDate = ?date, "
+        "CommentText = ?text AND CONNECT TO Author(?user), "
+        "Recipient(?to_user), Item(?item)"),
+    "sc_update_rating": (
+        "UPDATE User SET UserRating = ?rating "
+        "WHERE User.UserID = ?to_user"),
+    # AboutMe
+    "am_user": (
+        "SELECT User.UserNickname, User.UserEmail, User.UserRating, "
+        "User.UserBalance FROM User WHERE User.UserID = ?user"),
+    "am_items_selling": (
+        "SELECT Item.ItemID, Item.ItemName, Item.InitialPrice, "
+        "Item.MaxBid, Item.EndDate "
+        "FROM Item.Seller WHERE User.UserID = ?user"),
+    "am_old_items": (
+        "SELECT OldItem.OldItemID, OldItem.OldItemName, "
+        "OldItem.OldItemSoldPrice "
+        "FROM OldItem.Seller WHERE User.UserID = ?user"),
+    "am_bid_items": (
+        "SELECT Item.ItemID, Item.ItemName, Item.EndDate "
+        "FROM Item.Bids.Bidder WHERE User.UserID = ?user"),
+    "am_purchases": (
+        "SELECT BuyNow.BuyNowID, BuyNow.BuyNowQty, BuyNow.BuyNowDate "
+        "FROM BuyNow.Buyer WHERE User.UserID = ?user"),
+    "am_bought_items": (
+        "SELECT Item.ItemID, Item.ItemName "
+        "FROM Item.BuyNows.Buyer WHERE User.UserID = ?user"),
+    "am_comments": (
+        "SELECT Comment.CommentID, Comment.CommentText, "
+        "Comment.CommentRating "
+        "FROM Comment.Recipient WHERE User.UserID = ?user"),
+    # RegisterItem
+    "ri_insert": (
+        "INSERT INTO Item SET ItemID = ?, ItemName = ?name, "
+        "ItemDescription = ?description, InitialPrice = ?initial_price, "
+        "ItemQuantity = ?quantity, ReservePrice = ?reserve_price, "
+        "BuyNowPrice = ?buy_now_price, NbOfBids = ?nb_of_bids, "
+        "MaxBid = ?max_bid, StartDate = ?start_date, EndDate = ?end_date "
+        "AND CONNECT TO Seller(?user), Category(?category)"),
+    # RegisterUser
+    "ru_insert": (
+        "INSERT INTO User SET UserID = ?, UserFirstName = ?first_name, "
+        "UserLastName = ?last_name, UserNickname = ?nickname, "
+        "UserPassword = ?password, UserEmail = ?email, "
+        "UserRating = ?rating, UserBalance = ?balance, "
+        "UserCreationDate = ?creation_date "
+        "AND CONNECT TO Region(?region)"),
+}
+
+
+def rubis_workload(model, mix="bidding"):
+    """Build the weighted RUBiS workload over a RUBiS model.
+
+    Every statement carries one weight per mix: its transaction's
+    frequency in that mix (zero when the transaction is absent, e.g.
+    write transactions under the browsing mix).
+    """
+    statement_mixes = {}
+    for transaction, labels in TRANSACTIONS.items():
+        for mix_name in ("bidding", "browsing"):
+            weight = transaction_weights(mix_name).get(transaction, 0.0)
+            for label in labels:
+                statement_mixes.setdefault(label, {})[mix_name] = weight
+    workload = Workload(model, mix=mix)
+    for label, text in STATEMENTS.items():
+        mixes = statement_mixes.get(label)
+        if mixes is None:  # pragma: no cover - configuration guard
+            raise ValueError(f"statement {label!r} belongs to no transaction")
+        workload.add_statement(text, label=label, mixes=mixes)
+    return workload

@@ -1,0 +1,16 @@
+"""Operational tooling around the advisor.
+
+Currently: schema migration planning and execution — when the workload
+drifts and a re-run of the advisor recommends a different schema, the
+migration planner diffs the two schemas and the executor materializes
+the new column families (and drops the obsolete ones) on a running
+store without touching shared ones.
+"""
+
+from repro.tools.migration import (
+    SchemaMigration,
+    execute_migration,
+    plan_migration,
+)
+
+__all__ = ["SchemaMigration", "execute_migration", "plan_migration"]

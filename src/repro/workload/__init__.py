@@ -1,0 +1,35 @@
+"""Workload description: parsed statements with weights (§III-B, §VI-A).
+
+A workload is a set of parameterized statements — queries plus the five
+update statement types of Fig 8 — each with a weight giving its relative
+frequency.  Statements are written in the paper's SQL-like syntax over
+the conceptual model and parsed by :func:`parse_statement`.
+"""
+
+from repro.workload.conditions import Condition
+from repro.workload.parser import parse_statement
+from repro.workload.statements import (
+    Connect,
+    Delete,
+    Disconnect,
+    Insert,
+    Query,
+    Statement,
+    SupportQuery,
+    Update,
+)
+from repro.workload.workload import Workload
+
+__all__ = [
+    "Condition",
+    "Connect",
+    "Delete",
+    "Disconnect",
+    "Insert",
+    "Query",
+    "Statement",
+    "SupportQuery",
+    "Update",
+    "Workload",
+    "parse_statement",
+]

@@ -1,0 +1,76 @@
+"""Predicates appearing in WHERE clauses.
+
+NoSE statements support equality and single-sided range predicates over
+attributes of entities along the statement's path.  Values are left as
+named parameters (``?city``) at design time and bound at execution time.
+"""
+
+from __future__ import annotations
+
+#: supported comparison operators, in the paper's query language
+OPERATORS = ("=", ">", ">=", "<", "<=")
+
+#: default selectivity assumed for a range predicate when no histogram
+#: information is available (the tech-report cost model does the same)
+RANGE_SELECTIVITY = 0.1
+
+
+class Condition:
+    """A single predicate ``field op ?parameter``.
+
+    ``field`` is a :class:`~repro.model.fields.Field` on an entity along
+    the statement's path.  Conditions are immutable value objects.
+    """
+
+    __slots__ = ("field", "operator", "parameter")
+
+    def __init__(self, field, operator, parameter=None):
+        if operator not in OPERATORS:
+            raise ValueError(f"unsupported operator {operator!r}")
+        self.field = field
+        self.operator = operator
+        #: name of the placeholder supplying the comparison value
+        self.parameter = parameter if parameter else field.name
+
+    @property
+    def is_equality(self):
+        return self.operator == "="
+
+    @property
+    def is_range(self):
+        return self.operator != "="
+
+    @property
+    def selectivity(self):
+        """Fraction of rows expected to satisfy this predicate."""
+        if self.is_equality:
+            return 1.0 / max(self.field.cardinality, 1)
+        return RANGE_SELECTIVITY
+
+    def matches(self, value, bound):
+        """Evaluate the predicate for a concrete row/parameter value."""
+        if self.operator == "=":
+            return value == bound
+        if self.operator == ">":
+            return value > bound
+        if self.operator == ">=":
+            return value >= bound
+        if self.operator == "<":
+            return value < bound
+        return value <= bound
+
+    def __eq__(self, other):
+        if not isinstance(other, Condition):
+            return NotImplemented
+        return (self.field is other.field
+                and self.operator == other.operator
+                and self.parameter == other.parameter)
+
+    def __hash__(self):
+        return hash((id(self.field), self.operator, self.parameter))
+
+    def __repr__(self):
+        return f"Condition({self.field.id} {self.operator} ?{self.parameter})"
+
+    def __str__(self):
+        return f"{self.field.id} {self.operator} ?{self.parameter}"

@@ -1,0 +1,460 @@
+"""Parser for the paper's SQL-like statement language.
+
+Supported statement forms (Fig 3 and Fig 8 of the paper)::
+
+    SELECT Guest.GuestName, Guest.GuestEmail FROM Guest
+        WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city
+          AND Guest.Reservations.Room.RoomRate > ?rate
+        ORDER BY Guest.GuestName LIMIT 10
+
+    INSERT INTO Reservation SET ResID = ?, ResEndDate = ?date
+        AND CONNECT TO Guest(?guest), Room(?room)
+
+    UPDATE Room FROM Room.Hotel SET RoomRate = ?rate
+        WHERE Hotel.HotelID = ?hotel
+
+    DELETE FROM Guest WHERE Guest.GuestID = ?guest
+
+    CONNECT Guest(?guest) TO Reservations(?res)
+    DISCONNECT Guest(?guest) FROM Reservations(?res)
+
+Paths may be written in the FROM clause (``FROM Room.Hotel.PointsOfInterest``,
+Fig 9 style) or implied by dotted references in the WHERE clause rooted at
+the target entity (``Guest.Reservations.Room.Hotel.HotelCity``, Fig 3
+style); both extend the statement's key path.  Path components may name
+either the relationship (the foreign key) or the entity it reaches,
+whenever that is unambiguous.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.exceptions import ModelError, ParseError
+from repro.model.fields import ForeignKeyField
+from repro.model.paths import KeyPath
+from repro.workload.conditions import OPERATORS, Condition
+from repro.workload.statements import (
+    Connect,
+    Delete,
+    Disconnect,
+    Insert,
+    Query,
+    Update,
+)
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<param>\?[A-Za-z_][A-Za-z0-9_]*|\?)
+      | (?P<number>\d+)
+      | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+      | (?P<op>>=|<=|=|>|<)
+      | (?P<punct>[.,()*])
+    )""", re.VERBOSE)
+
+_KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "LIMIT",
+    "INSERT", "INTO", "SET", "CONNECT", "TO", "UPDATE", "DELETE",
+    "DISCONNECT",
+})
+
+
+def _tokenize(text):
+    """Split statement text into (kind, value) tokens."""
+    tokens = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip():
+                raise ParseError(
+                    f"unexpected character {text[position]!r} at offset "
+                    f"{position}", text)
+            break
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "name" and value.upper() in _KEYWORDS:
+            tokens.append(("keyword", value.upper()))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _TokenStream:
+    """Cursor over the token list with convenience expectations."""
+
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.text = text
+        self.position = 0
+
+    def peek(self, offset=0):
+        index = self.position + offset
+        if index < len(self.tokens):
+            return self.tokens[index]
+        return (None, None)
+
+    def next(self):
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def accept(self, kind, value=None):
+        token_kind, token_value = self.peek()
+        if token_kind == kind and (value is None or token_value == value):
+            self.position += 1
+            return token_value
+        return None
+
+    def expect(self, kind, value=None):
+        result = self.accept(kind, value)
+        if result is None:
+            token_kind, token_value = self.peek()
+            wanted = value if value is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token_value!r}", self.text)
+        return result
+
+    def expect_keyword(self, *words):
+        for word in words:
+            self.expect("keyword", word)
+
+    @property
+    def exhausted(self):
+        return self.position >= len(self.tokens)
+
+
+class _PathBuilder:
+    """Incrementally grows a statement's key path while resolving refs.
+
+    Holds the path as an entity/key list; dotted references either follow
+    the existing path or extend it linearly at the tail, which implements
+    the paper's implicit-path queries (Fig 3).
+    """
+
+    def __init__(self, model, root_entity, text):
+        self.model = model
+        self.text = text
+        self.entities = [root_entity]
+        self.keys = []
+
+    @property
+    def path(self):
+        return KeyPath(self.entities[0], self.keys)
+
+    def _positions_of(self, name):
+        """Path positions a name may refer to (entity or arrival alias)."""
+        positions = []
+        for index, entity in enumerate(self.entities):
+            if entity.name == name:
+                positions.append(index)
+        for index, key in enumerate(self.keys):
+            if key.name == name and (index + 1) not in positions:
+                positions.append(index + 1)
+        return positions
+
+    def _step(self, position, name):
+        """Advance one path component from ``position``; extends the tail.
+
+        ``name`` may match the outgoing relationship, the next entity's
+        name, or — when at the tail — a foreign key on the tail entity
+        (by relationship name, or by target entity name if unique).
+        """
+        at_tail = position == len(self.entities) - 1
+        if not at_tail:
+            next_key = self.keys[position]
+            if name in (next_key.name, next_key.entity.name):
+                return position + 1
+            raise ParseError(
+                f"path component {name!r} diverges from the statement path "
+                f"after {self.entities[position].name}", self.text)
+        entity = self.entities[position]
+        key = entity.fields.get(name)
+        if not isinstance(key, ForeignKeyField):
+            key = None
+            candidates = [fk for fk in entity.foreign_keys
+                          if fk.entity.name == name]
+            if len(candidates) == 1:
+                key = candidates[0]
+            elif len(candidates) > 1:
+                raise ParseError(
+                    f"ambiguous path component {name!r} from "
+                    f"{entity.name}: name the relationship explicitly",
+                    self.text)
+        if key is None:
+            raise ParseError(
+                f"no relationship {name!r} from entity {entity.name}",
+                self.text)
+        self.keys.append(key)
+        self.entities.append(key.entity)
+        return position + 1
+
+    def extend(self, names):
+        """Walk relationship names from the root, extending the tail."""
+        position = 0
+        for name in names:
+            position = self._step(position, name)
+        return position
+
+    def resolve(self, components):
+        """Resolve a dotted reference to (entity, field).
+
+        The last component is the field name; the preceding components
+        locate an entity, starting from any alias on the path (entity or
+        relationship name) and possibly extending the path at its tail.
+        """
+        if len(components) < 2:
+            raise ParseError(
+                f"reference {'.'.join(components)!r} must be qualified as "
+                "Entity.Field", self.text)
+        *path_parts, field_name = components
+        positions = self._positions_of(path_parts[0])
+        if not positions:
+            raise ParseError(
+                f"{path_parts[0]!r} is not an entity or relationship on "
+                f"the statement path", self.text)
+        position = positions[0]
+        for name in path_parts[1:]:
+            position = self._step(position, name)
+        entity = self.entities[position]
+        field = entity.fields.get(field_name)
+        if field is None:
+            raise ParseError(
+                f"entity {entity.name!r} has no field {field_name!r}",
+                self.text)
+        if isinstance(field, ForeignKeyField):
+            raise ParseError(
+                f"{field.id} is a relationship, not an attribute",
+                self.text)
+        return entity, field
+
+
+def _parse_dotted_names(stream):
+    """Read ``Name(.Name)*`` from the stream."""
+    names = [stream.expect("name")]
+    while stream.accept("punct", "."):
+        if stream.accept("punct", "*"):
+            names.append("*")
+            break
+        names.append(stream.expect("name"))
+    return names
+
+
+def _parse_parameter(stream, default):
+    token = stream.expect("param")
+    return token[1:] if len(token) > 1 else default
+
+
+def _parse_where(stream, builder):
+    conditions = []
+    if stream.accept("keyword", "WHERE") is None:
+        return conditions
+    while True:
+        components = _parse_dotted_names(stream)
+        _entity, field = builder.resolve(components)
+        operator = stream.expect("op")
+        if operator not in OPERATORS:  # pragma: no cover - regex guarded
+            raise ParseError(f"unsupported operator {operator!r}",
+                             stream.text)
+        parameter = _parse_parameter(stream, field.name)
+        conditions.append(Condition(field, operator, parameter))
+        if stream.accept("keyword", "AND") is None:
+            break
+    return conditions
+
+
+def _parse_select(stream, builder, text):
+    """Parse the SELECT list of dotted references (resolved after FROM)."""
+    select = []
+    while True:
+        select.append(_parse_dotted_names(stream))
+        if stream.accept("punct", ",") is None:
+            break
+    return select
+
+
+def _resolve_select(select_refs, builder, text):
+    fields = []
+    for components in select_refs:
+        if components[-1] == "*":
+            positions = builder._positions_of(components[0])
+            if len(components) != 2 or not positions:
+                raise ParseError(
+                    f"cannot expand {'.'.join(components)!r}", text)
+            entity = builder.entities[positions[0]]
+            fields.extend(entity.attributes)
+        else:
+            _entity, field = builder.resolve(components)
+            fields.append(field)
+    # preserve order, drop duplicates
+    return tuple(dict.fromkeys(fields))
+
+
+def _parse_query(stream, model, text, label):
+    stream.expect_keyword("SELECT")
+    select_refs = _parse_select(stream, None, text)
+    stream.expect_keyword("FROM")
+    from_names = _parse_dotted_names(stream)
+    builder = _PathBuilder(model, model.entity(from_names[0]), text)
+    builder.extend(from_names[1:])
+    conditions = _parse_where(stream, builder)
+    order_by = []
+    if stream.accept("keyword", "ORDER"):
+        stream.expect_keyword("BY")
+        while True:
+            components = _parse_dotted_names(stream)
+            _entity, field = builder.resolve(components)
+            order_by.append(field)
+            if stream.accept("punct", ",") is None:
+                break
+    limit = None
+    if stream.accept("keyword", "LIMIT"):
+        limit = int(stream.expect("number"))
+    select = _resolve_select(select_refs, builder, text)
+    return Query(builder.path, select, conditions, order_by=order_by,
+                 limit=limit, text=text, label=label)
+
+
+def _parse_settings(stream, entity, text):
+    """Parse ``field = ?param`` assignments for INSERT/UPDATE SET clauses."""
+    settings = {}
+    while True:
+        components = _parse_dotted_names(stream)
+        if len(components) == 2 and components[0] == entity.name:
+            field_name = components[1]
+        elif len(components) == 1:
+            field_name = components[0]
+        else:
+            raise ParseError(
+                f"SET must assign fields of {entity.name}", text)
+        field = entity.fields.get(field_name)
+        if field is None or isinstance(field, ForeignKeyField):
+            raise ParseError(
+                f"entity {entity.name!r} has no attribute {field_name!r}",
+                text)
+        stream.expect("op", "=")
+        settings[field] = _parse_parameter(stream, field.name)
+        if stream.accept("punct", ",") is None:
+            break
+    return settings
+
+
+def _parse_connections(stream, entity, text):
+    """Parse the ``AND CONNECT TO rel(?param), ...`` clause of an INSERT."""
+    connections = []
+    while True:
+        name = stream.expect("name")
+        key = entity.fields.get(name)
+        if not isinstance(key, ForeignKeyField):
+            candidates = [fk for fk in entity.foreign_keys
+                          if fk.entity.name == name]
+            if len(candidates) != 1:
+                raise ParseError(
+                    f"no relationship {name!r} on entity {entity.name}",
+                    text)
+            key = candidates[0]
+        stream.expect("punct", "(")
+        parameter = _parse_parameter(stream, key.name)
+        stream.expect("punct", ")")
+        connections.append((key, parameter))
+        if stream.accept("punct", ",") is None:
+            break
+    return connections
+
+
+def _parse_insert(stream, model, text, label):
+    stream.expect_keyword("INSERT", "INTO")
+    entity = model.entity(stream.expect("name"))
+    stream.expect_keyword("SET")
+    settings = _parse_settings(stream, entity, text)
+    connections = ()
+    if stream.accept("keyword", "AND"):
+        stream.expect_keyword("CONNECT", "TO")
+        connections = _parse_connections(stream, entity, text)
+    return Insert(KeyPath(entity), settings, connections, text=text,
+                  label=label)
+
+
+def _parse_update(stream, model, text, label):
+    stream.expect_keyword("UPDATE")
+    entity = model.entity(stream.expect("name"))
+    builder = _PathBuilder(model, entity, text)
+    if stream.accept("keyword", "FROM"):
+        from_names = _parse_dotted_names(stream)
+        if from_names[0] != entity.name:
+            raise ParseError(
+                "the FROM path of an UPDATE must start at the updated "
+                "entity", text)
+        builder.extend(from_names[1:])
+    stream.expect_keyword("SET")
+    settings = _parse_settings(stream, entity, text)
+    conditions = _parse_where(stream, builder)
+    return Update(builder.path, settings, conditions, text=text, label=label)
+
+
+def _parse_delete(stream, model, text, label):
+    stream.expect_keyword("DELETE", "FROM")
+    from_names = _parse_dotted_names(stream)
+    builder = _PathBuilder(model, model.entity(from_names[0]), text)
+    builder.extend(from_names[1:])
+    conditions = _parse_where(stream, builder)
+    return Delete(builder.path, conditions, text=text, label=label)
+
+
+def _parse_connect(stream, model, text, label, disconnect):
+    stream.expect_keyword("DISCONNECT" if disconnect else "CONNECT")
+    entity = model.entity(stream.expect("name"))
+    stream.expect("punct", "(")
+    source_parameter = _parse_parameter(stream, entity.id_field.name)
+    stream.expect("punct", ")")
+    stream.expect_keyword("FROM" if disconnect else "TO")
+    name = stream.expect("name")
+    key = entity.fields.get(name)
+    if not isinstance(key, ForeignKeyField):
+        candidates = [fk for fk in entity.foreign_keys
+                      if fk.entity.name == name]
+        if len(candidates) != 1:
+            raise ParseError(
+                f"no relationship {name!r} on entity {entity.name}", text)
+        key = candidates[0]
+    stream.expect("punct", "(")
+    target_parameter = _parse_parameter(stream, key.entity.id_field.name)
+    stream.expect("punct", ")")
+    path = KeyPath(entity, (key,))
+    cls = Disconnect if disconnect else Connect
+    return cls(path, source_parameter, target_parameter, text=text,
+               label=label)
+
+
+def parse_statement(model, text, label=None):
+    """Parse one statement against a conceptual model.
+
+    Returns a :class:`~repro.workload.statements.Statement` subclass
+    instance; raises :class:`~repro.exceptions.ParseError` on malformed
+    input or references that do not resolve against the model.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise ParseError("empty statement", text)
+    stream = _TokenStream(tokens, text)
+    keyword = tokens[0][1] if tokens[0][0] == "keyword" else None
+    parsers = {
+        "SELECT": lambda: _parse_query(stream, model, text, label),
+        "INSERT": lambda: _parse_insert(stream, model, text, label),
+        "UPDATE": lambda: _parse_update(stream, model, text, label),
+        "DELETE": lambda: _parse_delete(stream, model, text, label),
+        "CONNECT": lambda: _parse_connect(stream, model, text, label, False),
+        "DISCONNECT": lambda: _parse_connect(stream, model, text, label,
+                                             True),
+    }
+    if keyword not in parsers:
+        raise ParseError(f"unknown statement type {keyword!r}", text)
+    try:
+        statement = parsers[keyword]()
+    except ModelError as error:
+        raise ParseError(str(error), text) from error
+    if not stream.exhausted:
+        _kind, value = stream.peek()
+        raise ParseError(f"trailing input near {value!r}", text)
+    return statement

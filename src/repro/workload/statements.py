@@ -1,0 +1,306 @@
+"""Statement IR: queries and the five update statement types (Fig 8).
+
+Statements are expressed over the conceptual model: each names a target
+entity and a path through the entity graph rooted at it, with predicates
+over attributes of entities along the path.  They are normally produced
+by :func:`repro.workload.parser.parse_statement`, but can be constructed
+directly for programmatic workloads.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.model.fields import ForeignKeyField
+from repro.model.paths import KeyPath
+from repro.workload.conditions import Condition
+
+
+class Statement:
+    """Common behaviour of every workload statement.
+
+    ``key_path`` is the statement's walk through the entity graph; its
+    first entity is the statement's target.  ``conditions`` are predicates
+    over attributes of entities on that path; at most one may be a range
+    predicate (a restriction inherited from the single-get semantics of
+    extensible record stores).
+    """
+
+    def __init__(self, key_path, conditions=(), text=None, label=None):
+        if not isinstance(key_path, KeyPath):
+            raise ParseError("statement requires a KeyPath", text)
+        self.key_path = key_path
+        self.conditions = tuple(conditions)
+        self.text = text
+        self.label = label
+        self._validate_conditions()
+
+    def _validate_conditions(self):
+        ranges = [c for c in self.conditions if c.is_range]
+        if len(ranges) > 1:
+            raise ParseError(
+                "at most one range predicate is supported per statement",
+                self.text)
+        seen = set()
+        for condition in self.conditions:
+            if not self.key_path.includes(condition.field.parent):
+                raise ParseError(
+                    f"condition on {condition.field.id} lies off the "
+                    f"statement path {self.key_path}", self.text)
+            if condition.field.id in seen:
+                raise ParseError(
+                    f"duplicate condition on {condition.field.id}",
+                    self.text)
+            seen.add(condition.field.id)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def entity(self):
+        """The statement's target entity (the FROM entity)."""
+        return self.key_path.first
+
+    @property
+    def eq_conditions(self):
+        return tuple(c for c in self.conditions if c.is_equality)
+
+    @property
+    def range_condition(self):
+        """The single range predicate, or None."""
+        for condition in self.conditions:
+            if condition.is_range:
+                return condition
+        return None
+
+    def condition_on(self, field):
+        """The predicate over ``field``, or None."""
+        for condition in self.conditions:
+            if condition.field is field:
+                return condition
+        return None
+
+    @property
+    def given_fields(self):
+        """Fields whose values arrive as equality parameters."""
+        return tuple(c.field for c in self.eq_conditions)
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def matching_join_rows(self):
+        """Expected rows of the full path join satisfying all predicates."""
+        rows = self.key_path.cardinality
+        for condition in self.conditions:
+            rows *= condition.selectivity
+        return max(rows, 1.0)
+
+    @property
+    def matching_target_rows(self):
+        """Expected distinct target-entity rows satisfying all predicates."""
+        rows = float(self.entity.count)
+        for condition in self.conditions:
+            rows *= condition.selectivity
+        return max(rows, 1.0)
+
+    def __repr__(self):
+        text = self.text or f"{type(self).__name__} over {self.key_path}"
+        return f"{type(self).__name__}({text!r})"
+
+    def __str__(self):
+        return self.text or repr(self)
+
+
+class Query(Statement):
+    """A read statement: SELECT over a path (Fig 3).
+
+    ``select`` holds the requested fields; for workload queries they must
+    belong to the target entity (the same restriction as the paper's
+    prototype).  Support queries relax this — see :class:`SupportQuery`.
+    """
+
+    #: distinguishes workload queries from maintenance support queries
+    is_support = False
+
+    def __init__(self, key_path, select, conditions=(), order_by=(),
+                 limit=None, text=None, label=None):
+        super().__init__(key_path, conditions, text=text, label=label)
+        self.select = tuple(select)
+        self.order_by = tuple(order_by)
+        self.limit = limit
+        if not self.select:
+            raise ParseError("query selects no fields", text)
+        for field in self.select:
+            if field.parent is not self.entity and not self.is_support:
+                raise ParseError(
+                    f"selected field {field.id} does not belong to the "
+                    f"target entity {self.entity.name}", text)
+        for field in self.order_by:
+            if not self.key_path.includes(field.parent):
+                raise ParseError(
+                    f"ORDER BY field {field.id} lies off the statement path",
+                    text)
+        if limit is not None and limit < 1:
+            raise ParseError("LIMIT must be positive", text)
+        if not self.eq_conditions:
+            raise ParseError(
+                "a query needs at least one equality predicate to seed a "
+                "get request", text)
+
+    @property
+    def all_fields(self):
+        """Every field the query touches: selected, filtered, ordered."""
+        fields = dict.fromkeys(self.select)
+        for condition in self.conditions:
+            fields.setdefault(condition.field)
+        for field in self.order_by:
+            fields.setdefault(field)
+        return tuple(fields)
+
+    @property
+    def result_rows(self):
+        """Expected result size, honouring LIMIT."""
+        rows = self.matching_join_rows
+        if self.limit is not None:
+            rows = min(rows, float(self.limit))
+        return rows
+
+
+class SupportQuery(Query):
+    """A query generated to maintain a column family under an update.
+
+    Support queries fetch the primary-key attributes (and displaced old
+    values) of the column-family rows an update touches (§VI-B).  They may
+    select fields from any entity along their path, since the keys of a
+    multi-entity column family span several entities.
+    """
+
+    is_support = True
+
+    def __init__(self, key_path, select, conditions=(), update=None,
+                 index=None, text=None, label=None):
+        super().__init__(key_path, select, conditions, text=text, label=label)
+        #: the update statement this query supports
+        self.update = update
+        #: the column family being maintained
+        self.index = index
+
+
+class _ModifyingStatement(Statement):
+    """Base for the write statements of Fig 8."""
+
+    is_support = False
+
+    @property
+    def modified_entity(self):
+        """The entity whose rows (or connections) this statement changes."""
+        return self.entity
+
+
+class Insert(_ModifyingStatement):
+    """``INSERT INTO Entity SET f = ?, ... [AND CONNECT TO rel(?), ...]``.
+
+    Creates one new entity row.  The primary key is always provided (the
+    paper assumes the same); relationships named in the CONNECT clause are
+    established atomically with the insert.
+    """
+
+    def __init__(self, key_path, settings, connections=(), text=None,
+                 label=None):
+        super().__init__(key_path, conditions=(), text=text, label=label)
+        if len(key_path) != 1:
+            raise ParseError("INSERT targets a single entity", text)
+        #: mapping of field -> parameter name for the new row's values
+        self.settings = dict(settings)
+        #: pairs of (foreign key on the target entity, parameter name)
+        self.connections = tuple(connections)
+        for field in self.settings:
+            if field.parent is not self.entity:
+                raise ParseError(
+                    f"SET field {field.id} does not belong to "
+                    f"{self.entity.name}", text)
+        for key, _parameter in self.connections:
+            if not isinstance(key, ForeignKeyField) \
+                    or key.parent is not self.entity:
+                raise ParseError(
+                    f"CONNECT TO target {key!r} is not a relationship of "
+                    f"{self.entity.name}", text)
+        id_field = self.entity.id_field
+        if id_field not in self.settings:
+            # The paper assumes the primary key accompanies every insert.
+            self.settings[id_field] = id_field.name
+
+    @property
+    def set_fields(self):
+        return tuple(self.settings)
+
+    @property
+    def connected_keys(self):
+        return tuple(key for key, _ in self.connections)
+
+
+class Update(_ModifyingStatement):
+    """``UPDATE Entity FROM path SET f = ? WHERE ...`` (Fig 8).
+
+    Modifies attributes of target-entity rows selected by the predicates,
+    which may reference entities along the FROM path.
+    """
+
+    def __init__(self, key_path, settings, conditions, text=None, label=None):
+        super().__init__(key_path, conditions, text=text, label=label)
+        self.settings = dict(settings)
+        if not self.settings:
+            raise ParseError("UPDATE sets no fields", text)
+        for field in self.settings:
+            if field.parent is not self.entity:
+                raise ParseError(
+                    f"SET field {field.id} does not belong to "
+                    f"{self.entity.name}", text)
+            if field is self.entity.id_field:
+                raise ParseError("cannot UPDATE a primary key", text)
+        if not self.conditions:
+            raise ParseError("UPDATE requires a WHERE clause", text)
+
+    @property
+    def set_fields(self):
+        return tuple(self.settings)
+
+
+class Delete(_ModifyingStatement):
+    """``DELETE FROM path WHERE ...`` — removes matching target rows."""
+
+    def __init__(self, key_path, conditions, text=None, label=None):
+        super().__init__(key_path, conditions, text=text, label=label)
+        if not self.conditions:
+            raise ParseError("DELETE requires a WHERE clause", text)
+
+
+class Connect(_ModifyingStatement):
+    """``CONNECT Entity(?id) TO rel(?target_id)`` — add a relationship."""
+
+    #: False for CONNECT, True for DISCONNECT
+    removes_link = False
+
+    def __init__(self, key_path, source_parameter, target_parameter,
+                 text=None, label=None):
+        if len(key_path) != 2:
+            raise ParseError(
+                "CONNECT/DISCONNECT traverses exactly one relationship",
+                text)
+        source = key_path.first
+        conditions = (
+            Condition(source.id_field, "=", source_parameter),
+            Condition(key_path.last.id_field, "=", target_parameter),
+        )
+        super().__init__(key_path, conditions, text=text, label=label)
+        self.source_parameter = source_parameter
+        self.target_parameter = target_parameter
+
+    @property
+    def relationship(self):
+        """The foreign key being connected or disconnected."""
+        return self.key_path.keys[0]
+
+
+class Disconnect(Connect):
+    """``DISCONNECT Entity(?id) FROM rel(?target_id)`` — remove a link."""
+
+    removes_link = True

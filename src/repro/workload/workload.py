@@ -1,0 +1,132 @@
+"""A weighted collection of statements, optionally with workload mixes."""
+
+from __future__ import annotations
+
+from repro.exceptions import ParseError
+from repro.workload.parser import parse_statement
+from repro.workload.statements import Query, Statement
+
+
+class Workload:
+    """The second input to the schema advisor: statements with weights.
+
+    Each statement carries one weight per *mix* (e.g. RUBiS "bidding" and
+    "browsing" request mixes); the advisor optimizes for the active mix.
+    Statements may be given as text (parsed against the model) or as
+    already-constructed :class:`~repro.workload.statements.Statement`
+    objects.
+
+    >>> workload = Workload(model)
+    >>> workload.add_statement("SELECT Hotel.HotelName FROM Hotel "
+    ...                        "WHERE Hotel.HotelID = ?", weight=2.0)
+    """
+
+    DEFAULT_MIX = "default"
+
+    def __init__(self, model, mix=None):
+        self.model = model
+        self.active_mix = mix or self.DEFAULT_MIX
+        #: label -> statement
+        self.statements = {}
+        #: label -> {mix -> weight}
+        self._weights = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_statement(self, statement, weight=1.0, label=None, mixes=None):
+        """Register a statement with a weight (or per-mix weights).
+
+        ``mixes`` maps mix names to weights and overrides ``weight``.
+        Returns the parsed statement.
+        """
+        if isinstance(statement, str):
+            statement = parse_statement(self.model, statement, label=label)
+        if not isinstance(statement, Statement):
+            raise ParseError(f"not a statement: {statement!r}")
+        if label is None:
+            label = statement.label or f"statement_{len(self.statements)}"
+        statement.label = label
+        if label in self.statements:
+            raise ParseError(f"duplicate statement label {label!r}")
+        if weight <= 0 and not mixes:
+            raise ParseError(f"statement weight must be positive: {weight}")
+        self.statements[label] = statement
+        if mixes:
+            self._weights[label] = dict(mixes)
+        else:
+            self._weights[label] = {self.DEFAULT_MIX: weight}
+        return statement
+
+    def set_weight(self, label, weight, mix=None):
+        """Adjust the weight of an existing statement (for one mix)."""
+        if label not in self.statements:
+            raise ParseError(f"unknown statement label {label!r}")
+        self._weights[label][mix or self.active_mix] = weight
+
+    # -- access ------------------------------------------------------------
+
+    def weight(self, statement, mix=None):
+        """Weight of a statement in the given (default: active) mix."""
+        label = statement.label if isinstance(statement, Statement) \
+            else statement
+        weights = self._weights[label]
+        mix = mix or self.active_mix
+        if mix in weights:
+            return weights[mix]
+        return weights.get(self.DEFAULT_MIX, 0.0)
+
+    def with_mix(self, mix):
+        """A view of this workload with a different active mix."""
+        view = Workload(self.model, mix=mix)
+        view.statements = self.statements
+        view._weights = self._weights
+        return view
+
+    @property
+    def queries(self):
+        """Read statements with positive weight in the active mix."""
+        return [s for s in self.statements.values()
+                if isinstance(s, Query) and self.weight(s) > 0]
+
+    @property
+    def updates(self):
+        """Write statements with positive weight in the active mix."""
+        return [s for s in self.statements.values()
+                if not isinstance(s, Query) and self.weight(s) > 0]
+
+    @property
+    def weighted_statements(self):
+        """All active (statement, weight) pairs."""
+        return [(s, self.weight(s)) for s in self.statements.values()
+                if self.weight(s) > 0]
+
+    def scale_weights(self, factor, predicate=None, mix=None,
+                      source_mix=None):
+        """Create a mix with some weights scaled by ``factor``.
+
+        ``predicate`` selects which statements to scale (default: the
+        write statements, matching the paper's 10x/100x write-scaling
+        experiment, Fig 12).  Returns a workload view on the new mix.
+        """
+        if predicate is None:
+            def predicate(statement):
+                return not isinstance(statement, Query)
+        source_mix = source_mix or self.active_mix
+        new_mix = mix or f"{source_mix}_x{factor:g}"
+        for label, statement in self.statements.items():
+            base = self.weight(statement, mix=source_mix)
+            scaled = base * factor if predicate(statement) else base
+            self._weights[label][new_mix] = scaled
+        return self.with_mix(new_mix)
+
+    def __len__(self):
+        return len(self.statements)
+
+    def __iter__(self):
+        return iter(self.statements.values())
+
+    def __repr__(self):
+        reads = len(self.queries)
+        writes = len(self.updates)
+        return (f"Workload(mix={self.active_mix!r}, queries={reads}, "
+                f"updates={writes})")

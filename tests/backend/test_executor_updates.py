@@ -1,0 +1,97 @@
+"""Executor tests for CONNECT/DISCONNECT and maintenance corner cases."""
+
+import pytest
+
+from repro import Advisor, Workload
+from repro.backend import ExecutionEngine
+from repro.demo import hotel_dataset, hotel_model
+
+
+@pytest.fixture()
+def setup():
+    model = hotel_model(scale=0.02)
+    workload = Workload(model)
+    workload.add_statement(
+        "SELECT PointOfInterest.POIName FROM PointOfInterest.Hotels "
+        "WHERE Hotel.HotelID = ?hotel",
+        weight=5.0, label="pois_for_hotel")
+    workload.add_statement(
+        "SELECT Hotel.HotelName FROM Hotel.PointsOfInterest "
+        "WHERE PointOfInterest.POIID = ?poi",
+        weight=2.0, label="hotels_for_poi")
+    workload.add_statement(
+        "CONNECT Hotel(?hotel) TO PointsOfInterest(?poi)",
+        weight=1.0, label="add_poi")
+    workload.add_statement(
+        "DISCONNECT Hotel(?hotel) FROM PointsOfInterest(?poi)",
+        weight=1.0, label="remove_poi")
+    dataset = hotel_dataset(model, seed=42)
+    dataset.sync_counts()
+    recommendation = Advisor(model).recommend(workload)
+    engine = ExecutionEngine(model, recommendation, dataset)
+    engine.load()
+    return model, workload, dataset, engine
+
+
+def _poi_names(engine, workload, dataset, hotel_id):
+    query = workload.statements["pois_for_hotel"]
+    rows = engine.execute_query(query, {"hotel": hotel_id})
+    got = {row["PointOfInterest.POIName"] for row in rows}
+    expected = {name for (name,) in
+                dataset.evaluate_query(query, {"hotel": hotel_id})}
+    assert got == expected
+    return got
+
+
+def test_connect_adds_rows(setup):
+    model, workload, dataset, engine = setup
+    before = _poi_names(engine, workload, dataset, 0)
+    connect = workload.statements["add_poi"]
+    # pick a POI not currently linked to hotel 0
+    linked = dataset.related(model.entity("Hotel")["PointsOfInterest"], 0)
+    new_poi = next(p for p in dataset.rows["PointOfInterest"]
+                   if p not in linked)
+    engine.execute_update(connect, {"hotel": 0, "poi": new_poi})
+    after = _poi_names(engine, workload, dataset, 0)
+    assert len(after) == len(before) + 1
+
+
+def test_disconnect_removes_rows(setup):
+    model, workload, dataset, engine = setup
+    linked = dataset.related(model.entity("Hotel")["PointsOfInterest"], 0)
+    if not linked:
+        pytest.skip("hotel 0 has no POIs in this dataset")
+    poi = min(linked)
+    disconnect = workload.statements["remove_poi"]
+    engine.execute_update(disconnect, {"hotel": 0, "poi": poi})
+    names = _poi_names(engine, workload, dataset, 0)
+    assert f"poi-{poi}" not in names
+
+
+def test_connect_maintains_reverse_direction_queries(setup):
+    model, workload, dataset, engine = setup
+    connect = workload.statements["add_poi"]
+    linked = dataset.related(model.entity("Hotel")["PointsOfInterest"], 1)
+    new_poi = next(p for p in dataset.rows["PointOfInterest"]
+                   if p not in linked)
+    engine.execute_update(connect, {"hotel": 1, "poi": new_poi})
+    reverse = workload.statements["hotels_for_poi"]
+    rows = engine.execute_query(reverse, {"poi": new_poi})
+    got = {row["Hotel.HotelName"] for row in rows}
+    expected = {name for (name,) in
+                dataset.evaluate_query(reverse, {"poi": new_poi})}
+    assert got == expected
+    assert "hotel-1" in got
+
+
+def test_connect_is_idempotent_in_store(setup):
+    model, workload, dataset, engine = setup
+    connect = workload.statements["add_poi"]
+    linked = dataset.related(model.entity("Hotel")["PointsOfInterest"], 2)
+    new_poi = next(p for p in dataset.rows["PointOfInterest"]
+                   if p not in linked)
+    engine.execute_update(connect, {"hotel": 2, "poi": new_poi})
+    first = _poi_names(engine, workload, dataset, 2)
+    engine.execute_update(connect, {"hotel": 2, "poi": new_poi})
+    second = _poi_names(engine, workload, dataset, 2)
+    assert first == second

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.demo import hotel_dataset, hotel_model, hotel_workload
+
+
+@pytest.fixture(scope="session")
+def hotel():
+    """The full-size hotel model (statistics only; no data)."""
+    return hotel_model()
+
+
+@pytest.fixture(scope="session")
+def hotel_queries(hotel):
+    """Read-only hotel workload over the session model."""
+    return hotel_workload(hotel, include_updates=False)
+
+
+@pytest.fixture(scope="session")
+def hotel_full(hotel):
+    """Hotel workload including update statements."""
+    return hotel_workload(hotel, include_updates=True)
+
+
+@pytest.fixture()
+def small_hotel():
+    """A small hotel model suitable for loading data in tests."""
+    return hotel_model(scale=0.02)
+
+
+@pytest.fixture()
+def small_hotel_data(small_hotel):
+    """A populated dataset for the small hotel model."""
+    return hotel_dataset(small_hotel, seed=42)

@@ -1,0 +1,76 @@
+"""Tests for cost-model calibration against the store."""
+
+import pytest
+
+from repro.backend import LatencyModel, Store
+from repro.cost import (
+    CalibrationSample,
+    calibrate_store,
+    fit_cost_model,
+    probe_store,
+)
+from repro.exceptions import ExecutionError
+
+
+def test_sample_validation():
+    with pytest.raises(ExecutionError):
+        CalibrationSample("scan", 1, 1, 1, 1.0)
+    sample = CalibrationSample("get", 1, 5, 32, 0.5)
+    assert "get" in repr(sample)
+
+
+def test_fit_requires_enough_samples():
+    samples = [CalibrationSample("get", 1, 1, 8, 0.5)]
+    with pytest.raises(ExecutionError):
+        fit_cost_model(samples)
+
+
+def test_probe_produces_all_kinds():
+    samples = probe_store(Store())
+    kinds = {sample.kind for sample in samples}
+    assert kinds == {"get", "put", "delete"}
+    assert all(sample.time_ms > 0 for sample in samples)
+
+
+def test_calibration_recovers_simulator_constants():
+    """The simulator's latency model is linear, so the fit must recover
+    its per-row and per-byte constants (and the request overhead sum)."""
+    latency = LatencyModel(get_base=0.7, row_scan=0.004,
+                           byte_transfer=5e-5, put_base=0.3,
+                           put_row=0.05, delete_base=0.3,
+                           delete_row=0.04)
+    store = Store(latency=latency)
+    fitted = calibrate_store(store)
+    assert fitted.request_cost + fitted.partition_cost \
+        == pytest.approx(latency.get_base, rel=0.05)
+    assert fitted.row_cost == pytest.approx(latency.row_scan, rel=0.05)
+    assert fitted.row_byte_cost == pytest.approx(latency.byte_transfer,
+                                                 rel=0.05)
+    assert fitted.put_cost == pytest.approx(latency.put_row, rel=0.05)
+    assert fitted.delete_row_cost == pytest.approx(latency.delete_row,
+                                                   rel=0.05)
+
+
+def test_partition_share_splits_overhead():
+    store = Store()
+    samples = probe_store(store)
+    half = fit_cost_model(samples, partition_share=0.5)
+    skewed = fit_cost_model(samples, partition_share=0.9)
+    assert half.request_cost + half.partition_cost == pytest.approx(
+        skewed.request_cost + skewed.partition_cost, rel=1e-6)
+    assert skewed.partition_cost > half.partition_cost
+
+
+def test_calibrated_model_preserves_schema_ordering():
+    """Recommending with a calibrated model must still prefer the
+    materialized view for a read-only workload (sanity: calibration
+    produces usable constants, not degenerate zeros)."""
+    from repro import Advisor
+    from repro.demo import hotel_model, hotel_workload
+    fitted = calibrate_store(Store())
+    model = hotel_model()
+    workload = hotel_workload(model, include_updates=False)
+    recommendation = Advisor(model, cost_model=fitted).recommend(workload)
+    assert recommendation.total_cost > 0
+    for plan in recommendation.query_plans.values():
+        assert len(plan.lookup_steps) == 1

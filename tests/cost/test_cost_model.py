@@ -1,0 +1,126 @@
+"""Unit tests for the cost models."""
+
+import pytest
+
+from repro.cost import CassandraCostModel, CostModel, SimpleCostModel
+from repro.indexes import entity_fetch_index, materialized_view_for
+from repro.planner import QueryPlanner
+from repro.planner.steps import (
+    DeleteStep,
+    FilterStep,
+    IndexLookupStep,
+    InsertStep,
+    LimitStep,
+    SortStep,
+)
+from repro.workload import parse_statement
+from repro.workload.conditions import Condition
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+@pytest.fixture()
+def lookup_step(hotel):
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    (plan,) = planner.plans_for(query)
+    return plan.steps[0]
+
+
+def test_base_model_is_abstract(lookup_step):
+    with pytest.raises(NotImplementedError):
+        CostModel().cost_step(lookup_step)
+
+
+def test_unknown_step_type_rejected():
+    class Strange:
+        pass
+    with pytest.raises(TypeError):
+        SimpleCostModel().cost_step(Strange())
+
+
+def test_cassandra_lookup_cost_components(hotel, lookup_step):
+    model = CassandraCostModel(request_cost=1.0, partition_cost=0.5,
+                               row_cost=0.1, row_byte_cost=0.0)
+    cost = model.index_lookup_cost(lookup_step)
+    expected = (lookup_step.bindings * 1.5
+                + lookup_step.raw_rows * 0.1)
+    assert cost == pytest.approx(expected)
+
+
+def test_cassandra_cost_scales_with_rows(hotel, lookup_step):
+    cheap = CassandraCostModel()
+    base = cheap.index_lookup_cost(lookup_step)
+    lookup_step.raw_rows *= 10
+    assert cheap.index_lookup_cost(lookup_step) > base
+
+
+def test_filter_and_sort_costs():
+    model = CassandraCostModel(filter_row_cost=0.01, sort_row_cost=0.01)
+    filter_step = FilterStep((), input_cardinality=100, cardinality=10)
+    assert model.filter_cost(filter_step) == pytest.approx(1.0)
+    sort_step = SortStep((), cardinality=8)
+    assert model.sort_cost(sort_step) == pytest.approx(8 * 3 * 0.01)
+
+
+def test_limit_step_is_free(hotel):
+    model = CassandraCostModel()
+    assert model.limit_cost(LimitStep(5, 100)) == 0.0
+
+
+def test_write_step_costs(hotel):
+    index = entity_fetch_index(hotel.entity("Guest"))
+    model = CassandraCostModel(request_cost=0.0, put_cost=2.0,
+                               delete_cost=1.0)
+    assert model.insert_cost(InsertStep(index, 3)) == pytest.approx(6.0)
+    assert model.delete_cost(DeleteStep(index, 3)) == pytest.approx(3.0)
+
+
+def test_cost_plan_annotates_steps(hotel):
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    (plan,) = planner.plans_for(query)
+    total = CassandraCostModel().cost_plan(plan)
+    assert total == pytest.approx(plan.cost)
+    assert all(step.cost is not None for step in plan.steps)
+
+
+def test_plan_cost_requires_annotation(hotel):
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    (plan,) = planner.plans_for(query)
+    with pytest.raises(ValueError):
+        plan.cost
+
+
+def test_simple_model_counts_requests(hotel):
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    (plan,) = planner.plans_for(query)
+    assert SimpleCostModel().cost_plan(plan) == pytest.approx(1.0)
+
+
+def test_simple_model_ignores_client_steps(hotel):
+    model = SimpleCostModel()
+    rate = hotel.field("Room", "RoomRate")
+    assert model.filter_cost(
+        FilterStep((Condition(rate, ">"),), 10, 1)) == 0.0
+    assert model.sort_cost(SortStep((rate,), 10)) == 0.0
+
+
+def test_costs_are_nonnegative_across_hotel_plans(hotel, hotel_queries):
+    from repro.enumerator import CandidateEnumerator
+    pool = CandidateEnumerator(hotel).candidates(hotel_queries)
+    planner = QueryPlanner(hotel, pool)
+    model = CassandraCostModel()
+    for query in hotel_queries.queries:
+        for plan in planner.plans_for(query):
+            assert model.cost_plan(plan) > 0
+            for step in plan.steps:
+                assert step.cost >= 0

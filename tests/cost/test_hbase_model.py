@@ -1,0 +1,70 @@
+"""Tests for the HBase cost model and cross-backend recommendations."""
+
+import pytest
+
+from repro import Advisor
+from repro.cost import CassandraCostModel, HBaseCostModel
+from repro.demo import hotel_model, hotel_workload
+from repro.indexes import materialized_view_for
+from repro.planner import QueryPlanner
+from repro.workload import parse_statement
+
+
+def test_hbase_constants_differ():
+    cassandra = CassandraCostModel()
+    hbase = HBaseCostModel()
+    assert hbase.request_cost > cassandra.request_cost
+    assert hbase.row_cost < cassandra.row_cost
+    assert hbase.put_cost < cassandra.put_cost
+
+
+def test_hbase_model_costs_plans(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?")
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    (plan,) = planner.plans_for(query)
+    assert HBaseCostModel().cost_plan(plan) > 0
+
+
+def test_backends_can_disagree_on_denormalization():
+    """With cheaper writes and pricier requests, the HBase model
+    tolerates at least as much denormalization as the Cassandra model
+    for the same workload."""
+    model = hotel_model()
+    workload = hotel_workload(model, include_updates=True)
+    workload.set_weight("update_poi_description", 50.0)
+    cassandra = Advisor(model,
+                        cost_model=CassandraCostModel()).recommend(workload)
+    hbase = Advisor(model,
+                    cost_model=HBaseCostModel()).recommend(workload)
+    description = model.field("PointOfInterest", "POIDescription")
+    copies_cassandra = sum(1 for index in cassandra.indexes
+                           if index.contains_field(description))
+    copies_hbase = sum(1 for index in hbase.indexes
+                       if index.contains_field(description))
+    assert copies_hbase >= copies_cassandra
+    # both remain valid schemas for the workload
+    assert set(cassandra.query_plans) == set(hbase.query_plans)
+
+
+def test_hbase_prefers_fewer_gets():
+    """A chain plan (many requests) is penalized more by the HBase
+    model than by the Cassandra model, relative to a single get."""
+    model = hotel_model()
+    query = parse_statement(
+        model,
+        "SELECT Room.RoomID FROM Room WHERE "
+        "Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate")
+    from repro.enumerator import CandidateEnumerator
+    pool = CandidateEnumerator(model).enumerate_query(query)
+    planner = QueryPlanner(model, pool)
+    plans = planner.plans_for(query)
+    cassandra, hbase = CassandraCostModel(), HBaseCostModel()
+    single = [plan for plan in plans if len(plan.lookup_steps) == 1][0]
+    chain = max(plans, key=lambda plan: len(plan.lookup_steps))
+    ratio_cassandra = (cassandra.cost_plan(chain)
+                       / cassandra.cost_plan(single))
+    ratio_hbase = hbase.cost_plan(chain) / hbase.cost_plan(single)
+    assert ratio_hbase > ratio_cassandra

@@ -1,0 +1,71 @@
+"""Unit tests for the Combine step (§IV-A3)."""
+
+from repro.enumerator import combine_candidates
+from repro.indexes import Index, entity_fetch_index
+
+
+def _fetch(hotel, *field_names):
+    entity = hotel.entity("Guest")
+    return entity_fetch_index(entity, [entity[name]
+                                       for name in field_names])
+
+
+def test_combines_same_hash_no_clustering_different_values(hotel):
+    left = _fetch(hotel, "GuestName")
+    right = _fetch(hotel, "GuestEmail")
+    merged = combine_candidates({left, right})
+    assert len(merged) == 1
+    (combined,) = merged
+    assert set(combined.hash_fields) == set(left.hash_fields)
+    assert {f.name for f in combined.extra_fields} == {"GuestName",
+                                                       "GuestEmail"}
+
+
+def test_does_not_combine_with_clustering_keys(hotel):
+    guest_id = hotel.field("Guest", "GuestID")
+    name = hotel.field("Guest", "GuestName")
+    email = hotel.field("Guest", "GuestEmail")
+    clustered = Index((guest_id,), (name,), (), hotel.path(["Guest"]))
+    plain = Index((guest_id,), (), (email,), hotel.path(["Guest"]))
+    assert combine_candidates({clustered, plain}) == set()
+
+
+def test_does_not_combine_different_hash_keys(hotel):
+    left = _fetch(hotel, "GuestName")
+    name = hotel.field("Guest", "GuestName")
+    email = hotel.field("Guest", "GuestEmail")
+    other = Index((name,), (), (email,), hotel.path(["Guest"]))
+    assert combine_candidates({left, other}) == set()
+
+
+def test_does_not_combine_identical_value_sets(hotel):
+    left = _fetch(hotel, "GuestName")
+    assert combine_candidates({left}) == set()
+    twin = _fetch(hotel, "GuestName")
+    assert combine_candidates({left, twin}) == set()
+
+
+def test_does_not_combine_across_paths(hotel):
+    guest_id = hotel.field("Guest", "GuestID")
+    name = hotel.field("Guest", "GuestName")
+    res_date = hotel.field("Reservation", "ResStartDate")
+    single = Index((guest_id,), (), (name,), hotel.path(["Guest"]))
+    longer = Index((guest_id,), (), (res_date,),
+                   hotel.path(["Guest", "Reservations"]))
+    assert combine_candidates({single, longer}) == set()
+
+
+def test_combined_candidate_not_duplicated(hotel):
+    left = _fetch(hotel, "GuestName")
+    right = _fetch(hotel, "GuestEmail")
+    both = _fetch(hotel, "GuestName", "GuestEmail")
+    merged = combine_candidates({left, right, both})
+    assert both not in merged
+    assert merged == set()
+
+
+def test_combine_is_deterministic(hotel):
+    pool = {_fetch(hotel, "GuestName"), _fetch(hotel, "GuestEmail")}
+    first = combine_candidates(pool)
+    second = combine_candidates(pool)
+    assert {i.key for i in first} == {i.key for i in second}

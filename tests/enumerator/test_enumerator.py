@@ -1,0 +1,144 @@
+"""Unit tests for candidate enumeration (§IV-A)."""
+
+import pytest
+
+from repro.enumerator import CandidateEnumerator
+from repro.indexes import materialized_view_for
+from repro.workload import parse_statement
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+@pytest.fixture()
+def enumerator(hotel):
+    return CandidateEnumerator(hotel)
+
+
+def test_materialized_view_always_enumerated(hotel, enumerator,
+                                             hotel_queries):
+    for query in hotel_queries.queries:
+        pool = enumerator.enumerate_query(query)
+        assert materialized_view_for(query) in pool
+
+
+def test_id_only_variant_enumerated(hotel, enumerator):
+    query = parse_statement(hotel, FIG3)
+    pool = enumerator.enumerate_query(query)
+    from repro.indexes import id_index_for
+    assert id_index_for(query) in pool
+
+
+def test_fetch_indexes_enumerated(hotel, enumerator):
+    query = parse_statement(hotel, FIG3)
+    pool = enumerator.enumerate_query(query)
+    fetches = [index for index in pool
+               if len(index.path) == 1
+               and index.path.first.name == "Guest"]
+    # both the select-field fetch and the all-attribute fetch
+    assert any({f.name for f in index.extra_fields}
+               == {"GuestName", "GuestEmail"} for index in fetches)
+
+
+def test_relaxed_range_variants(hotel, enumerator):
+    """§IV-A2: the enumerator emits candidates with the range attribute
+    moved out of the clustering key (CF2-style) and into the values."""
+    query = parse_statement(
+        hotel,
+        "SELECT Room.RoomID FROM Room WHERE "
+        "Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate")
+    pool = enumerator.enumerate_query(query)
+    rate_positions = set()
+    for index in pool:
+        if [f.id for f in index.hash_fields] != ["Hotel.HotelCity"]:
+            continue
+        order_ids = [f.id for f in index.order_fields]
+        extra_ids = [f.id for f in index.extra_fields]
+        if "Room.RoomRate" in order_ids:
+            rate_positions.add("clustering")
+        elif "Room.RoomRate" in extra_ids:
+            rate_positions.add("values")
+        else:
+            rate_positions.add("absent")
+    assert rate_positions == {"clustering", "values", "absent"}
+
+
+def test_relaxation_disabled(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Room.RoomID FROM Room WHERE "
+        "Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate")
+    strict = CandidateEnumerator(hotel, relax=False)
+    pool = strict.enumerate_query(query)
+    for index in pool:
+        if [f.id for f in index.hash_fields] == ["Hotel.HotelCity"] \
+                and len(index.path) > 1:
+            assert "Room.RoomRate" in [f.id for f in index.order_fields]
+
+
+def test_order_relaxation_variant(hotel, enumerator):
+    query = parse_statement(
+        hotel,
+        "SELECT Hotel.HotelName FROM Hotel WHERE Hotel.HotelCity = ? "
+        "ORDER BY Hotel.HotelName")
+    pool = enumerator.enumerate_query(query)
+    placements = set()
+    for index in pool:
+        if [f.id for f in index.hash_fields] != ["Hotel.HotelCity"]:
+            continue
+        if index.order_fields and index.order_fields[0].name == "HotelName":
+            placements.add("clustering")
+        elif any(f.name == "HotelName" for f in index.extra_fields):
+            placements.add("values")
+    assert placements == {"clustering", "values"}
+
+
+def test_hash_entity_variants(hotel, enumerator):
+    """Fig 9 style: equality predicates on two entities yield views
+    hashed on either entity."""
+    query = parse_statement(
+        hotel,
+        "SELECT Room.RoomRate FROM Room.Hotel.PointsOfInterest "
+        "WHERE Room.RoomNumber = ?floor "
+        "AND PointOfInterest.POIID = ?poi")
+    pool = enumerator.enumerate_query(query)
+    hash_ids = {tuple(f.id for f in index.hash_fields)
+                for index in pool if len(index.path) == 3}
+    assert ("Room.RoomNumber",) in hash_ids
+    assert ("PointOfInterest.POIID",) in hash_ids
+
+
+def test_join_segments_enumerated(hotel, enumerator):
+    query = parse_statement(hotel, FIG3)
+    pool = enumerator.enumerate_query(query)
+    segments = {tuple(entity.name for entity in index.path.entities)
+                for index in pool}
+    # interior join segment Room -> Reservation -> Guest, keyed by RoomID
+    assert ("Room", "Reservations".replace("Reservations", "Reservation"),
+            "Guest") in segments
+
+
+def test_workload_enumeration_covers_support_paths(hotel, hotel_full,
+                                                   enumerator):
+    pool = enumerator.candidates(hotel_full)
+    # deleting a guest requires locating reservations and rooms from the
+    # guest side: some candidate must be keyed by GuestID over a path
+    guest_keyed = [index for index in pool
+                   if [f.id for f in index.hash_fields]
+                   == ["Guest.GuestID"] and len(index.path) > 1]
+    assert guest_keyed
+
+
+def test_workload_enumeration_is_deterministic(hotel, hotel_full):
+    first = CandidateEnumerator(hotel).candidates(hotel_full)
+    second = CandidateEnumerator(hotel).candidates(hotel_full)
+    assert [index.key for index in first] == [index.key
+                                              for index in second]
+
+
+def test_combine_disabled_is_subset(hotel, hotel_full):
+    with_combine = set(CandidateEnumerator(hotel).candidates(hotel_full))
+    without = set(CandidateEnumerator(hotel,
+                                      combine=False).candidates(hotel_full))
+    assert without <= with_combine

@@ -1,0 +1,155 @@
+"""Unit tests for Modifies? and support-query generation (§VI)."""
+
+import pytest
+
+from repro.enumerator import modified_row_counts, modifies, support_queries
+from repro.indexes import Index, entity_fetch_index, materialized_view_for
+from repro.workload import parse_statement
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+@pytest.fixture()
+def fig3_view(hotel):
+    return materialized_view_for(parse_statement(hotel, FIG3))
+
+
+def _stmt(hotel, text):
+    return parse_statement(hotel, text)
+
+
+def test_update_modifies_only_indexes_with_set_fields(hotel, fig3_view):
+    update = _stmt(hotel, "UPDATE Guest SET GuestName = ? "
+                          "WHERE Guest.GuestID = ?")
+    assert modifies(update, fig3_view)
+    other = entity_fetch_index(hotel.entity("Room"))
+    assert not modifies(other, other) is None  # sanity: call signature
+    assert not modifies(update, other)
+
+
+def test_delete_modifies_indexes_containing_entity(hotel, fig3_view):
+    delete = _stmt(hotel, "DELETE FROM Guest WHERE Guest.GuestID = ?")
+    assert modifies(delete, fig3_view)
+    assert modifies(delete, entity_fetch_index(hotel.entity("Guest")))
+    assert not modifies(delete, entity_fetch_index(hotel.entity("Room")))
+
+
+def test_insert_requires_connections_for_multi_entity_indexes(hotel,
+                                                              fig3_view):
+    bare = _stmt(hotel, "INSERT INTO Reservation SET ResID = ?")
+    assert not modifies(bare, fig3_view)
+    connected = _stmt(hotel,
+                      "INSERT INTO Reservation SET ResID = ? "
+                      "AND CONNECT TO Guest(?g), Room(?r)")
+    assert modifies(connected, fig3_view)
+
+
+def test_insert_modifies_own_entity_index(hotel):
+    insert = _stmt(hotel, "INSERT INTO Guest SET GuestName = ?")
+    assert modifies(insert, entity_fetch_index(hotel.entity("Guest")))
+    assert not modifies(insert, entity_fetch_index(hotel.entity("Room")))
+
+
+def test_connect_modifies_indexes_using_edge(hotel, fig3_view):
+    connect = _stmt(hotel, "CONNECT Guest(?g) TO Reservations(?r)")
+    assert modifies(connect, fig3_view)
+    poi_index = entity_fetch_index(hotel.entity("PointOfInterest"))
+    assert not modifies(connect, poi_index)
+    other_edge = _stmt(hotel, "CONNECT Hotel(?h) TO PointsOfInterest(?p)")
+    assert not modifies(other_edge, fig3_view)
+
+
+def test_update_support_queries_fetch_full_records(hotel, fig3_view):
+    update = _stmt(hotel, "UPDATE Guest SET GuestName = ? "
+                          "WHERE Guest.GuestID = ?")
+    queries = support_queries(update, fig3_view)
+    assert queries
+    selected = {field.id for query in queries for field in query.select}
+    # must locate the clustering values on other entities (e.g. the
+    # room rate and path ids) to rewrite the affected records
+    assert "Room.RoomRate" in selected
+    for query in queries:
+        assert query.is_support
+        assert query.update is update
+        assert query.index is fig3_view
+        assert query.eq_conditions
+
+
+def test_no_support_needed_when_keys_given(hotel):
+    update = _stmt(hotel, "UPDATE Guest SET GuestName = ?new "
+                          "WHERE Guest.GuestID = ?g")
+    index = entity_fetch_index(hotel.entity("Guest"),
+                               [hotel.field("Guest", "GuestName")])
+    assert modifies(update, index)
+    assert support_queries(update, index) == []
+
+
+def test_update_on_unmodified_index_has_no_support(hotel, fig3_view):
+    update = _stmt(hotel, "UPDATE Amenity SET AmenityName = ? "
+                          "WHERE Amenity.AmenityID = ?")
+    assert support_queries(update, fig3_view) == []
+
+
+def test_delete_support_covers_path_keys(hotel, fig3_view):
+    delete = _stmt(hotel, "DELETE FROM Guest WHERE Guest.GuestID = ?")
+    queries = support_queries(delete, fig3_view)
+    selected = {field.id for query in queries for field in query.select}
+    assert "Room.RoomID" in selected
+    assert "Hotel.HotelCity" in selected
+
+
+def test_insert_support_anchors_at_connected_entity(hotel, fig3_view):
+    insert = _stmt(hotel,
+                   "INSERT INTO Reservation SET ResID = ? "
+                   "AND CONNECT TO Guest(?guest), Room(?room)")
+    queries = support_queries(insert, fig3_view)
+    # values already given (ResID, GuestID via connection) need no query;
+    # the hotel-side attributes do
+    assert queries
+    for query in queries:
+        (condition,) = query.conditions
+        assert condition.field.id in ("Room.RoomID", "Guest.GuestID")
+
+
+def test_connect_support_selects_both_sides(hotel, fig3_view):
+    connect = _stmt(hotel, "CONNECT Reservation(?r) TO Room(?room)")
+    queries = support_queries(connect, fig3_view)
+    anchors = {query.conditions[0].field.id for query in queries}
+    assert anchors <= {"Reservation.ResID", "Room.RoomID"}
+    assert len(queries) >= 2
+
+
+def test_modified_row_counts(hotel, fig3_view):
+    guest_rows = fig3_view.entries / hotel.entity("Guest").count
+    update = _stmt(hotel, "UPDATE Guest SET GuestName = ? "
+                          "WHERE Guest.GuestID = ?")
+    deleted, inserted = modified_row_counts(update, fig3_view)
+    assert deleted == pytest.approx(max(guest_rows, 1.0))
+    assert inserted == pytest.approx(max(guest_rows, 1.0))
+    delete = _stmt(hotel, "DELETE FROM Guest WHERE Guest.GuestID = ?")
+    deleted, inserted = modified_row_counts(delete, fig3_view)
+    assert inserted == 0.0
+    assert deleted > 0
+    insert = _stmt(hotel,
+                   "INSERT INTO Reservation SET ResID = ? "
+                   "AND CONNECT TO Guest(?g), Room(?r)")
+    deleted, inserted = modified_row_counts(insert, fig3_view)
+    assert deleted == 0.0
+    assert inserted >= 1.0
+
+
+def test_modified_row_counts_zero_when_unmodified(hotel, fig3_view):
+    update = _stmt(hotel, "UPDATE Amenity SET AmenityName = ? "
+                          "WHERE Amenity.AmenityID = ?")
+    assert modified_row_counts(update, fig3_view) == (0.0, 0.0)
+
+
+def test_disconnect_counts_mirror_connect(hotel, fig3_view):
+    connect = _stmt(hotel, "CONNECT Guest(?g) TO Reservations(?r)")
+    disconnect = _stmt(hotel,
+                       "DISCONNECT Guest(?g) FROM Reservations(?r)")
+    _, inserted = modified_row_counts(connect, fig3_view)
+    deleted, _ = modified_row_counts(disconnect, fig3_view)
+    assert deleted == pytest.approx(inserted)

@@ -1,0 +1,82 @@
+"""Tests for CQL DDL generation."""
+
+import json
+
+import pytest
+
+from repro import Advisor
+from repro.demo import hotel_model, hotel_workload
+from repro.indexes import materialized_view_for
+from repro.indexes.cql import column_name, cql_type, create_schema
+from repro.workload import parse_statement
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+def test_cql_types(hotel):
+    assert cql_type(hotel.field("Guest", "GuestID")) == "uuid"
+    assert cql_type(hotel.field("Guest", "GuestName")) == "text"
+    assert cql_type(hotel.field("Room", "RoomRate")) == "double"
+    assert cql_type(hotel.field("Room", "RoomNumber")) == "bigint"
+    assert cql_type(hotel.field("Reservation",
+                                "ResStartDate")) == "timestamp"
+    with pytest.raises(TypeError):
+        cql_type("not a field")
+
+
+def test_column_names_flatten(hotel):
+    assert column_name(hotel.field("Guest", "GuestName")) \
+        == "guest_guestname"
+
+
+def test_create_table_structure(hotel):
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    ddl = view.cql()
+    assert ddl.startswith(f'CREATE TABLE "{view.key}"')
+    assert '"hotel_hotelcity" text' in ddl
+    assert '"guest_guestname" text' in ddl
+    assert 'PRIMARY KEY (("hotel_hotelcity"), "room_roomrate"' in ddl
+    assert ddl.rstrip().endswith(");")
+
+
+def test_create_table_without_clustering(hotel):
+    from repro.indexes import entity_fetch_index
+    index = entity_fetch_index(hotel.entity("Guest"))
+    ddl = index.cql()
+    assert 'PRIMARY KEY (("guest_guestid"))' in ddl
+
+
+def test_keyspace_prefix(hotel):
+    from repro.indexes import entity_fetch_index
+    index = entity_fetch_index(hotel.entity("Guest"))
+    from repro.indexes.cql import create_table
+    ddl = create_table(index, keyspace="rubis")
+    assert f'"rubis.{index.key}"' in ddl
+
+
+def test_recommendation_exports(hotel):
+    workload = hotel_workload(hotel, include_updates=False)
+    recommendation = Advisor(hotel).recommend(workload)
+    ddl = recommendation.as_cql()
+    assert ddl.count("CREATE TABLE") == len(recommendation.indexes)
+    summary = recommendation.as_dict()
+    # must be JSON-serializable and structurally complete
+    encoded = json.loads(json.dumps(summary))
+    assert encoded["total_cost"] == pytest.approx(
+        recommendation.total_cost)
+    assert len(encoded["indexes"]) == len(recommendation.indexes)
+    assert set(encoded["query_plans"]) \
+        == {query.label for query in recommendation.query_plans}
+
+
+def test_recommendation_export_with_updates(hotel):
+    workload = hotel_workload(hotel, include_updates=True)
+    recommendation = Advisor(hotel).recommend(workload)
+    summary = recommendation.as_dict()
+    assert summary["update_plans"]
+    for plans in summary["update_plans"].values():
+        for plan in plans:
+            assert "index" in plan and "steps" in plan

@@ -1,0 +1,112 @@
+"""Unit tests for the column-family (Index) abstraction."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.indexes import Index
+
+
+@pytest.fixture()
+def fig3_view(hotel):
+    """The paper's Fig 3 materialized view, built by hand."""
+    path = hotel.path(["Hotel", "Rooms", "Reservations", "Guest"])
+    return Index(
+        (hotel.field("Hotel", "HotelCity"),),
+        (hotel.field("Room", "RoomRate"),
+         hotel.field("Guest", "GuestID"),
+         hotel.field("Reservation", "ResID"),
+         hotel.field("Room", "RoomID"),
+         hotel.field("Hotel", "HotelID")),
+        (hotel.field("Guest", "GuestName"),
+         hotel.field("Guest", "GuestEmail")),
+        path)
+
+
+def test_requires_hash_field(hotel):
+    with pytest.raises(ModelError):
+        Index((), (hotel.field("Hotel", "HotelID"),), (),
+              hotel.path(["Hotel"]))
+
+
+def test_fields_must_lie_on_path(hotel):
+    with pytest.raises(ModelError):
+        Index((hotel.field("Guest", "GuestID"),), (), (),
+              hotel.path(["Hotel"]))
+
+
+def test_duplicate_field_rejected(hotel):
+    hotel_id = hotel.field("Hotel", "HotelID")
+    with pytest.raises(ModelError):
+        Index((hotel_id,), (hotel_id,), (), hotel.path(["Hotel"]))
+
+
+def test_requires_key_path(hotel):
+    with pytest.raises(ModelError):
+        Index((hotel.field("Hotel", "HotelID"),), (), (), "Hotel")
+
+
+def test_key_is_deterministic(hotel, fig3_view):
+    rebuilt = Index(fig3_view.hash_fields, fig3_view.order_fields,
+                    fig3_view.extra_fields, fig3_view.path)
+    assert rebuilt.key == fig3_view.key
+    assert rebuilt == fig3_view
+    assert hash(rebuilt) == hash(fig3_view)
+
+
+def test_reversed_path_twin_is_equal(hotel, fig3_view):
+    twin = Index(fig3_view.hash_fields, fig3_view.order_fields,
+                 fig3_view.extra_fields, fig3_view.path.reverse())
+    assert twin == fig3_view
+
+
+def test_field_groups(fig3_view):
+    assert len(fig3_view.key_fields) == 6
+    assert len(fig3_view.all_fields) == 8
+    assert fig3_view.contains_field(fig3_view.extra_fields[0])
+    assert fig3_view.covers(fig3_view.order_fields[:2])
+
+
+def test_covers_rejects_missing(hotel, fig3_view):
+    assert not fig3_view.covers([hotel.field("Hotel", "HotelPhone")])
+
+
+def test_matches_segment_either_orientation(hotel, fig3_view):
+    forward = hotel.path(["Hotel", "Rooms", "Reservations", "Guest"])
+    assert fig3_view.matches_segment(forward)
+    assert fig3_view.matches_segment(forward.reverse())
+    assert not fig3_view.matches_segment(hotel.path(["Hotel", "Rooms"]))
+
+
+def test_entries_follow_path_cardinality(hotel, fig3_view):
+    assert fig3_view.entries == pytest.approx(
+        hotel.path(["Hotel", "Rooms", "Reservations",
+                    "Guest"]).cardinality)
+
+
+def test_hash_count_and_partition_size(hotel, fig3_view):
+    cities = hotel.field("Hotel", "HotelCity").cardinality
+    assert fig3_view.hash_count == pytest.approx(cities)
+    assert fig3_view.per_partition_entries == pytest.approx(
+        fig3_view.entries / cities)
+
+
+def test_hash_count_capped_by_entries(hotel):
+    # partition key with more combinations than rows
+    index = Index((hotel.field("Guest", "GuestID"),
+                   hotel.field("Guest", "GuestEmail")), (), (),
+                  hotel.path(["Guest"]))
+    assert index.hash_count <= index.entries
+
+
+def test_sizes(hotel, fig3_view):
+    per_row = sum(field.size for field in fig3_view.all_fields)
+    assert fig3_view.entry_size == per_row
+    assert fig3_view.size == pytest.approx(
+        per_row * fig3_view.entries)
+
+
+def test_triple_notation(fig3_view):
+    text = fig3_view.triple()
+    assert text.startswith("[Hotel.HotelCity][Room.RoomRate")
+    assert text.endswith("[Guest.GuestName, Guest.GuestEmail]")
+    assert fig3_view.key in repr(fig3_view)

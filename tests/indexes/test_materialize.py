@@ -1,0 +1,115 @@
+"""Unit tests for materialized-view construction (§IV-A1)."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.indexes import (
+    entity_fetch_index,
+    id_index_for,
+    materialized_view_for,
+)
+from repro.workload import parse_statement
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+def test_fig3_materialized_view_matches_paper(hotel):
+    """The MV of the running example must be the paper's triple:
+    [HotelCity][RoomRate, GuestID (+path IDs)][GuestName, GuestEmail]."""
+    query = parse_statement(hotel, FIG3)
+    view = materialized_view_for(query)
+    assert [f.id for f in view.hash_fields] == ["Hotel.HotelCity"]
+    order_ids = [f.id for f in view.order_fields]
+    assert order_ids[0] == "Room.RoomRate"
+    assert order_ids[1] == "Guest.GuestID"
+    assert set(order_ids[2:]) == {"Reservation.ResID", "Room.RoomID",
+                                  "Hotel.HotelID"}
+    assert [f.id for f in view.extra_fields] == [
+        "Guest.GuestName", "Guest.GuestEmail"]
+    # defined over the reversed query path
+    assert str(view.path) == "Hotel.Rooms.Reservations.Guest"
+
+
+def test_hash_entity_defaults_to_deepest_equality(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID = ?g "
+        "AND Guest.Reservations.Room.Hotel.HotelCity = ?c")
+    view = materialized_view_for(query)
+    assert [f.id for f in view.hash_fields] == ["Hotel.HotelCity"]
+
+
+def test_hash_entity_override(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID = ?g "
+        "AND Guest.Reservations.Room.Hotel.HotelCity = ?c")
+    view = materialized_view_for(query, hash_entity=hotel.entity("Guest"))
+    assert [f.id for f in view.hash_fields] == ["Guest.GuestID"]
+    # the other equality leads the clustering key, still bindable by a get
+    assert view.order_fields[0].id == "Hotel.HotelCity"
+
+
+def test_hash_entity_without_equality_rejected(hotel):
+    query = parse_statement(hotel, FIG3)
+    with pytest.raises(ModelError):
+        materialized_view_for(query, hash_entity=hotel.entity("Room"))
+
+
+def test_order_by_leads_clustering(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Hotel.HotelName FROM Hotel WHERE Hotel.HotelCity = ? "
+        "ORDER BY Hotel.HotelName")
+    view = materialized_view_for(query)
+    assert view.order_fields[0].id == "Hotel.HotelName"
+
+
+def test_single_entity_view_keeps_forward_path(hotel):
+    query = parse_statement(hotel,
+                            "SELECT Guest.GuestName FROM Guest "
+                            "WHERE Guest.GuestID = ?")
+    view = materialized_view_for(query)
+    assert len(view.path) == 1
+    assert view.path.first.name == "Guest"
+
+
+def test_id_index_strips_values(hotel):
+    query = parse_statement(hotel, FIG3)
+    key_only = id_index_for(query)
+    full = materialized_view_for(query)
+    assert key_only.hash_fields == full.hash_fields
+    assert key_only.order_fields == full.order_fields
+    assert key_only.extra_fields == ()
+    assert key_only != full
+
+
+def test_id_index_for_view_without_values(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestID FROM Guest WHERE Guest.GuestID = ?")
+    assert id_index_for(query) == materialized_view_for(query)
+
+
+def test_entity_fetch_index_defaults_to_all_attributes(hotel):
+    index = entity_fetch_index(hotel.entity("Guest"))
+    assert [f.id for f in index.hash_fields] == ["Guest.GuestID"]
+    assert index.order_fields == ()
+    assert {f.name for f in index.extra_fields} == {"GuestName",
+                                                    "GuestEmail"}
+
+
+def test_entity_fetch_index_subset(hotel):
+    index = entity_fetch_index(hotel.entity("Guest"),
+                               [hotel.field("Guest", "GuestName")])
+    assert [f.name for f in index.extra_fields] == ["GuestName"]
+
+
+def test_entity_fetch_index_rejects_foreign_fields(hotel):
+    with pytest.raises(ModelError):
+        entity_fetch_index(hotel.entity("Guest"),
+                           [hotel.field("Room", "RoomRate")])

@@ -1,0 +1,82 @@
+"""Regression tests: parallel relationships between the same entities.
+
+RUBiS has two User-Comment relationships (author and recipient).  Column
+families over the two paths hold different data and must never be
+confused — by identity, by the planner's segment matching, or by the
+Combine step.
+"""
+
+import pytest
+
+from repro.enumerator import combine_candidates
+from repro.indexes import Index
+from repro.planner import QueryPlanner
+from repro.rubis import rubis_model
+from repro.workload import parse_statement
+
+
+@pytest.fixture(scope="module")
+def model():
+    return rubis_model(users=500)
+
+
+def _comment_index(model, relationship):
+    user = model.entity("User")
+    comment = model.entity("Comment")
+    path = model.path(["User", relationship])
+    return Index((user["UserID"],), (comment["CommentID"],),
+                 (comment["CommentText"],), path)
+
+
+def test_parallel_relationship_indexes_differ(model):
+    written = _comment_index(model, "CommentsWritten")
+    received = _comment_index(model, "CommentsReceived")
+    assert written != received
+    assert written.key != received.key
+
+
+def test_path_signatures_differ(model):
+    written = model.path(["User", "CommentsWritten"])
+    received = model.path(["User", "CommentsReceived"])
+    assert written.signature != received.signature
+    # but each equals its own reverse
+    assert written.signature == written.reverse().signature
+
+
+def test_planner_does_not_cross_relationships(model):
+    """A query over comments *received* must not be answered from the
+    comments-*written* column family."""
+    query = parse_statement(
+        model,
+        "SELECT Comment.CommentText FROM Comment.Recipient "
+        "WHERE User.UserID = ?user")
+    written_only = QueryPlanner(model,
+                                [_comment_index(model, "CommentsWritten")])
+    assert written_only.plans_for(query, require=False) == []
+    received_only = QueryPlanner(
+        model, [_comment_index(model, "CommentsReceived")])
+    plans = received_only.plans_for(query)
+    assert plans
+
+
+def test_combine_does_not_merge_across_relationships(model):
+    user = model.entity("User")
+    comment = model.entity("Comment")
+    written = Index((user["UserID"],), (),
+                    (comment["CommentRating"],),
+                    model.path(["User", "CommentsWritten"]))
+    received = Index((user["UserID"],), (),
+                     (comment["CommentText"],),
+                     model.path(["User", "CommentsReceived"]))
+    assert combine_candidates({written, received}) == set()
+
+
+def test_matches_segment_respects_edges(model):
+    written = _comment_index(model, "CommentsWritten")
+    assert written.matches_segment(model.path(["User", "CommentsWritten"]))
+    assert written.matches_segment(
+        model.path(["Comment", "Author"]))  # same edge, reversed
+    assert not written.matches_segment(
+        model.path(["User", "CommentsReceived"]))
+    assert not written.matches_segment(
+        model.path(["Comment", "Recipient"]))

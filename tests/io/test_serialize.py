@@ -1,0 +1,109 @@
+"""Tests for JSON (de)serialization of models and workloads."""
+
+import json
+
+import pytest
+
+from repro import Advisor
+from repro.demo import hotel_model, hotel_workload
+from repro.exceptions import ModelError, ParseError
+from repro.io import (
+    dump_application,
+    load_application,
+    model_from_dict,
+    model_to_dict,
+    workload_from_dict,
+    workload_to_dict,
+)
+
+
+def test_model_round_trip():
+    original = hotel_model()
+    document = model_to_dict(original)
+    rebuilt = model_from_dict(json.loads(json.dumps(document)))
+    assert rebuilt.describe() == original.describe()
+    assert rebuilt.relationship_count == original.relationship_count
+    for name, entity in original.entities.items():
+        assert rebuilt.entity(name).count == entity.count
+        for field in entity.fields.values():
+            twin = rebuilt.entity(name)[field.name]
+            assert type(twin) is type(field)
+            assert twin.size == field.size
+            assert twin.cardinality == field.cardinality
+
+
+def test_workload_round_trip():
+    model = hotel_model()
+    original = hotel_workload(model, include_updates=True)
+    document = workload_to_dict(original)
+    rebuilt = workload_from_dict(model, json.loads(json.dumps(document)))
+    assert set(rebuilt.statements) == set(original.statements)
+    for label in original.statements:
+        assert rebuilt.weight(label) == original.weight(label)
+        assert rebuilt.statements[label].text \
+            == original.statements[label].text
+
+
+def test_mixes_survive_round_trip():
+    from repro.rubis import rubis_model, rubis_workload
+    model = rubis_model(users=500)
+    original = rubis_workload(model, mix="bidding")
+    rebuilt = workload_from_dict(model, workload_to_dict(original))
+    assert rebuilt.weight("sic_items") == original.weight("sic_items")
+    browsing = rebuilt.with_mix("browsing")
+    assert browsing.weight("sb_insert") == 0.0
+
+
+def test_application_file_round_trip(tmp_path):
+    model = hotel_model()
+    workload = hotel_workload(model, include_updates=False)
+    path = tmp_path / "hotel.json"
+    dump_application(model, workload, path)
+    loaded_model, loaded_workload = load_application(path)
+    # the loaded application must drive the advisor to the same schema
+    original = Advisor(model).recommend(workload)
+    reloaded = Advisor(loaded_model).recommend(loaded_workload)
+    assert {i.key for i in original.indexes} \
+        == {i.key for i in reloaded.indexes}
+    assert reloaded.total_cost == pytest.approx(original.total_cost)
+
+
+def test_model_document_errors():
+    with pytest.raises(ModelError):
+        model_from_dict({"entities": [{"name": "A", "id": "AID",
+                                       "fields": [{"name": "x",
+                                                   "type": "blob"}]}]})
+    with pytest.raises(ModelError):
+        model_from_dict({"name": "m"})
+
+
+def test_workload_document_errors():
+    model = hotel_model()
+    with pytest.raises(ParseError):
+        workload_from_dict(model, {})
+    with pytest.raises(ParseError):
+        workload_from_dict(model, {"statements": [{"weight": 1.0}]})
+
+
+def test_unparsed_statement_cannot_serialize():
+    from repro import Workload
+    from repro.workload.conditions import Condition
+    from repro.workload.statements import Query
+    model = hotel_model()
+    workload = Workload(model)
+    guest = model.entity("Guest")
+    query = Query(model.path(["Guest"]), [guest["GuestName"]],
+                  [Condition(guest["GuestID"], "=")])
+    workload.add_statement(query, label="programmatic")
+    with pytest.raises(ParseError):
+        workload_to_dict(workload)
+
+
+def test_cli_json_loading(tmp_path, capsys):
+    from repro.cli import main
+    model = hotel_model()
+    workload = hotel_workload(model, include_updates=False)
+    path = tmp_path / "app.json"
+    dump_application(model, workload, path)
+    assert main(["--json", str(path), "--cost-model", "simple"]) == 0
+    assert "Recommended schema" in capsys.readouterr().out

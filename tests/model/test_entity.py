@@ -1,0 +1,83 @@
+"""Unit tests for entity construction and introspection."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Entity, IDField, IntegerField, Model, StringField
+
+
+def test_entity_requires_valid_name_and_count():
+    with pytest.raises(ValueError):
+        Entity("")
+    with pytest.raises(ValueError):
+        Entity("Hotel", count=0)
+
+
+def test_add_fields_chains():
+    entity = Entity("Hotel", count=5).add_fields(
+        IDField("HotelID"), StringField("HotelName"))
+    assert list(entity.fields) == ["HotelID", "HotelName"]
+
+
+def test_duplicate_field_rejected():
+    entity = Entity("Hotel")
+    entity.add_field(StringField("Name"))
+    with pytest.raises(ModelError):
+        entity.add_field(IntegerField("Name"))
+
+
+def test_second_id_field_rejected():
+    entity = Entity("Hotel")
+    entity.add_field(IDField("A"))
+    with pytest.raises(ModelError):
+        entity.add_field(IDField("B"))
+
+
+def test_add_field_rejects_non_field():
+    with pytest.raises(ModelError):
+        Entity("Hotel").add_field("not a field")
+
+
+def test_getitem_and_contains():
+    entity = Entity("Hotel").add_fields(IDField("HotelID"))
+    assert entity["HotelID"].name == "HotelID"
+    assert "HotelID" in entity
+    assert "Missing" not in entity
+    with pytest.raises(ModelError):
+        entity["Missing"]
+
+
+def test_field_groups(hotel):
+    room = hotel.entity("Room")
+    assert room.id_field.name == "RoomID"
+    data_names = {field.name for field in room.data_fields}
+    assert data_names == {"RoomNumber", "RoomRate"}
+    fk_names = {field.name for field in room.foreign_keys}
+    assert fk_names == {"Hotel", "Reservations"}
+    attribute_names = [field.name for field in room.attributes]
+    assert attribute_names[0] == "RoomID"
+    assert set(attribute_names) == {"RoomID", "RoomNumber", "RoomRate"}
+
+
+def test_validate_requires_id_field():
+    entity = Entity("Hotel")
+    entity.add_field(StringField("Name"))
+    with pytest.raises(ModelError):
+        entity.validate()
+
+
+def test_validate_requires_reversible_foreign_keys():
+    model = Model("m")
+    a = model.add_entity(Entity("A", count=2))
+    a.add_field(IDField("AID"))
+    b = model.add_entity(Entity("B", count=2))
+    b.add_field(IDField("BID"))
+    from repro.model import ForeignKeyField
+    a.add_field(ForeignKeyField("Bs", b, relationship="many"))
+    with pytest.raises(ModelError):
+        a.validate()
+
+
+def test_repr_mentions_name_and_count():
+    assert "Hotel" in repr(Entity("Hotel", count=7))
+    assert "7" in repr(Entity("Hotel", count=7))

@@ -1,0 +1,145 @@
+"""Unit tests for field types and their statistics."""
+
+import datetime
+
+import pytest
+
+from repro.model import (
+    BooleanField,
+    DateField,
+    Entity,
+    FloatField,
+    ForeignKeyField,
+    IDField,
+    IntegerField,
+    Model,
+    StringField,
+)
+
+
+def test_field_id_includes_parent():
+    entity = Entity("Hotel", count=10)
+    field = entity.add_field(StringField("HotelName"))
+    assert field.id == "Hotel.HotelName"
+    assert str(field) == "Hotel.HotelName"
+
+
+def test_field_id_without_parent_is_marked_unknown():
+    field = StringField("Loose")
+    assert field.id == "?.Loose"
+
+
+def test_field_requires_name():
+    with pytest.raises(ValueError):
+        StringField("")
+    with pytest.raises(ValueError):
+        StringField(None)
+
+
+def test_default_sizes_differ_by_type():
+    assert IDField("x").size == 16
+    assert StringField("x").size == 10
+    assert IntegerField("x").size == 8
+    assert BooleanField("x").size == 1
+
+
+def test_explicit_size_overrides_default():
+    assert StringField("x", size=99).size == 99
+
+
+def test_cardinality_defaults_to_entity_count():
+    entity = Entity("Guest", count=500)
+    field = entity.add_field(StringField("GuestName"))
+    assert field.cardinality == 500
+
+
+def test_cardinality_capped_by_entity_count():
+    entity = Entity("Guest", count=10)
+    field = entity.add_field(StringField("GuestName", cardinality=1000))
+    assert field.cardinality == 10
+
+
+def test_explicit_cardinality_below_count_is_kept():
+    entity = Entity("Guest", count=1000)
+    field = entity.add_field(StringField("City", cardinality=20))
+    assert field.cardinality == 20
+
+
+def test_id_field_cardinality_is_entity_count():
+    entity = Entity("Guest", count=321)
+    field = entity.add_field(IDField("GuestID"))
+    assert field.cardinality == 321
+    with pytest.raises(ValueError):
+        field.cardinality = 5
+
+
+def test_boolean_field_cardinality_defaults_to_two():
+    entity = Entity("Guest", count=1000)
+    field = entity.add_field(BooleanField("Active"))
+    assert field.cardinality == 2
+
+
+def test_field_validation_by_type():
+    assert IntegerField("x").validate(5)
+    assert not IntegerField("x").validate(True)
+    assert not IntegerField("x").validate(5.0)
+    assert FloatField("x").validate(5.0)
+    assert FloatField("x").validate(5)
+    assert not FloatField("x").validate(True)
+    assert StringField("x").validate("hi")
+    assert not StringField("x").validate(7)
+    assert DateField("x").validate(datetime.datetime(2016, 1, 1))
+    assert not DateField("x").validate("2016-01-01")
+
+
+def _linked_pair():
+    model = Model("m")
+    model.add_entity(Entity("A", count=10)).add_field(IDField("AID"))
+    model.add_entity(Entity("B", count=100)).add_field(IDField("BID"))
+    forward = model.add_relationship("A", "Bs", "B", "A")
+    return model, forward
+
+
+def test_foreign_key_relationship_validation():
+    with pytest.raises(ValueError):
+        ForeignKeyField("x", Entity("A"), relationship="several")
+
+
+def test_foreign_key_cardinality_is_target_count():
+    _model, forward = _linked_pair()
+    assert forward.cardinality == 100
+    assert forward.reverse.cardinality == 10
+
+
+def test_foreign_key_fanout_one_to_many():
+    _model, forward = _linked_pair()
+    assert forward.fanout == pytest.approx(10.0)
+    assert forward.reverse.fanout == 1.0
+
+
+def test_foreign_key_fanout_override():
+    model = Model("m")
+    model.add_entity(Entity("A", count=30)).add_field(IDField("AID"))
+    model.add_entity(Entity("B", count=70)).add_field(IDField("BID"))
+    forward = model.add_relationship("A", "Bs", "B", "A",
+                                     kind="many_to_many",
+                                     forward_fanout=7.0,
+                                     reverse_fanout=3.0)
+    assert forward.fanout == 7.0
+    assert forward.reverse.fanout == 3.0
+
+
+def test_inconsistent_fanout_overrides_rejected():
+    from repro.exceptions import ModelError
+    model = Model("m")
+    model.add_entity(Entity("A", count=10)).add_field(IDField("AID"))
+    model.add_entity(Entity("B", count=100)).add_field(IDField("BID"))
+    with pytest.raises(ModelError):
+        model.add_relationship("A", "Bs", "B", "A", kind="many_to_many",
+                               forward_fanout=7.0, reverse_fanout=3.0)
+
+
+def test_foreign_key_cardinality_cannot_be_set():
+    _model, forward = _linked_pair()
+    with pytest.raises(ValueError):
+        forward.cardinality = 7

@@ -1,0 +1,110 @@
+"""Unit tests for the Model (entity graph) container."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import Entity, IDField, Model, StringField
+
+
+def _two_entity_model():
+    model = Model("m")
+    model.add_entity(Entity("A", count=10)).add_field(IDField("AID"))
+    model.add_entity(Entity("B", count=40)).add_field(IDField("BID"))
+    return model
+
+
+def test_duplicate_entity_rejected():
+    model = _two_entity_model()
+    with pytest.raises(ModelError):
+        model.add_entity(Entity("A"))
+
+
+def test_add_entity_rejects_non_entity():
+    with pytest.raises(ModelError):
+        Model("m").add_entity("A")
+
+
+def test_entity_lookup_and_passthrough():
+    model = _two_entity_model()
+    a = model.entity("A")
+    assert model.entity(a) is a
+    assert model["B"].name == "B"
+    assert "A" in model and "C" not in model
+    with pytest.raises(ModelError):
+        model.entity("C")
+
+
+def test_entity_passthrough_rejects_foreign_entity():
+    model = _two_entity_model()
+    other = Entity("A", count=3)
+    with pytest.raises(ModelError):
+        model.entity(other)
+
+
+def test_field_lookup():
+    model = _two_entity_model()
+    assert model.field("A", "AID").id == "A.AID"
+
+
+def test_add_relationship_wires_both_directions():
+    model = _two_entity_model()
+    forward = model.add_relationship("A", "Bs", "B", "A")
+    assert forward.parent.name == "A"
+    assert forward.entity.name == "B"
+    assert forward.relationship == "many"
+    assert forward.reverse.parent.name == "B"
+    assert forward.reverse.relationship == "one"
+    assert forward.reverse.reverse is forward
+
+
+def test_relationship_kinds():
+    for kind, (fwd, rev) in {
+        "one_to_one": ("one", "one"),
+        "one_to_many": ("many", "one"),
+        "many_to_one": ("one", "many"),
+        "many_to_many": ("many", "many"),
+    }.items():
+        model = _two_entity_model()
+        forward = model.add_relationship("A", "Bs", "B", "As", kind=kind)
+        assert (forward.relationship, forward.reverse.relationship) \
+            == (fwd, rev)
+    with pytest.raises(ModelError):
+        _two_entity_model().add_relationship("A", "Bs", "B", "As",
+                                             kind="octopus")
+
+
+def test_relationship_count(hotel):
+    assert hotel.relationship_count == 5
+
+
+def test_path_rejects_bad_components(hotel):
+    with pytest.raises(ModelError):
+        hotel.path([])
+    with pytest.raises(ModelError):
+        hotel.path(["Guest", "GuestName"])
+    with pytest.raises(ModelError):
+        hotel.path(["Guest", "Nothing"])
+
+
+def test_validate_empty_model():
+    with pytest.raises(ModelError):
+        Model("empty").validate()
+
+
+def test_validate_passes_for_hotel(hotel):
+    assert hotel.validate() is hotel
+
+
+def test_describe_lists_entities(hotel):
+    text = hotel.describe()
+    for name in hotel.entities:
+        assert name in text
+    assert "Rooms -> Room" in text
+
+
+def test_model_field_uniqueness():
+    model = _two_entity_model()
+    model.add_relationship("A", "Bs", "B", "A")
+    with pytest.raises(ModelError):
+        # reverse name clashes with B's existing field
+        model.add_relationship("A", "MoreBs", "B", "BID")

@@ -1,0 +1,119 @@
+"""Unit tests for key paths: construction, slicing, reversal, stats."""
+
+import pytest
+
+from repro.exceptions import ModelError
+from repro.model import KeyPath
+
+
+def _guest_to_hotel(hotel):
+    return hotel.path(["Guest", "Reservations", "Room", "Hotel"])
+
+
+def test_path_from_names(hotel):
+    path = _guest_to_hotel(hotel)
+    assert [entity.name for entity in path] == [
+        "Guest", "Reservation", "Room", "Hotel"]
+    assert str(path) == "Guest.Reservations.Room.Hotel"
+
+
+def test_single_entity_path(hotel):
+    path = hotel.path(["Guest"])
+    assert len(path) == 1
+    assert path.first is path.last
+
+
+def test_path_requires_connected_keys(hotel):
+    guest = hotel.entity("Guest")
+    room_fk = hotel.entity("Reservation")["Room"]
+    with pytest.raises(ModelError):
+        KeyPath(guest, (room_fk,))
+
+
+def test_path_rejects_non_fk_keys(hotel):
+    guest = hotel.entity("Guest")
+    with pytest.raises(ModelError):
+        KeyPath(guest, (guest["GuestName"],))
+
+
+def test_path_equality_and_hash(hotel):
+    first = _guest_to_hotel(hotel)
+    second = _guest_to_hotel(hotel)
+    assert first == second
+    assert hash(first) == hash(second)
+    assert first != hotel.path(["Guest"])
+
+
+def test_path_slicing(hotel):
+    path = _guest_to_hotel(hotel)
+    middle = path[1:3]
+    assert [entity.name for entity in middle] == ["Reservation", "Room"]
+    assert middle.keys == path.keys[1:2]
+    with pytest.raises(ModelError):
+        path[2:2]
+    assert path[0].name == "Guest"
+    assert path[-1].name == "Hotel"
+
+
+def test_path_reverse_round_trip(hotel):
+    path = _guest_to_hotel(hotel)
+    reverse = path.reverse()
+    assert [entity.name for entity in reverse] == [
+        "Hotel", "Room", "Reservation", "Guest"]
+    assert reverse.reverse() == path
+
+
+def test_path_concat(hotel):
+    left = hotel.path(["Guest", "Reservations"])
+    right = hotel.path(["Reservation", "Room"])
+    joined = left.concat(right)
+    assert [entity.name for entity in joined] == [
+        "Guest", "Reservation", "Room"]
+    with pytest.raises(ModelError):
+        right.concat(left)
+
+
+def test_is_prefix_of(hotel):
+    path = _guest_to_hotel(hotel)
+    assert hotel.path(["Guest", "Reservations"]).is_prefix_of(path)
+    assert path.is_prefix_of(path)
+    assert not path.is_prefix_of(hotel.path(["Guest"]))
+    assert not hotel.path(["Room"]).is_prefix_of(path)
+
+
+def test_splits_enumerates_decompositions(hotel):
+    path = _guest_to_hotel(hotel)
+    splits = list(path.splits())
+    assert len(splits) == 4
+    for prefix, remainder in splits:
+        assert prefix.last is remainder.first
+        assert len(prefix) + len(remainder) == len(path) + 1
+
+
+def test_index_of_and_includes(hotel):
+    path = _guest_to_hotel(hotel)
+    assert path.index_of(hotel.entity("Room")) == 2
+    assert path.includes(hotel.entity("Hotel"))
+    assert path.index_of(hotel.entity("Amenity")) == -1
+
+
+def test_cardinality_follows_fanout(hotel):
+    # Guest(50k) -> Reservations: many (fanout 2) -> Room: one -> Hotel: one
+    path = _guest_to_hotel(hotel)
+    reservations = hotel.entity("Reservation").count
+    assert path.cardinality == pytest.approx(reservations)
+    # the reverse direction visits the same join rows
+    assert path.reverse().cardinality == pytest.approx(reservations)
+
+
+def test_fanout_from(hotel):
+    path = _guest_to_hotel(hotel)
+    guests = hotel.entity("Guest").count
+    reservations = hotel.entity("Reservation").count
+    assert path.fanout_from(0) == pytest.approx(reservations / guests)
+    assert path.fanout_from(1) == pytest.approx(1.0)
+
+
+def test_cardinality_floors_at_one(hotel):
+    tiny = hotel.path(["Hotel", "PointsOfInterest"])
+    assert tiny.cardinality >= 1.0

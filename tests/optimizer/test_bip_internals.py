@@ -1,0 +1,99 @@
+"""Focused tests on BIP encoding details and edge cases."""
+
+import pytest
+
+from repro.cost import CassandraCostModel
+from repro.indexes import entity_fetch_index, materialized_view_for
+from repro.optimizer import BIPOptimizer, OptimizationProblem
+from repro.optimizer.bip import _Program
+from repro.planner import QueryPlanner, UpdatePlanner
+from repro.workload import parse_statement
+
+
+def _single_query_problem(hotel, weight=1.0):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?",
+        label="q")
+    view = materialized_view_for(query)
+    fetch = entity_fetch_index(hotel.entity("Guest"))
+    planner = QueryPlanner(hotel, [view, fetch])
+    plans = planner.plans_for(query)
+    cost_model = CassandraCostModel()
+    for plan in plans:
+        cost_model.cost_plan(plan)
+    return OptimizationProblem({query: plans}, {}, {"q": weight})
+
+
+def test_program_dimensions(hotel):
+    problem = _single_query_problem(hotel)
+    program = _Program(problem)
+    plan_count = sum(len(p) for p in problem.query_plans.values())
+    assert program.columns == len(problem.indexes) + plan_count
+    # exactly-one row + aggregated link rows
+    assert len(program._lower) >= 1 + len(problem.indexes)
+
+
+def test_objective_scales_with_weight(hotel):
+    light = BIPOptimizer().solve(_single_query_problem(hotel, 1.0))
+    heavy = BIPOptimizer().solve(_single_query_problem(hotel, 7.0))
+    assert heavy.total_cost == pytest.approx(7 * light.total_cost,
+                                             rel=1e-6)
+    assert {i.key for i in heavy.indexes} == {i.key
+                                              for i in light.indexes}
+
+
+def test_update_only_problem_selects_nothing(hotel):
+    """With no queries, the cheapest schema is empty: updates then
+    modify nothing and cost nothing."""
+    update = parse_statement(
+        hotel,
+        "UPDATE Guest SET GuestName = ? WHERE Guest.GuestID = ?",
+        label="u")
+    pool = [entity_fetch_index(hotel.entity("Guest"))]
+    planner = QueryPlanner(hotel, pool)
+    update_planner = UpdatePlanner(hotel, planner)
+    update_plans = update_planner.plan_all([update])
+    cost_model = CassandraCostModel()
+    for plans in update_plans.values():
+        for plan in plans:
+            cost_model.cost_update_plan(plan)
+    problem = OptimizationProblem({}, update_plans, {"u": 1.0})
+    result = BIPOptimizer().solve(problem)
+    assert result.indexes == ()
+    assert result.total_cost == pytest.approx(0.0, abs=1e-9)
+
+
+def test_time_limit_returns_incumbent(hotel):
+    problem = _single_query_problem(hotel)
+    # an absurdly small limit still returns a feasible incumbent (tiny
+    # problems are solved in presolve) rather than crashing
+    result = BIPOptimizer(time_limit=0.05).solve(problem)
+    assert result.query_plans
+
+
+def test_two_phase_drops_redundant_index(hotel):
+    """If a plan exists using a strict subset of column families at the
+    same cost, phase two must prefer the smaller schema."""
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?",
+        label="q")
+    view = materialized_view_for(query)
+    planner = QueryPlanner(hotel, [view])
+    plans = planner.plans_for(query)
+    cost_model = CassandraCostModel()
+    for plan in plans:
+        cost_model.cost_plan(plan)
+    problem = OptimizationProblem({query: plans}, {}, {"q": 1.0})
+    result = BIPOptimizer().solve(problem)
+    assert len(result.indexes) == 1
+
+
+def test_mip_gap_zero_is_exact(hotel):
+    exact = BIPOptimizer(mip_rel_gap=0.0).solve(
+        _single_query_problem(hotel))
+    loose = BIPOptimizer(mip_rel_gap=0.1).solve(
+        _single_query_problem(hotel))
+    # a loose gap may stop early but never below the true optimum
+    assert loose.total_cost >= exact.total_cost - 1e-9

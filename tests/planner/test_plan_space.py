@@ -1,0 +1,125 @@
+"""Plan-space tests reproducing Fig 6 of the paper.
+
+The relaxed prefix query
+
+    SELECT Room.RoomID FROM Room
+    WHERE Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate
+
+must admit (at least) the paper's three plans over the CF1..CF5 pool:
+
+    1. CF1 [HotelCity][RoomRate, RoomID][]           (single get)
+    2. CF3 -> CF4 -> CF5 + filter                     (chain of gets)
+    3. CF2 -> CF5 + filter                            (shortcut chain)
+"""
+
+import pytest
+
+from repro.indexes import Index
+from repro.planner import QueryPlanner
+from repro.planner.steps import FilterStep, IndexLookupStep
+from repro.workload import parse_statement
+
+
+@pytest.fixture()
+def fig6_pool(hotel):
+    city = hotel.field("Hotel", "HotelCity")
+    hotel_id = hotel.field("Hotel", "HotelID")
+    room_id = hotel.field("Room", "RoomID")
+    rate = hotel.field("Room", "RoomRate")
+    hotel_room = hotel.path(["Hotel", "Rooms"])
+    return {
+        "CF1": Index((city,), (rate, room_id), (), hotel_room),
+        "CF2": Index((city,), (room_id,), (), hotel_room),
+        "CF3": Index((city,), (hotel_id,), (), hotel.path(["Hotel"])),
+        "CF4": Index((hotel_id,), (room_id,), (), hotel_room),
+        "CF5": Index((room_id,), (), (rate,), hotel.path(["Room"])),
+    }
+
+
+@pytest.fixture()
+def fig6_query(hotel):
+    return parse_statement(
+        hotel,
+        "SELECT Room.RoomID FROM Room WHERE "
+        "Room.Hotel.HotelCity = ?city AND Room.RoomRate > ?rate")
+
+
+def _signatures(plans, pool):
+    names = {index.key: name for name, index in pool.items()}
+    signatures = set()
+    for plan in plans:
+        lookups = tuple(names[step.index.key]
+                        for step in plan.steps
+                        if isinstance(step, IndexLookupStep))
+        signatures.add(lookups)
+    return signatures
+
+
+def test_fig6_plan_space(hotel, fig6_pool, fig6_query):
+    planner = QueryPlanner(hotel, fig6_pool.values())
+    plans = planner.plans_for(fig6_query)
+    signatures = _signatures(plans, fig6_pool)
+    assert ("CF1",) in signatures
+    assert ("CF3", "CF4", "CF5") in signatures
+    assert ("CF2", "CF5") in signatures
+
+
+def test_fig6_materialized_view_plan_serves_range(hotel, fig6_pool,
+                                                  fig6_query):
+    planner = QueryPlanner(hotel, [fig6_pool["CF1"]])
+    plans = planner.plans_for(fig6_query)
+    assert len(plans) == 1
+    (plan,) = plans
+    (lookup,) = plan.lookup_steps
+    assert lookup.range_field is hotel.field("Room", "RoomRate")
+    # range served in the get: no client-side filter required
+    assert not any(isinstance(step, FilterStep) for step in plan.steps)
+
+
+def test_fig6_chain_plan_filters_client_side(hotel, fig6_pool,
+                                             fig6_query):
+    planner = QueryPlanner(hotel, [fig6_pool["CF2"], fig6_pool["CF5"]])
+    plans = planner.plans_for(fig6_query)
+    assert plans, "CF2+CF5 must answer the query"
+    plan = min(plans, key=lambda p: len(p.steps))
+    kinds = [type(step).__name__ for step in plan.steps]
+    assert kinds.count("IndexLookupStep") == 2
+    assert "FilterStep" in kinds
+    # the fetch on CF5 retrieves the rate for each room
+    fetch = plan.lookup_steps[1]
+    assert fetch.is_fetch
+    assert fetch.index == fig6_pool["CF5"]
+
+
+def test_no_plan_without_anchor(hotel, fig6_pool, fig6_query):
+    from repro.exceptions import PlanningError
+    planner = QueryPlanner(hotel, [fig6_pool["CF5"]])
+    with pytest.raises(PlanningError):
+        planner.plans_for(fig6_query)
+    assert planner.plans_for(fig6_query, require=False) == []
+
+
+def test_cardinality_propagation(hotel, fig6_pool, fig6_query):
+    planner = QueryPlanner(hotel, [fig6_pool["CF1"]])
+    (plan,) = planner.plans_for(fig6_query)
+    (lookup,) = plan.lookup_steps
+    cities = hotel.field("Hotel", "HotelCity").cardinality
+    rooms = hotel.entity("Room").count
+    expected = rooms / cities * 0.1  # range selectivity
+    assert lookup.cardinality == pytest.approx(expected)
+    assert lookup.bindings == 1.0
+
+
+def test_chain_bindings_grow_with_fanout(hotel, fig6_pool, fig6_query):
+    planner = QueryPlanner(hotel, [fig6_pool["CF3"], fig6_pool["CF4"],
+                                   fig6_pool["CF5"]])
+    plans = planner.plans_for(fig6_query)
+    plan = min(plans, key=lambda p: len(p.steps))
+    lookups = plan.lookup_steps
+    hotels_per_city = (hotel.entity("Hotel").count
+                       / hotel.field("Hotel", "HotelCity").cardinality)
+    assert lookups[0].cardinality == pytest.approx(hotels_per_city)
+    assert lookups[1].bindings == pytest.approx(hotels_per_city)
+    rooms_per_city = (hotel.entity("Room").count
+                      / hotel.field("Hotel", "HotelCity").cardinality)
+    assert lookups[1].cardinality == pytest.approx(rooms_per_city)

@@ -1,0 +1,124 @@
+"""Unit tests for update (maintenance) planning (§VI-B)."""
+
+import pytest
+
+from repro.cost import SimpleCostModel
+from repro.enumerator import CandidateEnumerator
+from repro.exceptions import PlanningError
+from repro.indexes import entity_fetch_index, materialized_view_for
+from repro.planner import QueryPlanner, UpdatePlanner
+from repro.planner.steps import DeleteStep, InsertStep
+from repro.workload import parse_statement
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+def _planners(hotel, workload):
+    pool = CandidateEnumerator(hotel).candidates(workload)
+    query_planner = QueryPlanner(hotel, pool)
+    return query_planner, UpdatePlanner(hotel, query_planner)
+
+
+def test_one_plan_per_modified_index(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    update = hotel_full.statements["update_poi_description"]
+    plans = update_planner.plans_for(update)
+    assert plans
+    keys = [plan.index.key for plan in plans]
+    assert len(keys) == len(set(keys))
+    for plan in plans:
+        assert plan.update is update
+
+
+def test_update_plan_steps_reflect_protocol(hotel, hotel_full):
+    """The §VI-B protocol deletes old records and inserts new ones."""
+    _, update_planner = _planners(hotel, hotel_full)
+    update = hotel_full.statements["update_poi_description"]
+    for plan in update_planner.plans_for(update):
+        kinds = {type(step) for step in plan.update_steps}
+        assert kinds == {DeleteStep, InsertStep}
+
+
+def test_insert_plan_has_no_delete(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    insert = hotel_full.statements["make_reservation"]
+    for plan in update_planner.plans_for(insert):
+        kinds = [type(step) for step in plan.update_steps]
+        assert kinds == [InsertStep]
+
+
+def test_delete_plan_has_no_insert(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    delete = hotel_full.statements["delete_guest"]
+    for plan in update_planner.plans_for(delete):
+        kinds = [type(step) for step in plan.update_steps]
+        assert kinds == [DeleteStep]
+
+
+def test_support_plans_grouped_by_query(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    delete = hotel_full.statements["delete_guest"]
+    view = materialized_view_for(parse_statement(hotel, FIG3))
+    plans = [plan for plan in update_planner.plans_for(delete)
+             if plan.index == view]
+    assert plans
+    grouped = plans[0].support_plans_by_query
+    assert grouped
+    for support, support_plans in grouped.items():
+        assert support.is_support
+        assert support_plans
+
+
+def test_missing_support_index_raises_or_skips(hotel, hotel_full):
+    view = materialized_view_for(parse_statement(hotel, FIG3))
+    # a pool with only the view cannot answer its own support queries
+    query_planner = QueryPlanner(hotel, [view])
+    update_planner = UpdatePlanner(hotel, query_planner)
+    update = hotel_full.statements["update_poi_description"]
+    # POI description is not in the Fig 3 view: nothing modified, fine
+    assert update_planner.plans_for(update) == []
+    guest_update = parse_statement(
+        hotel, "UPDATE Guest SET GuestName = ? WHERE Guest.GuestID = ?")
+    guest_update.label = "guest_update"
+    with pytest.raises(PlanningError):
+        update_planner.plans_for(guest_update)
+    assert update_planner.plans_for(guest_update, require=False) == []
+
+
+def test_update_cost_requires_cost_model(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    update = hotel_full.statements["update_poi_description"]
+    plan = update_planner.plans_for(update)[0]
+    with pytest.raises(ValueError):
+        plan.update_cost
+    SimpleCostModel().cost_update_plan(plan)
+    assert plan.update_cost > 0
+    assert plan.cost >= plan.update_cost
+
+
+def test_plan_all_covers_all_updates(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    plans = update_planner.plan_all(hotel_full.updates)
+    assert set(plans) == set(hotel_full.updates)
+
+
+def test_max_support_plans_cap(hotel, hotel_full):
+    pool = CandidateEnumerator(hotel).candidates(hotel_full)
+    query_planner = QueryPlanner(hotel, pool)
+    update_planner = UpdatePlanner(hotel, query_planner,
+                                   max_support_plans=2)
+    delete = hotel_full.statements["delete_guest"]
+    for plan in update_planner.plans_for(delete):
+        for plans in plan.support_plans_by_query.values():
+            assert len(plans) <= 2
+
+
+def test_describe_mentions_index(hotel, hotel_full):
+    _, update_planner = _planners(hotel, hotel_full)
+    update = hotel_full.statements["update_poi_description"]
+    plan = update_planner.plans_for(update)[0]
+    SimpleCostModel().cost_update_plan(plan)
+    text = plan.describe()
+    assert plan.index.key in text

@@ -1,0 +1,113 @@
+"""Property-based invariants for column families and enumeration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demo import hotel_model
+from repro.enumerator import combine_candidates, modifies, support_queries
+from repro.indexes import Index
+from repro.model import KeyPath
+from repro.workload import parse_statement
+
+MODEL = hotel_model()
+
+PATHS = [
+    ["Guest"],
+    ["Room"],
+    ["Hotel"],
+    ["Hotel", "Rooms"],
+    ["Room", "Hotel"],
+    ["Guest", "Reservations", "Room"],
+    ["Hotel", "Rooms", "Reservations", "Guest"],
+]
+
+
+@st.composite
+def indexes(draw):
+    path = MODEL.path(draw(st.sampled_from(PATHS)))
+    fields = [field for entity in path.entities
+              for field in entity.attributes]
+    hash_count = draw(st.integers(1, min(2, len(fields))))
+    shuffled = draw(st.permutations(fields))
+    hash_fields = shuffled[:hash_count]
+    rest = shuffled[hash_count:]
+    order_count = draw(st.integers(0, min(3, len(rest))))
+    order_fields = rest[:order_count]
+    extra_count = draw(st.integers(0, min(3, len(rest) - order_count)))
+    extra_fields = rest[order_count:order_count + extra_count]
+    return Index(hash_fields, order_fields, extra_fields, path)
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=indexes())
+def test_key_is_stable_and_orientation_free(index):
+    twin = Index(index.hash_fields, index.order_fields,
+                 index.extra_fields,
+                 index.path.reverse() if len(index.path) > 1
+                 else index.path)
+    assert twin.key == index.key
+    assert twin == index
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=indexes())
+def test_statistics_are_positive_and_consistent(index):
+    assert index.entries >= 1.0
+    assert 1.0 <= index.hash_count <= index.entries
+    assert index.per_partition_entries * index.hash_count \
+        == pytest.approx(index.entries)
+    assert index.entry_size == sum(f.size for f in index.all_fields)
+    assert index.size == pytest.approx(index.entries * index.entry_size)
+
+
+@settings(max_examples=80, deadline=None)
+@given(index=indexes())
+def test_field_groups_partition_all_fields(index):
+    all_ids = [field.id for field in index.all_fields]
+    assert len(all_ids) == len(set(all_ids))
+    assert index.covers(index.key_fields)
+    assert index.covers(index.extra_fields)
+
+
+@settings(max_examples=40, deadline=None)
+@given(left=indexes(), right=indexes())
+def test_combine_output_is_valid(left, right):
+    merged = combine_candidates({left, right})
+    for combined in merged:
+        assert set(combined.hash_fields) == set(left.hash_fields)
+        assert combined.order_fields == ()
+        extras = {field.id for field in combined.extra_fields}
+        source = ({field.id for field in left.extra_fields}
+                  | {field.id for field in right.extra_fields})
+        assert extras <= source
+        assert combined.covers(left.extra_fields)
+        assert combined.covers(right.extra_fields)
+
+
+UPDATES = [
+    "UPDATE Guest SET GuestName = ? WHERE Guest.GuestID = ?",
+    "UPDATE Room SET RoomRate = ? WHERE Room.RoomID = ?",
+    "DELETE FROM Guest WHERE Guest.GuestID = ?",
+    "DELETE FROM Reservation WHERE Reservation.ResID = ?",
+    "INSERT INTO Reservation SET ResID = ? "
+    "AND CONNECT TO Guest(?g), Room(?r)",
+    "CONNECT Guest(?g) TO Reservations(?r)",
+    "DISCONNECT Guest(?g) FROM Reservations(?r)",
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(index=indexes(), text=st.sampled_from(UPDATES))
+def test_support_queries_only_for_modified_indexes(index, text):
+    update = parse_statement(MODEL, text)
+    queries = support_queries(update, index)
+    if not modifies(update, index):
+        assert queries == []
+    for query in queries:
+        # support queries are well-formed: anchored, on-path selects
+        assert query.eq_conditions
+        for field in query.select:
+            assert query.key_path.includes(field.parent)
+        assert query.update is update
+        assert query.index is index

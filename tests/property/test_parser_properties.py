@@ -1,0 +1,99 @@
+"""Property-based parser tests: render/parse round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demo import hotel_model
+from repro.workload import parse_statement
+from repro.workload.conditions import Condition
+from repro.workload.statements import Query
+
+MODEL = hotel_model()
+
+PATH_NAMES = [
+    ["Guest"],
+    ["Guest", "Reservations", "Room"],
+    ["Guest", "Reservations", "Room", "Hotel"],
+    ["Room", "Hotel"],
+    ["Hotel", "Rooms"],
+]
+
+
+def _render(query):
+    """Render a Query back to the statement language."""
+    select = ", ".join(field.id for field in query.select)
+    path = str(query.key_path)
+    clauses = []
+    for condition in query.conditions:
+        clauses.append(f"{_reference(query, condition.field)} "
+                       f"{condition.operator} ?{condition.parameter}")
+    text = f"SELECT {select} FROM {path}"
+    if clauses:
+        text += " WHERE " + " AND ".join(clauses)
+    if query.order_by:
+        text += " ORDER BY " + ", ".join(
+            _reference(query, field) for field in query.order_by)
+    if query.limit is not None:
+        text += f" LIMIT {query.limit}"
+    return text
+
+
+def _reference(query, field):
+    """A parseable reference to a field on the query path."""
+    return field.id  # Entity.Field resolves via the entity alias
+
+
+@st.composite
+def queries(draw):
+    path = MODEL.path(draw(st.sampled_from(PATH_NAMES)))
+    target = path.first
+    select = draw(st.lists(st.sampled_from(target.attributes),
+                           min_size=1, max_size=3, unique_by=id))
+    fields = [field for entity in path.entities
+              for field in entity.attributes]
+    eq_field = draw(st.sampled_from(fields))
+    conditions = [Condition(eq_field, "=", "p0")]
+    others = [field for field in fields if field is not eq_field]
+    if others and draw(st.booleans()):
+        range_field = draw(st.sampled_from(others))
+        conditions.append(Condition(
+            range_field, draw(st.sampled_from([">", ">=", "<", "<="])),
+            "p1"))
+    order_by = ()
+    if draw(st.booleans()):
+        order_by = (draw(st.sampled_from(target.attributes)),)
+    limit = draw(st.one_of(st.none(), st.integers(1, 100)))
+    return Query(path, select, conditions, order_by=order_by,
+                 limit=limit)
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=queries())
+def test_render_parse_round_trip(query):
+    """Parsing the rendered text reproduces the same statement.
+
+    Entity names appearing on the path are unique in the hotel model,
+    so ``Entity.Field`` references resolve unambiguously.
+    """
+    text = _render(query)
+    parsed = parse_statement(MODEL, text)
+    assert parsed.key_path == query.key_path
+    assert [f.id for f in parsed.select] == [f.id for f in query.select]
+    assert {(c.field.id, c.operator, c.parameter)
+            for c in parsed.conditions} \
+        == {(c.field.id, c.operator, c.parameter)
+            for c in query.conditions}
+    assert [f.id for f in parsed.order_by] \
+        == [f.id for f in query.order_by]
+    assert parsed.limit == query.limit
+
+
+@settings(max_examples=60, deadline=None)
+@given(query=queries())
+def test_parse_is_deterministic(query):
+    text = _render(query)
+    first = parse_statement(MODEL, text)
+    second = parse_statement(MODEL, text)
+    assert first.key_path == second.key_path
+    assert [f.id for f in first.select] == [f.id for f in second.select]

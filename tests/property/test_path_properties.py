@@ -1,0 +1,59 @@
+"""Property-based tests on key-path invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.demo import hotel_model
+
+MODEL = hotel_model()
+
+PATHS = [
+    ["Guest"],
+    ["Guest", "Reservations"],
+    ["Guest", "Reservations", "Room"],
+    ["Guest", "Reservations", "Room", "Hotel"],
+    ["Guest", "Reservations", "Room", "Hotel", "PointsOfInterest"],
+    ["Hotel", "Rooms", "Reservations", "Guest"],
+    ["PointOfInterest", "Hotels", "Amenities"],
+    ["Room", "Hotel", "PointsOfInterest"],
+]
+
+path_strategy = st.sampled_from(PATHS).map(MODEL.path)
+
+
+@given(path=path_strategy)
+def test_reverse_is_involution(path):
+    assert path.reverse().reverse() == path
+
+
+@given(path=path_strategy)
+def test_cardinality_orientation_independent(path):
+    assert path.cardinality == pytest.approx(path.reverse().cardinality)
+
+
+@given(path=path_strategy)
+def test_signature_orientation_independent(path):
+    assert path.signature == path.reverse().signature
+
+
+@given(path=path_strategy, data=st.data())
+def test_slices_are_consistent(path, data):
+    start = data.draw(st.integers(0, len(path) - 1))
+    stop = data.draw(st.integers(start + 1, len(path)))
+    piece = path[start:stop]
+    assert piece.entities == path.entities[start:stop]
+    assert piece.keys == path.keys[start:stop - 1]
+
+
+@given(path=path_strategy)
+def test_splits_reassemble(path):
+    for prefix, remainder in path.splits():
+        assert prefix.concat(remainder) == path
+
+
+@given(path=path_strategy)
+def test_full_fanout_matches_cardinality(path):
+    first_count = path.entities[0].count
+    assert first_count * path.fanout_from(0) == pytest.approx(
+        max(path.cardinality, 1.0), rel=1e-6)

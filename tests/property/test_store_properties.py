@@ -1,0 +1,115 @@
+"""Property-based tests: the record store against a naive reference.
+
+The column family must behave exactly like "sort all rows, filter by
+partition, clustering prefix and range" for any sequence of puts and
+deletes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.backend import Store
+from repro.indexes import Index
+from repro.model import Entity, IDField, IntegerField, Model
+
+
+def _index():
+    model = Model("prop")
+    entity = Entity("E", count=100)
+    entity.add_fields(IDField("ID"), IntegerField("A"), IntegerField("B"),
+                      IntegerField("V"))
+    model.add_entity(entity)
+    return Index((entity["A"],), (entity["B"], entity["ID"]),
+                 (entity["V"],), model.path(["E"]))
+
+
+INDEX = _index()
+
+row_strategy = st.fixed_dictionaries({
+    "E.A": st.integers(0, 3),
+    "E.B": st.integers(0, 5),
+    "E.ID": st.integers(0, 5),
+    "E.V": st.integers(-10, 10),
+})
+
+operators = st.sampled_from([">", ">=", "<", "<="])
+
+
+def _reference(rows, partition, prefix, range_filter):
+    """Naive model: last write wins per key, then filter and sort."""
+    state = {}
+    for row in rows:
+        state[(row["E.A"], row["E.B"], row["E.ID"])] = row
+    kept = [row for key, row in sorted(state.items())
+            if row["E.A"] == partition[0]]
+    if prefix:
+        kept = [row for row in kept if row["E.B"] == prefix[0]]
+    if range_filter is not None:
+        operator, bound = range_filter
+        component = "E.ID" if prefix else "E.B"
+        def matches(value):
+            if operator == ">":
+                return value > bound
+            if operator == ">=":
+                return value >= bound
+            if operator == "<":
+                return value < bound
+            return value <= bound
+        kept = [row for row in kept if matches(row[component])]
+    return kept
+
+
+@settings(max_examples=120, deadline=None)
+@given(rows=st.lists(row_strategy, max_size=30),
+       partition=st.integers(0, 3),
+       prefix=st.booleans(),
+       prefix_value=st.integers(0, 5),
+       use_range=st.booleans(),
+       operator=operators,
+       bound=st.integers(-1, 6))
+def test_get_matches_reference(rows, partition, prefix, prefix_value,
+                               use_range, operator, bound):
+    store = Store()
+    cf = store.create(INDEX)
+    for row in rows:
+        cf.put(row, charge=False)
+    prefix_tuple = (prefix_value,) if prefix else ()
+    range_filter = (operator, bound) if use_range else None
+    got = cf.get((partition,), prefix=prefix_tuple,
+                 range_filter=range_filter, charge=False)
+    expected = _reference(rows, (partition,), prefix_tuple, range_filter)
+    assert [(r["E.A"], r["E.B"], r["E.ID"], r["E.V"]) for r in got] \
+        == [(r["E.A"], r["E.B"], r["E.ID"], r["E.V"]) for r in expected]
+
+
+@settings(max_examples=80, deadline=None)
+@given(puts=st.lists(row_strategy, max_size=20),
+       deletes=st.lists(row_strategy, max_size=10))
+def test_put_delete_sequences(puts, deletes):
+    store = Store()
+    cf = store.create(INDEX)
+    state = {}
+    for row in puts:
+        cf.put(row, charge=False)
+        state[(row["E.A"], row["E.B"], row["E.ID"])] = row["E.V"]
+    for row in deletes:
+        cf.delete_row(row, charge=False)
+        state.pop((row["E.A"], row["E.B"], row["E.ID"]), None)
+    assert len(cf) == len(state)
+    for row in cf.rows():
+        key = (row["E.A"], row["E.B"], row["E.ID"])
+        assert state[key] == row["E.V"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=st.lists(row_strategy, min_size=1, max_size=25))
+def test_rows_sorted_within_partition(rows):
+    store = Store()
+    cf = store.create(INDEX)
+    cf.put_many(rows, charge=False)
+    for partition in {row["E.A"] for row in rows}:
+        got = cf.get((partition,), charge=False)
+        keys = [(row["E.B"], row["E.ID"]) for row in got]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)

@@ -1,0 +1,78 @@
+"""Unit tests for random model/workload generation (§VII-B)."""
+
+import pytest
+
+from repro import Advisor
+from repro.randgen import random_model, random_workload
+from repro.workload.statements import Insert, Query, Update
+
+
+def test_random_model_structure():
+    model = random_model(entities=8, seed=3)
+    assert len(model.entities) == 8
+    assert model.validate() is model
+    assert model.relationship_count >= 8  # Watts-Strogatz ring degree 4
+
+
+def test_random_model_deterministic():
+    first = random_model(entities=6, seed=9)
+    second = random_model(entities=6, seed=9)
+    assert first.describe() == second.describe()
+    assert random_model(entities=6, seed=10).describe() \
+        != first.describe()
+
+
+def test_random_model_counts_in_range():
+    model = random_model(entities=5, seed=1, min_count=10, max_count=20)
+    for entity in model.entities.values():
+        assert 10 <= entity.count <= 20
+
+
+def test_random_workload_composition():
+    model = random_model(entities=8, seed=3)
+    workload = random_workload(model, queries=7, updates=3, inserts=2,
+                               seed=3)
+    assert len(workload.queries) == 7
+    kinds = [type(statement) for statement in workload.updates]
+    assert kinds.count(Update) == 3
+    assert kinds.count(Insert) == 2
+
+
+def test_random_statements_have_valid_structure():
+    model = random_model(entities=8, seed=5)
+    workload = random_workload(model, queries=12, updates=4, seed=5)
+    for query in workload.queries:
+        assert isinstance(query, Query)
+        assert query.eq_conditions
+        assert len([c for c in query.conditions if c.is_range]) <= 1
+        for field in query.select:
+            assert field.parent is query.entity
+    for statement in workload.updates:
+        if isinstance(statement, Update):
+            assert statement.conditions
+
+
+def test_random_workloads_are_weighted():
+    model = random_model(entities=6, seed=2)
+    workload = random_workload(model, queries=5, seed=2)
+    for statement, weight in workload.weighted_statements:
+        assert weight > 0
+
+
+def test_random_workload_is_advisable():
+    """The generated workload must survive the full advisor pipeline."""
+    model = random_model(entities=6, seed=4)
+    workload = random_workload(model, queries=4, updates=1, inserts=1,
+                               seed=4)
+    recommendation = Advisor(model).recommend(workload)
+    assert recommendation.indexes
+    assert set(recommendation.query_plans) == set(workload.queries)
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_many_seeds_remain_advisable(seed):
+    model = random_model(entities=5, seed=seed)
+    workload = random_workload(model, queries=3, updates=1, inserts=0,
+                               seed=seed)
+    recommendation = Advisor(model).recommend(workload)
+    assert recommendation.total_cost > 0

@@ -1,0 +1,99 @@
+"""End-to-end RUBiS execution: correctness of all three schemas.
+
+Loads a small RUBiS dataset, executes every transaction against the
+NoSE-recommended, normalized, and expert schemas, and validates query
+results against the ground-truth oracle.
+"""
+
+import pytest
+
+from repro import Advisor
+from repro.backend import ExecutionEngine
+from repro.rubis import (
+    RubisParameterGenerator,
+    TRANSACTIONS,
+    expert_schema,
+    generate_dataset,
+    normalized_schema,
+    rubis_model,
+    rubis_workload,
+)
+from repro.workload.statements import Query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    model = rubis_model(users=400)
+    workload = rubis_workload(model, mix="bidding")
+    return model, workload
+
+
+def _engine(model, workload, schema_name):
+    advisor = Advisor(model)
+    if schema_name == "nose":
+        recommendation = advisor.recommend(workload)
+        share, protocol = False, "nose"
+    elif schema_name == "normalized":
+        recommendation = advisor.plan_for_schema(
+            workload, normalized_schema(model))
+        share, protocol = False, "nose"
+    else:
+        recommendation = advisor.plan_for_schema(
+            workload, expert_schema(model))
+        share, protocol = True, "expert"
+    dataset = generate_dataset(model, seed=7)
+    engine = ExecutionEngine(model, recommendation, dataset,
+                             share_reads=share, update_protocol=protocol)
+    engine.load()
+    return dataset, engine
+
+
+@pytest.mark.parametrize("schema_name", ["nose", "normalized", "expert"])
+def test_all_transactions_execute_and_match_oracle(setup, schema_name):
+    model, workload = setup
+    dataset, engine = _engine(model, workload, schema_name)
+    generator = RubisParameterGenerator(dataset, seed=11)
+    for transaction in TRANSACTIONS:
+        for _ in range(3):
+            requests = generator.requests_for(transaction)
+            # validate each read against the oracle *before* executing
+            # the writes of the same transaction mutate state
+            for label, params in requests:
+                statement = workload.statements[label]
+                if isinstance(statement, Query):
+                    rows = engine.execute_query(statement, params)
+                    got = {tuple(row[f.id] for f in statement.select)
+                           for row in rows}
+                    expected = dataset.evaluate_query(statement, params)
+                    if statement.limit is not None:
+                        assert got <= expected
+                        assert len(rows) <= statement.limit
+                    else:
+                        assert got == expected, (transaction, label)
+                else:
+                    engine.execute_update(statement, params)
+
+
+@pytest.mark.parametrize("schema_name", ["nose", "expert"])
+def test_queries_consistent_after_heavy_writes(setup, schema_name):
+    model, workload = setup
+    dataset, engine = _engine(model, workload, schema_name)
+    generator = RubisParameterGenerator(dataset, seed=23)
+    for _ in range(15):
+        for transaction in ("StoreBid", "RegisterItem", "StoreComment",
+                            "StoreBuyNow", "RegisterUser"):
+            for label, params in generator.requests_for(transaction):
+                engine.execute(label, params)
+    # after the writes, read queries still agree with the oracle
+    for label in ("vi_bids", "am_bid_items", "vui_comments",
+                  "sic_items", "am_purchases"):
+        statement = workload.statements[label]
+        params = generator.requests_for("AboutMe")[0][1]
+        rows = engine.execute_query(statement, params)
+        got = {tuple(row[f.id] for f in statement.select)
+               for row in rows}
+        expected = dataset.evaluate_query(statement, params)
+        if statement.limit is not None:
+            assert got <= expected
+        else:
+            assert got == expected, label

@@ -1,0 +1,98 @@
+"""Unit tests for the RUBiS conceptual model and workload."""
+
+import pytest
+
+from repro.rubis import rubis_model, rubis_workload
+from repro.rubis.model import rubis_counts
+from repro.rubis.transactions import (
+    BIDDING_MIX,
+    BROWSING_MIX,
+    TRANSACTIONS,
+    WRITE_TRANSACTIONS,
+    transaction_weights,
+    write_statement_labels,
+)
+from repro.rubis.workload import STATEMENTS
+
+
+@pytest.fixture(scope="module")
+def model():
+    return rubis_model(users=1000)
+
+
+def test_eight_entities_eleven_relationships(model):
+    assert len(model.entities) == 8
+    assert model.relationship_count == 11
+
+
+def test_counts_follow_user_scale():
+    counts = rubis_counts(30_000)
+    assert counts["User"] == 30_000
+    assert counts["Item"] == 1000
+    assert counts["Bid"] == 10_000
+    assert counts["Region"] == 62
+    assert counts["Category"] == 20
+
+
+def test_model_validates(model):
+    assert model.validate() is model
+
+
+def test_dummy_attribute_for_browse_all(model):
+    dummy = model.field("Category", "Dummy")
+    assert dummy.cardinality == 1
+
+
+def test_all_statements_parse(model):
+    workload = rubis_workload(model)
+    assert set(workload.statements) == set(STATEMENTS)
+
+
+def test_every_statement_belongs_to_a_transaction():
+    in_transactions = {label for labels in TRANSACTIONS.values()
+                       for label in labels}
+    assert in_transactions == set(STATEMENTS)
+
+
+def test_fourteen_transactions():
+    assert len(TRANSACTIONS) == 14
+
+
+def test_mix_weights_normalized():
+    for mix in ("bidding", "browsing"):
+        weights = transaction_weights(mix)
+        assert sum(weights.values()) == pytest.approx(1.0)
+
+
+def test_browsing_mix_is_read_only():
+    assert not set(BROWSING_MIX) & WRITE_TRANSACTIONS
+
+
+def test_bidding_mix_covers_all_transactions():
+    assert set(BIDDING_MIX) == set(TRANSACTIONS)
+
+
+def test_write_statement_labels_are_writes(model):
+    workload = rubis_workload(model)
+    update_labels = {statement.label for statement in workload.updates}
+    assert write_statement_labels() <= update_labels | {
+        label for label in write_statement_labels()}
+    for label in write_statement_labels():
+        assert label in workload.statements
+
+
+def test_workload_mixes(model):
+    bidding = rubis_workload(model, mix="bidding")
+    browsing = bidding.with_mix("browsing")
+    assert bidding.weight("sb_insert") > 0
+    assert browsing.weight("sb_insert") == 0
+    assert browsing.weight("sic_items") > bidding.weight("sic_items")
+
+
+def test_statement_weights_match_transaction_frequency(model):
+    workload = rubis_workload(model, mix="bidding")
+    weights = transaction_weights("bidding")
+    for transaction, labels in TRANSACTIONS.items():
+        for label in labels:
+            assert workload.weight(label) == pytest.approx(
+                weights[transaction])

@@ -1,0 +1,71 @@
+"""Structural checks on the advisor's RUBiS recommendation."""
+
+import pytest
+
+from repro import Advisor
+from repro.rubis import rubis_model, rubis_workload
+
+
+@pytest.fixture(scope="module")
+def recommendation():
+    model = rubis_model(users=20_000)
+    workload = rubis_workload(model, mix="bidding")
+    return model, workload, Advisor(model).recommend(workload)
+
+
+def test_every_statement_planned(recommendation):
+    _model, workload, result = recommendation
+    assert set(result.query_plans) == set(workload.queries)
+    planned_updates = set(result.update_plans)
+    # every update that modifies some recommended column family has a
+    # maintenance plan; the others legitimately have none
+    for update in workload.updates:
+        from repro.enumerator import modifies
+        touches = any(modifies(update, index) for index in result.indexes)
+        assert (update in planned_updates) == touches
+
+
+def test_plans_closed_over_schema(recommendation):
+    _model, _workload, result = recommendation
+    keys = {index.key for index in result.indexes}
+    for plan in result.query_plans.values():
+        assert {index.key for index in plan.indexes} <= keys
+    for plans in result.update_plans.values():
+        for update_plan in plans:
+            assert update_plan.index.key in keys
+            for support_plan in update_plan.support_plans:
+                assert {index.key
+                        for index in support_plan.indexes} <= keys
+
+
+def test_statement_costs_are_complete(recommendation):
+    _model, workload, result = recommendation
+    costs = result.statement_costs
+    for query in workload.queries:
+        assert query.label in costs
+    weighted = sum(weight * cost for weight, cost in costs.values())
+    # the per-statement costs re-derive the BIP objective up to the
+    # solver's MIP gap and the second phase's cost-pin slack
+    assert weighted == pytest.approx(result.total_cost, rel=1e-2)
+
+
+def test_hot_queries_get_single_lookup_plans(recommendation):
+    """On the bidding mix, the frequent read paths must be one get."""
+    _model, _workload, result = recommendation
+    by_label = {query.label: plan
+                for query, plan in result.query_plans.items()}
+    for label in ("sic_items", "vi_item", "bc_categories", "pb_item"):
+        assert len(by_label[label].lookup_steps) == 1, label
+
+
+def test_advisor_runtime_matches_paper_claim(recommendation):
+    """'Running NoSE for the RUBiS workload takes less than ten
+    seconds' — ours should satisfy the same bound comfortably."""
+    _model, _workload, result = recommendation
+    assert result.timing.total < 10.0
+
+
+def test_schema_is_reasonably_sized(recommendation):
+    _model, _workload, result = recommendation
+    # workload-specific but not absurd: between 5 and 40 column families
+    assert 5 <= len(result.indexes) <= 40

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_hotel_demo_runs(capsys):
+    assert main(["--demo", "hotel", "--cost-model", "simple"]) == 0
+    output = capsys.readouterr().out
+    assert "Recommended schema" in output
+    assert "Plan for" in output
+
+
+def test_timing_flag(capsys):
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--timing"]) == 0
+    output = capsys.readouterr().out
+    assert "Stage timing" in output
+    assert "bip_solving" in output
+
+
+def test_cql_flag(capsys):
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--cql"]) == 0
+    output = capsys.readouterr().out
+    assert "CREATE TABLE" in output
+    assert "PRIMARY KEY" in output
+
+
+def test_output_json_flag(tmp_path, capsys):
+    target = tmp_path / "recommendation.json"
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--output-json", str(target)]) == 0
+    import json
+    document = json.loads(target.read_text())
+    assert document["indexes"]
+    assert document["query_plans"]
+
+
+def test_space_limit_flag(capsys):
+    assert main(["--demo", "hotel", "--space-limit", "1e9"]) == 0
+    assert "Recommended schema" in capsys.readouterr().out
+
+
+def test_workload_module_loading(tmp_path, capsys):
+    module = tmp_path / "tiny_workload.py"
+    module.write_text(
+        "from repro.demo import hotel_model, hotel_workload\n"
+        "def build():\n"
+        "    model = hotel_model()\n"
+        "    return model, hotel_workload(model, include_updates=False)\n")
+    assert main(["--model", str(module)]) == 0
+    assert "Recommended schema" in capsys.readouterr().out
+
+
+def test_workload_module_without_build_fails(tmp_path, capsys):
+    module = tmp_path / "broken.py"
+    module.write_text("x = 1\n")
+    assert main(["--model", str(module)]) == 1
+    assert "error" in capsys.readouterr().err
+
+
+def test_unknown_demo_rejected():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args(["--demo", "bogus"])
+
+
+def test_requires_a_source():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])

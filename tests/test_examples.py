@@ -1,0 +1,55 @@
+"""Smoke tests: every example script runs end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _run(script, argv):
+    old_argv = sys.argv
+    sys.argv = [str(script)] + argv
+    try:
+        runpy.run_path(str(script), run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+def test_quickstart_runs(capsys):
+    _run(EXAMPLES / "quickstart.py", [])
+    output = capsys.readouterr().out
+    assert "Recommended schema" in output
+    assert "Hotel.HotelCity" in output
+
+
+def test_workload_tuning_runs(capsys):
+    _run(EXAMPLES / "workload_tuning.py", [])
+    output = capsys.readouterr().out
+    assert "update weight" in output
+    assert "1000" in output
+
+
+def test_custom_application_runs(capsys):
+    _run(EXAMPLES / "custom_application.py", [])
+    output = capsys.readouterr().out
+    assert "oracle agrees: True" in output
+    assert "Simulated store time" in output
+
+
+def test_schema_evolution_runs(capsys):
+    _run(EXAMPLES / "schema_evolution.py", [])
+    output = capsys.readouterr().out
+    assert "Schema migration" in output
+    assert "agrees with ground truth: True" in output
+
+
+@pytest.mark.slow
+def test_rubis_evaluation_runs(capsys):
+    _run(EXAMPLES / "rubis_evaluation.py",
+         ["--users", "400", "--iterations", "2"])
+    output = capsys.readouterr().out
+    assert "Weighted average response time" in output
+    assert "NoSE" in output

@@ -1,0 +1,99 @@
+"""Tests reproducing the paper's §II worked example.
+
+The schema-design narrative of §II: a read-only POI-for-guest workload
+gets the fully denormalized view ``[GuestID][POIID][POIName,
+POIDescription]``; frequent POI updates push the advisor toward the
+normalized two/three column-family designs.
+"""
+
+import pytest
+
+from repro import Advisor, Workload
+
+
+@pytest.fixture(scope="module")
+def model():
+    from repro.demo import hotel_model
+    return hotel_model()
+
+
+def _poi_workload(model, update_weight=None):
+    workload = Workload(model)
+    workload.add_statement(
+        "SELECT PointOfInterest.POIName, PointOfInterest.POIDescription "
+        "FROM PointOfInterest.Hotels.Rooms.Reservations.Guest "
+        "WHERE Guest.GuestID = ?guest",
+        weight=10.0, label="pois_for_guest")
+    if update_weight is not None:
+        workload.add_statement(
+            "UPDATE PointOfInterest SET POIName = ?name, "
+            "POIDescription = ?description "
+            "WHERE PointOfInterest.POIID = ?poi",
+            weight=update_weight, label="update_poi")
+    return workload
+
+
+def test_read_only_poi_query_gets_denormalized_view(model):
+    """§II first design: one column family answering the query with a
+    single get, POI attributes denormalized per guest."""
+    recommendation = Advisor(model).recommend(_poi_workload(model))
+    plan = next(iter(recommendation.query_plans.values()))
+    assert len(plan.lookup_steps) == 1
+    view = plan.lookup_steps[0].index
+    assert [f.id for f in view.hash_fields] == ["Guest.GuestID"]
+    stored = {f.id for f in view.all_fields}
+    assert "PointOfInterest.POIName" in stored
+    assert "PointOfInterest.POIDescription" in stored
+
+
+def test_update_pressure_normalizes_poi_attributes(model):
+    """§II second design: with frequent POI updates, POI attributes are
+    stored once, keyed by POIID, and the query plan joins."""
+    recommendation = Advisor(model).recommend(
+        _poi_workload(model, update_weight=1000.0))
+    (query,) = recommendation.query_plans
+    plan = recommendation.query_plans[query]
+    assert len(plan.lookup_steps) >= 2
+    # the POI attributes have left the guest-keyed column family and are
+    # fetched through a later join step keyed closer to the POI
+    first = plan.lookup_steps[0].index
+    stored = {f.id for f in first.extra_fields}
+    assert "PointOfInterest.POIDescription" not in stored
+    final_lookup = plan.lookup_steps[-1]
+    assert final_lookup.index.covers(query.select)
+    assert "Guest.GuestID" not in {
+        f.id for f in final_lookup.index.hash_fields}
+
+
+def test_update_cost_tradeoff_is_monotone(model):
+    """Total cost can only grow as the update weight grows, and the
+    number of denormalized copies of POI data can only shrink."""
+    description = model.field("PointOfInterest", "POIDescription")
+    costs = []
+    copies = []
+    advisor = Advisor(model)
+    for weight in (0.001, 1.0, 1000.0):
+        recommendation = advisor.recommend(
+            _poi_workload(model, update_weight=weight))
+        costs.append(recommendation.total_cost)
+        copies.append(sum(1 for index in recommendation.indexes
+                          if index.contains_field(description)))
+    assert costs == sorted(costs)
+    assert copies == sorted(copies, reverse=True)
+
+
+def test_fig3_query_recommendation_matches_paper(model):
+    """The Fig 3 query alone gets exactly the paper's materialized view."""
+    workload = Workload(model)
+    workload.add_statement(
+        "SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate",
+        label="fig3")
+    recommendation = Advisor(model).recommend(workload)
+    assert len(recommendation.indexes) == 1
+    (view,) = recommendation.indexes
+    assert [f.id for f in view.hash_fields] == ["Hotel.HotelCity"]
+    assert view.order_fields[0].id == "Room.RoomRate"
+    assert {f.id for f in view.extra_fields} == {"Guest.GuestName",
+                                                 "Guest.GuestEmail"}

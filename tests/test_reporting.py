@@ -1,0 +1,65 @@
+"""Tests for the ASCII chart rendering helpers."""
+
+import pytest
+
+from repro.exceptions import NoseError
+from repro.reporting import bar_chart, grouped_bar_chart, stacked_series
+
+
+def test_bar_chart_scales_linearly():
+    chart = bar_chart({"a": 10.0, "b": 5.0, "c": 0.0}, width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 3
+    bars = {line.split()[0]: line.count("█") for line in lines}
+    assert bars["a"] == 20
+    assert bars["b"] == 10
+    assert bars["c"] == 0
+    assert "10.000" in lines[0]
+
+
+def test_bar_chart_log_scale_compresses():
+    linear = bar_chart({"small": 1.0, "big": 100.0}, width=20)
+    logarithmic = bar_chart({"small": 1.0, "big": 100.0}, width=20,
+                            log_scale=True)
+    small_linear = linear.splitlines()[0].count("█")
+    small_log = logarithmic.splitlines()[0].count("█")
+    assert small_log > small_linear
+
+
+def test_bar_chart_accepts_pairs_and_unit():
+    chart = bar_chart([("x", 2.0), ("y", 1.0)], unit=" ms")
+    assert "ms" in chart
+
+
+def test_bar_chart_empty_rejected():
+    with pytest.raises(NoseError):
+        bar_chart({})
+
+
+def test_grouped_bar_chart_structure():
+    table = {"ViewItem": {"NoSE": 1.0, "Expert": 2.0},
+             "StoreBid": {"NoSE": 3.0, "Expert": 1.5}}
+    chart = grouped_bar_chart(table, width=10)
+    assert "ViewItem:" in chart
+    assert "StoreBid:" in chart
+    assert chart.count("NoSE") == 2
+    with pytest.raises(NoseError):
+        grouped_bar_chart({})
+
+
+def test_stacked_series_renders_components():
+    rows = {1: {"solve": 1.0, "other": 1.0},
+            2: {"solve": 3.0, "other": 2.0}}
+    chart = stacked_series(rows, ["solve", "other"], width=20)
+    lines = chart.splitlines()
+    assert len(lines) == 3  # two rows + legend
+    assert "solve" in lines[-1] and "other" in lines[-1]
+    # the factor-2 bar is longer overall
+    assert len(lines[1].split()[1]) > len(lines[0].split()[1])
+
+
+def test_stacked_series_limits_components():
+    with pytest.raises(NoseError):
+        stacked_series({1: {}}, ["a", "b", "c", "d", "e"])
+    with pytest.raises(NoseError):
+        stacked_series({}, ["a"])

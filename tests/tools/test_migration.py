@@ -1,0 +1,82 @@
+"""Tests for schema migration planning and execution."""
+
+import pytest
+
+from repro import Advisor
+from repro.backend import ExecutionEngine
+from repro.demo import hotel_dataset, hotel_model, hotel_workload
+from repro.tools import execute_migration, plan_migration
+
+
+@pytest.fixture(scope="module")
+def drifted():
+    """Two recommendations for the same model under drifting weights."""
+    model = hotel_model(scale=0.02)
+    read_heavy = hotel_workload(model, include_updates=True)
+    write_heavy = read_heavy.scale_weights(100, mix="writes")
+    advisor = Advisor(model)
+    before = advisor.recommend(read_heavy)
+    after = advisor.recommend(write_heavy)
+    return model, read_heavy, write_heavy, before, after
+
+
+def test_migration_diff_is_consistent(drifted):
+    _model, _rw, _ww, before, after = drifted
+    migration = plan_migration(before, after)
+    created = {index.key for index in migration.create}
+    dropped = {index.key for index in migration.drop}
+    kept = {index.key for index in migration.keep}
+    assert created | kept == {index.key for index in after.indexes}
+    assert dropped | kept == {index.key for index in before.indexes}
+    assert not created & dropped
+    assert not created & kept
+
+
+def test_self_migration_is_noop(drifted):
+    _model, _rw, _ww, before, _after = drifted
+    migration = plan_migration(before, before)
+    assert migration.is_noop
+    assert migration.rows_to_load == 0
+
+
+def test_migration_estimates(drifted):
+    _model, _rw, _ww, before, after = drifted
+    migration = plan_migration(before, after)
+    assert migration.rows_to_load == pytest.approx(
+        sum(index.entries for index in migration.create))
+    assert migration.bytes_to_load >= 0
+    text = migration.describe()
+    for index in migration.create:
+        assert index.key in text
+
+
+def test_migration_accepts_raw_index_lists(drifted):
+    _model, _rw, _ww, before, after = drifted
+    migration = plan_migration(list(before.indexes),
+                               list(after.indexes))
+    assert {index.key for index in migration.keep} \
+        == {index.key for index in plan_migration(before, after).keep}
+
+
+def test_execute_migration_moves_store_to_target(drifted):
+    model, read_heavy, write_heavy, before, after = drifted
+    dataset = hotel_dataset(model, seed=42)
+    dataset.sync_counts()
+    engine = ExecutionEngine(model, before, dataset)
+    engine.load()
+    migration = plan_migration(before, after)
+    loaded = execute_migration(engine.store, dataset, migration)
+    if migration.create:
+        assert loaded > 0
+    # the store now serves the new recommendation's plans correctly
+    new_engine = ExecutionEngine(model, after, dataset,
+                                 store=engine.store)
+    for query in write_heavy.queries:
+        params = {"guest": 3, "hotel": 0, "city": "city-1",
+                  "rate": 100.0, "state": "S0"}
+        rows = new_engine.execute_query(query, params)
+        got = {tuple(row[f.id] for f in query.select) for row in rows}
+        assert got == dataset.evaluate_query(query, params)
+    # dropped column families are gone
+    for index in migration.drop:
+        assert index.key not in engine.store

@@ -1,0 +1,60 @@
+"""Unit tests for predicate conditions."""
+
+import pytest
+
+from repro.workload.conditions import RANGE_SELECTIVITY, Condition
+
+
+@pytest.fixture()
+def rate(hotel):
+    return hotel.field("Room", "RoomRate")
+
+
+def test_operator_validation(rate):
+    with pytest.raises(ValueError):
+        Condition(rate, "!=")
+    with pytest.raises(ValueError):
+        Condition(rate, "BETWEEN")
+
+
+def test_parameter_defaults_to_field_name(rate):
+    assert Condition(rate, "=").parameter == "RoomRate"
+    assert Condition(rate, "=", "custom").parameter == "custom"
+
+
+def test_equality_and_range_flags(rate):
+    assert Condition(rate, "=").is_equality
+    assert not Condition(rate, "=").is_range
+    for operator in (">", ">=", "<", "<="):
+        condition = Condition(rate, operator)
+        assert condition.is_range
+        assert not condition.is_equality
+
+
+def test_selectivity(rate):
+    eq = Condition(rate, "=")
+    assert eq.selectivity == pytest.approx(1.0 / rate.cardinality)
+    assert Condition(rate, ">").selectivity == RANGE_SELECTIVITY
+
+
+def test_matches_each_operator(rate):
+    assert Condition(rate, "=").matches(5, 5)
+    assert not Condition(rate, "=").matches(5, 6)
+    assert Condition(rate, ">").matches(6, 5)
+    assert not Condition(rate, ">").matches(5, 5)
+    assert Condition(rate, ">=").matches(5, 5)
+    assert Condition(rate, "<").matches(4, 5)
+    assert Condition(rate, "<=").matches(5, 5)
+    assert not Condition(rate, "<=").matches(6, 5)
+
+
+def test_equality_and_hash(rate, hotel):
+    assert Condition(rate, "=", "p") == Condition(rate, "=", "p")
+    assert hash(Condition(rate, "=", "p")) == hash(Condition(rate, "=", "p"))
+    assert Condition(rate, "=", "p") != Condition(rate, ">", "p")
+    other = hotel.field("Room", "RoomNumber")
+    assert Condition(rate, "=", "p") != Condition(other, "=", "p")
+
+
+def test_str_shows_predicate(rate):
+    assert str(Condition(rate, ">", "rate")) == "Room.RoomRate > ?rate"

@@ -1,0 +1,152 @@
+"""Unit tests for statement IR invariants and statistics."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.model import KeyPath
+from repro.workload import parse_statement
+from repro.workload.conditions import RANGE_SELECTIVITY, Condition
+from repro.workload.statements import Delete, Insert, Query, Update
+
+FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+        "WHERE Guest.Reservations.Room.Hotel.HotelCity = ?city "
+        "AND Guest.Reservations.Room.RoomRate > ?rate")
+
+
+def test_two_range_predicates_rejected(hotel):
+    path = hotel.path(["Room"])
+    rate = hotel.field("Room", "RoomRate")
+    number = hotel.field("Room", "RoomNumber")
+    with pytest.raises(ParseError):
+        Query(path, [rate], [Condition(rate, ">"),
+                             Condition(number, "<"),
+                             Condition(hotel.field("Room", "RoomID"), "=")])
+
+
+def test_condition_off_path_rejected(hotel):
+    path = hotel.path(["Room"])
+    with pytest.raises(ParseError):
+        Query(path, [hotel.field("Room", "RoomRate")],
+              [Condition(hotel.field("Guest", "GuestID"), "=")])
+
+
+def test_duplicate_condition_rejected(hotel):
+    path = hotel.path(["Room"])
+    rid = hotel.field("Room", "RoomID")
+    with pytest.raises(ParseError):
+        Query(path, [hotel.field("Room", "RoomRate")],
+              [Condition(rid, "=", "a"), Condition(rid, "=", "b")])
+
+
+def test_query_requires_equality_predicate(hotel):
+    path = hotel.path(["Room"])
+    rate = hotel.field("Room", "RoomRate")
+    with pytest.raises(ParseError):
+        Query(path, [rate], [Condition(rate, ">")])
+
+
+def test_query_requires_select(hotel):
+    path = hotel.path(["Room"])
+    with pytest.raises(ParseError):
+        Query(path, [], [Condition(hotel.field("Room", "RoomID"), "=")])
+
+
+def test_query_select_must_be_target_fields(hotel):
+    path = hotel.path(["Room", "Hotel"])
+    with pytest.raises(ParseError):
+        Query(path, [hotel.field("Hotel", "HotelName")],
+              [Condition(hotel.field("Room", "RoomID"), "=")])
+
+
+def test_query_limit_positive(hotel):
+    path = hotel.path(["Room"])
+    with pytest.raises(ParseError):
+        Query(path, [hotel.field("Room", "RoomRate")],
+              [Condition(hotel.field("Room", "RoomID"), "=")], limit=0)
+
+
+def test_given_fields_are_equality_fields(hotel):
+    query = parse_statement(hotel, FIG3)
+    assert [field.id for field in query.given_fields] == [
+        "Hotel.HotelCity"]
+
+
+def test_all_fields_includes_conditions_and_order(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Hotel.HotelName FROM Hotel WHERE Hotel.HotelCity = ? "
+        "ORDER BY Hotel.HotelState")
+    names = {field.name for field in query.all_fields}
+    assert names == {"HotelName", "HotelCity", "HotelState"}
+
+
+def test_matching_rows_estimates(hotel):
+    query = parse_statement(hotel, FIG3)
+    city_cardinality = hotel.field("Hotel", "HotelCity").cardinality
+    expected_join = (query.key_path.cardinality / city_cardinality
+                     * RANGE_SELECTIVITY)
+    assert query.matching_join_rows == pytest.approx(expected_join)
+    expected_guests = (hotel.entity("Guest").count / city_cardinality
+                       * RANGE_SELECTIVITY)
+    assert query.matching_target_rows == pytest.approx(expected_guests)
+
+
+def test_result_rows_honours_limit(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Room.RoomID FROM Room.Hotel "
+        "WHERE Hotel.HotelCity = ? LIMIT 5")
+    assert query.result_rows <= 5
+
+
+def test_update_rejects_primary_key_assignment(hotel):
+    path = hotel.path(["Room"])
+    rid = hotel.field("Room", "RoomID")
+    with pytest.raises(ParseError):
+        Update(path, {rid: "x"}, [Condition(rid, "=")])
+
+
+def test_update_requires_settings_and_where(hotel):
+    path = hotel.path(["Room"])
+    rid = hotel.field("Room", "RoomID")
+    rate = hotel.field("Room", "RoomRate")
+    with pytest.raises(ParseError):
+        Update(path, {}, [Condition(rid, "=")])
+    with pytest.raises(ParseError):
+        Update(path, {rate: "r"}, [])
+
+
+def test_delete_requires_where(hotel):
+    with pytest.raises(ParseError):
+        Delete(hotel.path(["Guest"]), [])
+
+
+def test_insert_single_entity_only(hotel):
+    path = hotel.path(["Guest", "Reservations"])
+    with pytest.raises(ParseError):
+        Insert(path, {})
+
+
+def test_insert_rejects_foreign_settings(hotel):
+    path = hotel.path(["Guest"])
+    with pytest.raises(ParseError):
+        Insert(path, {hotel.field("Room", "RoomRate"): "x"})
+
+
+def test_connect_statement_structure(hotel):
+    statement = parse_statement(
+        hotel, "CONNECT Guest(?g) TO Reservations(?r)")
+    assert statement.entity.name == "Guest"
+    assert statement.relationship.entity.name == "Reservation"
+    given = {field.id for field in statement.given_fields}
+    assert given == {"Guest.GuestID", "Reservation.ResID"}
+
+
+def test_statement_repr_and_str(hotel):
+    query = parse_statement(hotel, FIG3)
+    assert "SELECT" in repr(query)
+    assert str(query) == FIG3
+    bare = Query(hotel.path(["Guest"]),
+                 [hotel.field("Guest", "GuestName")],
+                 [Condition(hotel.field("Guest", "GuestID"), "=")])
+    assert "Query" in str(bare)

@@ -1,0 +1,107 @@
+"""Unit tests for the weighted workload container and mixes."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.workload import Workload
+
+
+def _query_text(i=0):
+    return f"SELECT Guest.GuestName FROM Guest WHERE Guest.GuestID = ?p{i}"
+
+
+def test_add_statement_parses_text(hotel):
+    workload = Workload(hotel)
+    statement = workload.add_statement(_query_text(), weight=2.0,
+                                       label="q")
+    assert statement.label == "q"
+    assert workload.weight(statement) == 2.0
+    assert workload.weight("q") == 2.0
+
+
+def test_default_labels_are_generated(hotel):
+    workload = Workload(hotel)
+    statement = workload.add_statement(_query_text())
+    assert statement.label == "statement_0"
+
+
+def test_duplicate_label_rejected(hotel):
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="q")
+    with pytest.raises(ParseError):
+        workload.add_statement(_query_text(1), label="q")
+
+
+def test_non_statement_rejected(hotel):
+    with pytest.raises(ParseError):
+        Workload(hotel).add_statement(42)
+
+
+def test_nonpositive_weight_rejected(hotel):
+    with pytest.raises(ParseError):
+        Workload(hotel).add_statement(_query_text(), weight=0.0)
+
+
+def test_queries_and_updates_split(hotel, hotel_full):
+    queries = {s.label for s in hotel_full.queries}
+    updates = {s.label for s in hotel_full.updates}
+    assert "guest_by_id" in queries
+    assert "make_reservation" in updates
+    assert not queries & updates
+
+
+def test_mix_weights(hotel):
+    workload = Workload(hotel, mix="read_heavy")
+    workload.add_statement(_query_text(), label="q",
+                           mixes={"read_heavy": 5.0, "write_heavy": 1.0})
+    assert workload.weight("q") == 5.0
+    other = workload.with_mix("write_heavy")
+    assert other.weight("q") == 1.0
+    # views share statements
+    assert other.statements is workload.statements
+
+
+def test_missing_mix_falls_back_to_default(hotel):
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(), weight=3.0, label="q")
+    assert workload.with_mix("exotic").weight("q") == 3.0
+
+
+def test_zero_weight_statements_are_inactive(hotel):
+    workload = Workload(hotel, mix="a")
+    workload.add_statement(_query_text(), label="q",
+                           mixes={"a": 1.0, "b": 0.0})
+    assert len(workload.with_mix("b").queries) == 0
+    assert len(workload.queries) == 1
+
+
+def test_scale_weights_scales_updates_by_default(hotel_full):
+    scaled = hotel_full.scale_weights(10)
+    for update in hotel_full.updates:
+        assert scaled.weight(update) == pytest.approx(
+            10 * hotel_full.weight(update))
+    for query in hotel_full.queries:
+        assert scaled.weight(query) == pytest.approx(
+            hotel_full.weight(query))
+
+
+def test_scale_weights_custom_predicate(hotel_full):
+    scaled = hotel_full.scale_weights(
+        3, predicate=lambda s: s.label == "guest_by_id", mix="triple")
+    assert scaled.active_mix == "triple"
+    assert scaled.weight("guest_by_id") == pytest.approx(
+        3 * hotel_full.weight("guest_by_id"))
+
+
+def test_set_weight(hotel):
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(), label="q")
+    workload.set_weight("q", 9.0)
+    assert workload.weight("q") == 9.0
+    with pytest.raises(ParseError):
+        workload.set_weight("missing", 1.0)
+
+
+def test_iteration_and_len(hotel_full):
+    assert len(hotel_full) == len(list(hotel_full))
+    assert len(hotel_full.weighted_statements) == len(hotel_full)
