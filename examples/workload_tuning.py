@@ -5,10 +5,18 @@ update rate grows, the advisor moves the POI attributes out of the
 denormalized per-guest view into progressively more normalized column
 families — without any explicit rules of thumb.
 
+It is also the showcase for the staged advisor pipeline: every epoch
+uses the same statements with different weights, so after the first
+(cold) recommendation the advisor's structural cache serves the
+prepared plan spaces and only re-costs and re-solves the program —
+watch the per-epoch seconds collapse after the first weighted run.
+
 Run with::
 
     python examples/workload_tuning.py
 """
+
+import time
 
 from repro import Advisor, Workload
 from repro.demo import hotel_model
@@ -36,23 +44,36 @@ def main():
     description = model.field("PointOfInterest", "POIDescription")
 
     print(f"{'update weight':>14}  {'CFs':>4}  {'copies of POI data':>19}  "
-          f"{'query gets':>10}  {'total cost':>10}")
+          f"{'query gets':>10}  {'total cost':>10}  {'seconds':>8}  "
+          f"{'pipeline':>8}")
     for weight in (0.0, 0.1, 1.0, 10.0, 100.0, 1000.0):
+        # each epoch builds a fresh Workload object; the advisor keys its
+        # cache on statement *structure*, so every weighted epoch after
+        # the first reuses the prepared plan spaces and program
+        started = time.perf_counter()
         recommendation = advisor.recommend(poi_workload(model, weight))
+        elapsed = time.perf_counter() - started
         copies = sum(1 for index in recommendation.indexes
                      if index.contains_field(description))
         (query,) = [q for q in recommendation.query_plans
                     if q.label == "pois_for_guest"]
         gets = len(recommendation.query_plans[query].lookup_steps)
+        pipeline = "warm" if recommendation.timing.planning == 0.0 \
+            else "cold"
         print(f"{weight:>14g}  {len(recommendation.indexes):>4}  "
               f"{copies:>19}  {gets:>10}  "
-              f"{recommendation.total_cost:>10.2f}")
+              f"{recommendation.total_cost:>10.2f}  {elapsed:>8.3f}  "
+              f"{pipeline:>8}")
 
     print()
     print("Reading the table: with no updates the advisor denormalizes "
           "POI data into a guest-keyed view (1 get); as updates dominate "
           "it normalizes POI attributes away and accepts multi-get plans "
           "— the trade-off of §II, discovered by optimization.")
+    print("The weight-0 epoch and the first weighted epoch run the full "
+          "pipeline (cold); every later epoch differs only in weights, "
+          "hits the advisor's structural cache, and skips straight to "
+          "re-costing and re-solving (warm).")
 
 
 if __name__ == "__main__":

@@ -17,7 +17,12 @@ See ``examples/quickstart.py`` for an end-to-end walkthrough using the
 paper's hotel-booking running example.
 """
 
-from repro.advisor import Advisor, AdvisorTiming, SchemaRecommendation
+from repro.advisor import (
+    Advisor,
+    AdvisorTiming,
+    PreparedWorkload,
+    SchemaRecommendation,
+)
 from repro.cost import CassandraCostModel, CostModel, SimpleCostModel
 from repro.exceptions import (
     ExecutionError,
@@ -26,6 +31,7 @@ from repro.exceptions import (
     OptimizationError,
     ParseError,
     PlanningError,
+    TruncationWarning,
 )
 from repro.indexes import Index, materialized_view_for
 from repro.model import (
@@ -81,11 +87,13 @@ __all__ = [
     "OptimizationError",
     "ParseError",
     "PlanningError",
+    "PreparedWorkload",
     "Query",
     "SchemaRecommendation",
     "SimpleCostModel",
     "Statement",
     "StringField",
+    "TruncationWarning",
     "Update",
     "Workload",
     "materialized_view_for",

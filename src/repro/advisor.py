@@ -5,21 +5,46 @@ schema optimization, plan recommendation — and records a wall-clock
 breakdown per stage so the Fig 13 runtime-decomposition experiment can
 be reproduced (cost calculation / BIP construction / BIP solving /
 other).
+
+The pipeline is staged and cached: :meth:`Advisor.prepare` runs
+enumeration and plan-space generation and caches the result keyed by
+the *structure* of the workload's active statements, and
+:meth:`Advisor.recommend_prepared` runs costing, pruning and the BIP.
+Weight-only changes — the repeated-tuning scenario of time-dependent
+workloads — therefore skip enumeration and planning entirely and
+re-solve a re-costed program.  :meth:`Advisor.recommend` remains the
+one-shot entry point as a thin wrapper over the two stages.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 
 from repro.cost import CassandraCostModel
 from repro.enumerator import CandidateEnumerator
+from repro.exceptions import TruncationWarning
 from repro.optimizer import BIPOptimizer, OptimizationProblem
 from repro.optimizer.results import SchemaRecommendation
+from repro.parallel import parallel_map
 from repro.planner import QueryPlanner, UpdatePlanner
 from repro.planner.plans import UpdatePlan
 
-__all__ = ["Advisor", "AdvisorTiming", "SchemaRecommendation"]
+__all__ = [
+    "Advisor",
+    "AdvisorTiming",
+    "PreparedWorkload",
+    "SchemaRecommendation",
+    "prune_dominated_plans",
+    "prune_plan_space",
+]
+
+
+def _signature(plan):
+    # cost ties are broken by plan signature for reproducibility; plain
+    # stand-in plan objects (as used in tests) may not carry one
+    return getattr(plan, "signature", "")
 
 
 def prune_dominated_plans(plans, keep=None):
@@ -29,19 +54,51 @@ def prune_dominated_plans(plans, keep=None):
     constraints on the BIP, so only the cheaper one can ever be chosen;
     we keep the cheapest plan per distinct column-family set, and
     optionally only the ``keep`` cheapest overall (the plan space stays
-    feasible since every retained plan is self-contained).  Requires
-    costed plans.
+    feasible since every retained plan is self-contained).  Cost ties
+    are broken by plan signature so the result is deterministic across
+    runs and hash seeds.  Requires costed plans.
     """
     best = {}
     for plan in plans:
         key = frozenset(index.key for index in plan.indexes)
         current = best.get(key)
-        if current is None or plan.cost < current.cost:
+        if current is None or plan.cost < current.cost \
+                or (plan.cost == current.cost
+                    and _signature(plan) < _signature(current)):
             best[key] = plan
-    pruned = sorted(best.values(), key=lambda plan: plan.cost)
+    pruned = sorted(best.values(),
+                    key=lambda plan: (plan.cost, _signature(plan)))
     if keep is not None:
         pruned = pruned[:keep]
     return pruned
+
+
+def prune_plan_space(plans, keep=None):
+    """Dominance-prune one statement's plan space for the optimizer.
+
+    Applies the per-column-family-set rule of
+    :func:`prune_dominated_plans`, then additionally drops any plan
+    whose column-family set is a proper superset of a cheaper (or
+    equal-cost) kept plan's: wherever the superset plan is feasible the
+    subset plan is too, using no more storage and costing no more, so
+    the superset plan appears in no optimal solution — the argument
+    holds under a space limit and for the schema-minimising second
+    solve as well.  This typically halves the BIP's plan columns.
+    ``keep`` caps the result (cheapest first) after both rules.
+    """
+    pruned = prune_dominated_plans(plans)
+    kept = []
+    kept_keys = []
+    # ascending (cost, signature): potential dominators come first
+    for plan in pruned:
+        keys = frozenset(index.key for index in plan.indexes)
+        if any(existing < keys for existing in kept_keys):
+            continue
+        kept.append(plan)
+        kept_keys.append(keys)
+    if keep is not None:
+        kept = kept[:keep]
+    return kept
 
 
 @dataclass
@@ -49,14 +106,19 @@ class AdvisorTiming:
     """Wall-clock seconds spent in each advisor stage.
 
     ``cost_calculation``, ``bip_construction`` and ``bip_solving`` match
-    the three named components of the paper's Fig 13; everything else
-    (enumeration, plan-space generation, result extraction) is the
-    figure's "other" share.
+    the three named components of the paper's Fig 13; enumeration,
+    planning, dominance pruning and result extraction form the figure's
+    "other" share, each attributed to its own bucket so no stage time
+    lands unaccounted between buckets.  ``bip_construction`` covers
+    problem assembly plus program construction (or re-costing on a
+    cache hit); ``recommendation`` is result extraction.  Stages that a
+    prepared-workload cache hit skips report zero.
     """
 
     enumeration: float = 0.0
     planning: float = 0.0
     cost_calculation: float = 0.0
+    pruning: float = 0.0
     bip_construction: float = 0.0
     bip_solving: float = 0.0
     recommendation: float = 0.0
@@ -64,6 +126,12 @@ class AdvisorTiming:
     candidates: int = 0
     query_plan_count: int = 0
     support_plan_count: int = 0
+    #: cache hits serving this call: 1 when the prepared workload came
+    #: from the advisor's structural cache, plus lookup-cost memo hits
+    #: during this call's costing pass
+    cache_hits: int = 0
+    #: statements (incl. support queries) whose plan space was capped
+    truncated_queries: int = 0
 
     @property
     def other(self):
@@ -83,6 +151,99 @@ class AdvisorTiming:
         }
 
 
+class PreparedWorkload:
+    """Reusable product of the enumeration and planning stages.
+
+    Created by :meth:`Advisor.prepare` for one workload *structure*
+    (weights excluded).  Besides the candidate pool and raw plan
+    spaces, it accumulates the weight-independent downstream artifacts
+    — costed and pruned plan spaces, and one constructed program per
+    space limit — as :meth:`Advisor.recommend_prepared` produces them,
+    so repeated solves over the same structure redo only the cost
+    vector and the solve itself.
+    """
+
+    def __init__(self, key, workload, candidates, query_plans,
+                 update_plans, enumeration_seconds=0.0,
+                 planning_seconds=0.0):
+        self.key = key
+        #: the workload last prepared/looked-up with this structure;
+        #: supplies default weights to recommend_prepared
+        self.workload = workload
+        self.candidates = candidates
+        #: {query: PlanSpace} — raw, unpruned plan spaces
+        self.query_plans = dict(query_plans)
+        #: {update: [UpdatePlan]} — raw maintenance plans
+        self.update_plans = dict(update_plans)
+        self.enumeration_seconds = enumeration_seconds
+        self.planning_seconds = planning_seconds
+        #: statements (queries and support queries) whose enumeration
+        #: hit the planner's plan cap
+        truncated = [query for query, space in self.query_plans.items()
+                     if getattr(space, "truncated", False)]
+        for plans in self.update_plans.values():
+            for update_plan in plans:
+                truncated.extend(update_plan.truncated_support)
+        self.truncated = tuple(truncated)
+        #: times this prepared workload was served from the cache
+        self.reuse_count = 0
+        # lazily filled by Advisor.recommend_prepared
+        self._fresh = True
+        self._costed_by = None
+        self._cost_seconds = 0.0
+        self._cost_cache_hits = 0
+        self._pruned_query_plans = None
+        self._pruned_update_plans = None
+        self._pruning_seconds = 0.0
+        self._programs = {}
+
+    def consume_fresh(self):
+        """True on the first call after actual enumeration/planning —
+        the caller then attributes those stage timings to itself."""
+        fresh, self._fresh = self._fresh, False
+        return fresh
+
+    @property
+    def plan_count(self):
+        return sum(len(space) for space in self.query_plans.values())
+
+    def __repr__(self):
+        return (f"PreparedWorkload(candidates={len(self.candidates)}, "
+                f"queries={len(self.query_plans)}, "
+                f"updates={len(self.update_plans)}, "
+                f"reused={self.reuse_count})")
+
+
+def _statement_key(statement):
+    """A structural identity for one statement.
+
+    Covers everything enumeration and planning look at — statement
+    type, label, path, predicates, selected/ordered fields, settings —
+    and deliberately excludes weights and parameter names, so workloads
+    differing only in weights share a prepared workload.
+    """
+    parts = [
+        type(statement).__name__,
+        statement.label or "",
+        statement.key_path.signature,
+        tuple((condition.field.id, condition.operator)
+              for condition in statement.conditions),
+    ]
+    select = getattr(statement, "select", None)
+    if select is not None:
+        parts.append(tuple(field.id for field in select))
+        parts.append(tuple(field.id
+                           for field in getattr(statement, "order_by", ())))
+        parts.append(getattr(statement, "limit", None))
+    settings = getattr(statement, "settings", None)
+    if settings is not None:
+        parts.append(tuple(sorted(field.id for field in settings)))
+    connections = getattr(statement, "connections", None)
+    if connections is not None:
+        parts.append(tuple(sorted(key.id for key, _ in connections)))
+    return tuple(parts)
+
+
 class Advisor:
     """End-to-end schema advisor.
 
@@ -90,13 +251,22 @@ class Advisor:
     >>> recommendation = advisor.recommend(workload)
     >>> print(recommendation.describe())
 
+    For repeated solves over the same statements with changing weights,
+    either keep calling :meth:`recommend` (the structural cache makes
+    repeats cheap) or drive the stages explicitly::
+
+    >>> prepared = advisor.prepare(workload)
+    >>> for weights in weight_epochs:
+    ...     advisor.recommend_prepared(prepared, weights=weights)
+
     ``cost_model`` defaults to the Cassandra-style model; ``enumerator``
-    and ``optimizer`` may be swapped for the ablation studies.
+    and ``optimizer`` may be swapped for the ablation studies.  ``jobs``
+    fans per-statement planning and costing over a thread pool.
     """
 
     def __init__(self, model, cost_model=None, enumerator=None,
                  optimizer=None, max_plans=500, prune_to=32,
-                 support_prune_to=8):
+                 support_prune_to=8, jobs=None, cache_size=8):
         self.model = model
         self.cost_model = cost_model or CassandraCostModel()
         self.enumerator = enumerator or CandidateEnumerator(model)
@@ -106,74 +276,281 @@ class Advisor:
         self.prune_to = prune_to
         #: plans kept per support query (their spaces are much denser)
         self.support_prune_to = support_prune_to
+        #: worker threads for per-statement planning/costing (None = serial)
+        self.jobs = jobs
+        #: prepared workloads kept (FIFO-evicted), keyed by structure
+        self.cache_size = cache_size
+        self._prepared = {}
 
     # -- main entry point ----------------------------------------------------
 
-    def recommend(self, workload, space_limit=None):
-        """Recommend a schema and one plan per statement for a workload."""
-        timing = AdvisorTiming()
-        started = time.perf_counter()
+    def recommend(self, workload, space_limit=None, jobs=None):
+        """Recommend a schema and one plan per statement for a workload.
 
-        stage = time.perf_counter()
+        A thin wrapper over :meth:`prepare` + :meth:`recommend_prepared`:
+        repeated calls with structurally identical workloads (weight
+        changes included) reuse the cached plan spaces and program and
+        only re-cost and re-solve.
+        """
+        prepared = self.prepare(workload, jobs=jobs)
+        return self.recommend_prepared(prepared, weights=workload,
+                                       space_limit=space_limit)
+
+    # -- stage 1: enumeration + planning -------------------------------------
+
+    def _workload_key(self, workload):
+        statements = tuple(_statement_key(statement) for statement, _
+                           in workload.weighted_statements)
+        return (statements, self.max_plans)
+
+    def prepare(self, workload, jobs=None):
+        """Enumerate candidates and generate per-statement plan spaces.
+
+        Results are cached on the advisor keyed by the structure of the
+        workload's active statements — weights are excluded, so any
+        workload differing only in (positive) weights is served from
+        the cache with enumeration and planning skipped.  Note that a
+        weight change that activates or deactivates a statement changes
+        the structure and is prepared afresh.  ``jobs`` overrides the
+        advisor-wide thread count for this call.
+        """
+        jobs = self.jobs if jobs is None else jobs
+        key = self._workload_key(workload)
+        prepared = self._prepared.get(key)
+        if prepared is not None:
+            prepared.reuse_count += 1
+            prepared._fresh = False
+            prepared.workload = workload
+            return prepared
+
+        started = time.perf_counter()
         candidates = self.enumerator.candidates(workload)
-        timing.enumeration = time.perf_counter() - stage
-        timing.candidates = len(candidates)
+        enumeration_seconds = time.perf_counter() - started
 
         stage = time.perf_counter()
         planner = QueryPlanner(self.model, candidates,
                                max_plans=self.max_plans)
         update_planner = UpdatePlanner(self.model, planner)
-        query_plans = planner.plan_all(workload.queries)
-        update_plans = update_planner.plan_all(workload.updates)
-        timing.planning = time.perf_counter() - stage
-        timing.query_plan_count = sum(len(p) for p in query_plans.values())
-        timing.support_plan_count = sum(
-            len(up.support_plans)
-            for plans in update_plans.values() for up in plans)
+        query_plans = planner.plan_all(workload.queries, jobs=jobs)
+        update_plans = update_planner.plan_all(workload.updates,
+                                               jobs=jobs)
+        planning_seconds = time.perf_counter() - stage
 
+        prepared = PreparedWorkload(key, workload, candidates,
+                                    query_plans, update_plans,
+                                    enumeration_seconds,
+                                    planning_seconds)
+        self._warn_truncation(prepared)
+        if len(self._prepared) >= self.cache_size:
+            self._prepared.pop(next(iter(self._prepared)))
+        self._prepared[key] = prepared
+        return prepared
+
+    def _warn_truncation(self, prepared):
+        """Warn when a *workload query's* plan space was capped.
+
+        Support-query spaces are deliberately dense-capped
+        (``max_support_plans``), so their truncation is routine; it is
+        surfaced through ``timing.truncated_queries`` and the per-plan
+        ``truncated_support`` flags rather than a warning.
+        """
+        capped = [statement for statement in prepared.truncated
+                  if not getattr(statement, "is_support", False)]
+        if not capped:
+            return
+        labels = sorted({statement.label or repr(statement)
+                         for statement in capped})
+        shown = ", ".join(labels[:5]) + (", ..." if len(labels) > 5
+                                         else "")
+        warnings.warn(TruncationWarning(
+            f"plan enumeration hit the planner's plan cap for "
+            f"{len(labels)} statement(s) ({shown}); the plan space may "
+            f"be incomplete — raise max_plans for an exhaustive "
+            f"search"), stacklevel=3)
+
+    def clear_cache(self):
+        """Drop all cached prepared workloads."""
+        self._prepared.clear()
+
+    # -- stage 2: costing + pruning + optimization ----------------------------
+
+    def _resolve_weights(self, prepared, weights):
+        if weights is None:
+            weights = prepared.workload
+        if hasattr(weights, "weighted_statements"):
+            weights = {statement.label: weight
+                       for statement, weight in weights.weighted_statements}
+        return dict(weights)
+
+    def recommend_prepared(self, prepared, weights=None,
+                           space_limit=None):
+        """Cost, prune and solve a prepared workload.
+
+        ``weights`` maps statement labels to weights; a
+        :class:`~repro.workload.Workload` may be passed instead (its
+        active mix is read), and the default is the workload the
+        structure was last prepared from.  Costing, dominance pruning
+        and program construction all cache on ``prepared``: after the
+        first solve, a weight change rebuilds only the program's cost
+        vector and re-solves.
+        """
+        timing = AdvisorTiming()
+        started = time.perf_counter()
+        weights = self._resolve_weights(prepared, weights)
+
+        if prepared.consume_fresh():
+            timing.enumeration = prepared.enumeration_seconds
+            timing.planning = prepared.planning_seconds
+        else:
+            timing.cache_hits += 1
+        timing.candidates = len(prepared.candidates)
+        timing.truncated_queries = len(prepared.truncated)
+        timing.query_plan_count = prepared.plan_count
+        timing.support_plan_count = sum(
+            len(update_plan.support_plans)
+            for plans in prepared.update_plans.values()
+            for update_plan in plans)
+
+        self._cost_prepared(prepared, timing)
+        self._prune_prepared(prepared, timing)
+        recommendation = self._optimize_prepared(prepared, weights,
+                                                 space_limit, timing)
+        recommendation.timing = timing
+        timing.total = (time.perf_counter() - started
+                        + timing.enumeration + timing.planning)
+        return recommendation
+
+    def _cost_prepared(self, prepared, timing):
+        """Cost all plans once per cost model (plan costs are
+        weight-independent); statements are costed in parallel when
+        ``jobs`` is set — their step objects are disjoint."""
+        if prepared._costed_by == id(self.cost_model):
+            return
         stage = time.perf_counter()
-        for plans in query_plans.values():
-            for plan in plans:
+        hits_before = self.cost_model.cache_info()[0]
+
+        def cost_space(space):
+            for plan in space:
                 self.cost_model.cost_plan(plan)
-        for plans in update_plans.values():
+
+        def cost_update_space(plans):
             for update_plan in plans:
                 self.cost_model.cost_update_plan(update_plan)
-        timing.cost_calculation = time.perf_counter() - stage
 
-        query_plans = {query: prune_dominated_plans(plans, self.prune_to)
-                       for query, plans in query_plans.items()}
-        update_plans = {
+        parallel_map(cost_space, prepared.query_plans.values(),
+                     jobs=self.jobs)
+        parallel_map(cost_update_space, prepared.update_plans.values(),
+                     jobs=self.jobs)
+        prepared._costed_by = id(self.cost_model)
+        # costs changed: downstream artifacts are stale
+        prepared._pruned_query_plans = None
+        prepared._pruned_update_plans = None
+        prepared._programs.clear()
+        prepared._cost_seconds = time.perf_counter() - stage
+        prepared._cost_cache_hits = (self.cost_model.cache_info()[0]
+                                     - hits_before)
+        timing.cost_calculation = prepared._cost_seconds
+        timing.cache_hits += prepared._cost_cache_hits
+
+    def _prune_prepared(self, prepared, timing):
+        if prepared._pruned_query_plans is not None:
+            return
+        stage = time.perf_counter()
+        prepared._pruned_query_plans = {
+            query: prune_plan_space(plans, self.prune_to)
+            for query, plans in prepared.query_plans.items()}
+        pruned_updates = {
             update: [self._prune_update_plan(update_plan)
                      for update_plan in plans]
-            for update, plans in update_plans.items()}
+            for update, plans in prepared.update_plans.items()}
+        prepared._pruned_update_plans = self._reachable_update_plans(
+            prepared._pruned_query_plans, pruned_updates)
+        prepared._pruning_seconds = time.perf_counter() - stage
+        timing.pruning = prepared._pruning_seconds
 
-        weights = {statement.label: weight
-                   for statement, weight in workload.weighted_statements}
-        problem = OptimizationProblem(query_plans, update_plans, weights,
-                                      space_limit=space_limit)
+    @staticmethod
+    def _reachable_update_plans(query_plans, update_plans):
+        """Drop maintenance plans for unreachable candidates.
 
+        After plan-space pruning, a candidate column family may appear
+        in no retained query plan and in no support plan reachable from
+        one.  Selecting such a candidate can only add maintenance cost
+        and storage (all costs are nonnegative), so some optimal
+        solution — also under a space limit, and for the
+        schema-minimising second solve — never selects it, and its
+        maintenance plans can be dropped from the BIP outright.  The
+        reachable set is closed transitively: a reachable candidate's
+        support plans may themselves look up further candidates.
+        """
+        reachable = {index.key
+                     for plans in query_plans.values()
+                     for plan in plans
+                     for index in plan.indexes}
+        remaining = [update_plan for plans in update_plans.values()
+                     for update_plan in plans]
+        progress = True
+        while progress:
+            progress = False
+            deferred = []
+            for update_plan in remaining:
+                if update_plan.index.key in reachable:
+                    for plan in update_plan.support_plans:
+                        reachable.update(index.key
+                                         for index in plan.indexes)
+                    progress = True
+                else:
+                    deferred.append(update_plan)
+            remaining = deferred
+        return {update: [update_plan for update_plan in plans
+                         if update_plan.index.key in reachable]
+                for update, plans in update_plans.items()}
+
+    def _optimize_prepared(self, prepared, weights, space_limit, timing):
+        query_plans = prepared._pruned_query_plans
+        update_plans = prepared._pruned_update_plans
+        staged = (hasattr(self.optimizer, "prepare")
+                  and hasattr(self.optimizer, "optimize"))
         stage = time.perf_counter()
-        program = self.optimizer.prepare(problem)
+        if not staged:
+            # e.g. BruteForceOptimizer: single solve() entry point
+            problem = OptimizationProblem(query_plans, update_plans,
+                                          weights,
+                                          space_limit=space_limit)
+            timing.bip_construction = time.perf_counter() - stage
+            stage = time.perf_counter()
+            recommendation = self.optimizer.solve(problem)
+            timing.bip_solving = time.perf_counter() - stage
+            return recommendation
+        program = prepared._programs.get(space_limit)
+        if program is not None and hasattr(self.optimizer, "reweight"):
+            self.optimizer.reweight(program, weights)
+        else:
+            problem = OptimizationProblem(query_plans, update_plans,
+                                          weights,
+                                          space_limit=space_limit)
+            program = self.optimizer.prepare(problem)
+            prepared._programs[space_limit] = program
         timing.bip_construction = time.perf_counter() - stage
 
         stage = time.perf_counter()
         recommendation = self.optimizer.optimize(program)
-        timing.bip_solving = time.perf_counter() - stage
-
-        stage = time.perf_counter()
-        recommendation.timing = timing
-        timing.recommendation = time.perf_counter() - stage
-        timing.total = time.perf_counter() - started
+        solving = time.perf_counter() - stage
+        # the BIP program separates solver time from result extraction;
+        # fall back to the wall measurement for other optimizers
+        extract = getattr(program, "extract_seconds", 0.0)
+        timing.bip_solving = max(solving - extract, 0.0)
+        timing.recommendation = extract
         return recommendation
 
     def _prune_update_plan(self, update_plan):
         """Dominance-prune each support query's plan space."""
         pruned = []
         for plans in update_plan.support_plans_by_query.values():
-            pruned.extend(prune_dominated_plans(plans,
-                                                self.support_prune_to))
+            pruned.extend(prune_plan_space(plans,
+                                           self.support_prune_to))
         return UpdatePlan(update_plan.update, update_plan.index, pruned,
-                          update_plan.steps)
+                          update_plan.steps,
+                          truncated_support=update_plan.truncated_support)
 
     # -- fixed-schema evaluation -------------------------------------------------
 

@@ -70,6 +70,15 @@ def build_parser():
                         default="cassandra")
     parser.add_argument("--max-plans", type=int, default=500,
                         help="cap on enumerated plans per statement")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker threads for per-statement planning "
+                             "and costing (default: serial)")
+    parser.add_argument("--repeat-tuning", type=int, default=0,
+                        metavar="N",
+                        help="after the first recommendation, re-solve N "
+                             "more times with write weights scaled 2x "
+                             "per epoch, reusing the prepared pipeline; "
+                             "prints a per-epoch timing table")
     parser.add_argument("--timing", action="store_true",
                         help="print the advisor stage timing breakdown")
     parser.add_argument("--cql", action="store_true",
@@ -95,9 +104,19 @@ def main(argv=None):
         cost_model = CassandraCostModel() \
             if arguments.cost_model == "cassandra" else SimpleCostModel()
         advisor = Advisor(model, cost_model=cost_model,
-                          max_plans=arguments.max_plans)
+                          max_plans=arguments.max_plans,
+                          jobs=arguments.jobs)
         recommendation = advisor.recommend(
             workload, space_limit=arguments.space_limit)
+        tuning_rows = None
+        if arguments.repeat_tuning:
+            tuning_rows = {"cold": recommendation.timing}
+            for epoch in range(1, arguments.repeat_tuning + 1):
+                factor = 2.0 ** epoch
+                tuned = workload.scale_weights(factor)
+                epoch_rec = advisor.recommend(
+                    tuned, space_limit=arguments.space_limit)
+                tuning_rows[f"writes x{factor:g}"] = epoch_rec.timing
     except NoseError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -116,6 +135,12 @@ def main(argv=None):
         for stage, seconds in \
                 recommendation.timing.as_figure13_row().items():
             print(f"  {stage:<18} {seconds:.3f}")
+    if tuning_rows:
+        from repro.reporting import timing_table
+        print()
+        print("Repeated tuning (write weights scaled per epoch; warm "
+              "epochs reuse the prepared pipeline):")
+        print(timing_table(tuning_rows))
     return 0
 
 

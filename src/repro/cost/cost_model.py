@@ -27,11 +27,17 @@ class CostModel:
 
     Subclasses override the per-step methods; :meth:`cost_plan` and
     :meth:`cost_update_plan` annotate steps in place and return totals.
+
+    Get-request costs are memoized per ``(index key, bindings,
+    raw_rows)``: plan spaces share lookup steps heavily (the same column
+    family is bound the same way in many plans), so the advisor's
+    cost-calculation pass mostly hits the cache.  Mutating a model's
+    cost constants after use requires :meth:`clear_cost_cache`.
     """
 
     def cost_step(self, step):
         if isinstance(step, IndexLookupStep):
-            return self.index_lookup_cost(step)
+            return self._memoized_lookup_cost(step)
         if isinstance(step, FilterStep):
             return self.filter_cost(step)
         if isinstance(step, SortStep):
@@ -43,6 +49,38 @@ class CostModel:
         if isinstance(step, DeleteStep):
             return self.delete_cost(step)
         raise TypeError(f"unknown plan step: {step!r}")
+
+    def _memoized_lookup_cost(self, step):
+        # lazy cache setup: subclasses are not required to call
+        # super().__init__()
+        cache = getattr(self, "_lookup_cost_cache", None)
+        if cache is None:
+            cache = self.__dict__["_lookup_cost_cache"] = {}
+            self.__dict__.setdefault("cache_hits", 0)
+            self.__dict__.setdefault("cache_misses", 0)
+        # entry_size is a function of the index, so the key column
+        # family + binding fan-out + raw row count determine the cost
+        key = (step.index.key, step.bindings, step.raw_rows)
+        try:
+            cost = cache[key]
+        except KeyError:
+            cost = cache[key] = self.index_lookup_cost(step)
+            self.cache_misses += 1
+        else:
+            self.cache_hits += 1
+        return cost
+
+    def cache_info(self):
+        """``(hits, misses, entries)`` of the lookup-cost memo."""
+        return (getattr(self, "cache_hits", 0),
+                getattr(self, "cache_misses", 0),
+                len(getattr(self, "_lookup_cost_cache", ()) or ()))
+
+    def clear_cost_cache(self):
+        """Drop memoized lookup costs (after changing cost constants)."""
+        self.__dict__.pop("_lookup_cost_cache", None)
+        self.__dict__["cache_hits"] = 0
+        self.__dict__["cache_misses"] = 0
 
     def cost_plan(self, plan):
         """Annotate a query plan's steps; returns the plan cost."""

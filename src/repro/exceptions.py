@@ -48,3 +48,12 @@ class OptimizationError(NoseError):
 
 class ExecutionError(NoseError):
     """A plan could not be executed against the backend record store."""
+
+
+class TruncationWarning(UserWarning):
+    """A plan space hit the planner's ``max_plans`` cap.
+
+    The enumeration stopped with branches left unexplored, so the plan
+    space may be incomplete and the recommendation is optimal only over
+    the plans that were kept.  Raise ``max_plans`` to explore further.
+    """

@@ -17,6 +17,8 @@ is unavailable offline); the formulation is identical.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import csr_matrix
@@ -27,7 +29,14 @@ from repro.planner.plans import UpdatePlan
 
 
 class _Program:
-    """A fully materialized BIP instance, ready to optimize."""
+    """A fully materialized BIP instance, ready to optimize.
+
+    The constraint structure depends only on the plan spaces, never on
+    the statement weights — weights enter through the cost vector alone.
+    :meth:`reweight` therefore re-costs a built program in place, and
+    the constraint matrix, integrality vector and variable bounds are
+    each materialized once and reused across solves.
+    """
 
     def __init__(self, problem):
         self.problem = problem
@@ -43,6 +52,15 @@ class _Program:
         self._entries = []  # (row, column, value)
         self._lower = []
         self._upper = []
+        #: lazily materialized solver inputs, reused across solves
+        self._base_constraint = None
+        self._entry_arrays = None
+        self._integrality = None
+        self._unit_bounds = None
+        #: wall-clock seconds of the last optimize(), split so the
+        #: advisor can attribute solving vs result extraction honestly
+        self.solve_seconds = 0.0
+        self.extract_seconds = 0.0
         self._build()
 
     # -- construction -----------------------------------------------------
@@ -108,21 +126,61 @@ class _Program:
                     (row, self.index_column[index.key], -1.0))
             self._entries.append((row, column, 1.0))
 
+    # -- re-costing -----------------------------------------------------------
+
+    def reweight(self, weights):
+        """Re-cost the program for new statement weights, in place.
+
+        Choose-one rows, support gates, plan links and the space row are
+        all weight-independent, so only the cost vector needs rebuilding
+        — the expensive construction work survives a weight change.
+        """
+        problem = self.problem
+        problem.set_weights(weights)
+        costs = [0.0] * self.columns
+        for query, plan, column in self.plan_columns:
+            costs[column] = problem.weight(query) * plan.cost
+        for update_plan, _support, plan, column in self.support_columns:
+            costs[column] = (problem.weight(update_plan.update)
+                            * plan.cost)
+        for update, update_plans in problem.update_plans.items():
+            weight = problem.weight(update)
+            for update_plan in update_plans:
+                index_column = self.index_column[update_plan.index.key]
+                costs[index_column] += weight * update_plan.update_cost
+        self.costs = costs
+
     # -- solving --------------------------------------------------------------
 
     def _matrix(self, extra_entries=(), extra_bounds=()):
-        entries = list(self._entries) + list(extra_entries)
+        if self._entry_arrays is None:
+            self._entry_arrays = (
+                np.asarray([e[0] for e in self._entries]),
+                np.asarray([e[1] for e in self._entries]),
+                np.asarray([e[2] for e in self._entries], dtype=float),
+            )
+        rows, columns, values = self._entry_arrays
+        if not extra_entries and not extra_bounds:
+            if self._base_constraint is None:
+                matrix = csr_matrix(
+                    (values, (rows, columns)),
+                    shape=(len(self._lower), self.columns))
+                self._base_constraint = LinearConstraint(
+                    matrix, np.asarray(self._lower, dtype=float),
+                    np.asarray(self._upper, dtype=float))
+            return self._base_constraint
+        rows = np.concatenate([rows, [e[0] for e in extra_entries]])
+        columns = np.concatenate([columns,
+                                  [e[1] for e in extra_entries]])
+        values = np.concatenate([values, [e[2] for e in extra_entries]])
         lower = list(self._lower) + [b[0] for b in extra_bounds]
         upper = list(self._upper) + [b[1] for b in extra_bounds]
-        rows = [e[0] for e in entries]
-        columns = [e[1] for e in entries]
-        values = [e[2] for e in entries]
         matrix = csr_matrix((values, (rows, columns)),
                             shape=(len(lower), self.columns))
         return LinearConstraint(matrix, np.asarray(lower),
                                 np.asarray(upper))
 
-    def _solve(self, objective, constraints, options=None):
+    def _solve(self, objective, constraints, options=None, bounds=None):
         # Only the column-family selection variables need integrality:
         # for any 0/1 selection, every plan whose column families are
         # all selected is feasible on its own (the aggregated links
@@ -131,13 +189,19 @@ class _Program:
         # can never beat the cheapest feasible plan.  Declaring the
         # plan variables continuous cuts the binaries from thousands to
         # the number of candidates.
-        integrality = np.zeros(self.columns)
-        integrality[:len(self.indexes)] = 1
+        if self._integrality is None:
+            integrality = np.zeros(self.columns)
+            integrality[:len(self.indexes)] = 1
+            self._integrality = integrality
+        if bounds is None:
+            if self._unit_bounds is None:
+                self._unit_bounds = Bounds(0, 1)
+            bounds = self._unit_bounds
         result = milp(
             c=np.asarray(objective),
             constraints=constraints,
-            integrality=integrality,
-            bounds=Bounds(0, 1),
+            integrality=self._integrality,
+            bounds=bounds,
             options=options or {},
         )
         acceptable = result.success or (result.status == 1
@@ -147,6 +211,50 @@ class _Program:
                 f"BIP solve failed: {result.message}")
         return result
 
+    def _phase2_bounds(self, best_cost, tolerance):
+        """Variable fixing for the schema-minimisation solve.
+
+        Any solution within the phase-2 cost cap pays at least the
+        cheapest plan of every query group (their sum ``lower_bound``),
+        plus — for each active support gate and in full for a pure plan
+        choice — the cost of whichever plan column carries weight.  A
+        plan column whose cost exceeds its group minimum by more than
+        ``best_cost + tolerance - lower_bound`` therefore appears in no
+        pure solution under the cap, and since the best cost achievable
+        for a fixed schema is always attained by pure plan choices,
+        fixing such columns to zero preserves a phase-2 optimum.  This
+        is a no-op when maintenance costs dominate the slack (e.g.
+        update-heavy mixes) but prunes most plan columns on read-mostly
+        workloads.  Returns ``None`` when nothing can be fixed.
+        """
+        costs = np.asarray(self.costs, dtype=float)
+        if costs.size == 0 or costs.min() < 0.0:
+            # negative costs void the lower-bound argument
+            return None
+        # index-selection columns must never be fixed: the group minima
+        # below are computed ignoring which column families exist
+        margins = np.full(self.columns, -np.inf)
+        lower_bound = 0.0
+        by_query = {}
+        for query, _plan, column in self.plan_columns:
+            by_query.setdefault(id(query), []).append(column)
+        for group in by_query.values():
+            group_costs = costs[group]
+            group_min = float(group_costs.min())
+            lower_bound += group_min
+            margins[group] = group_costs - group_min
+        for _update_plan, _support, _plan, column in self.support_columns:
+            # support plans cost nothing when their gate is closed, so
+            # their margin is the full column cost
+            margins[column] = costs[column]
+        slack = best_cost + tolerance - lower_bound
+        fixed = margins > slack
+        if not fixed.any():
+            return None
+        upper = np.ones(self.columns)
+        upper[fixed] = 0.0
+        return Bounds(0, upper)
+
     def optimize(self, minimize_schema_size=True, mip_rel_gap=1e-4,
                  time_limit=120.0):
         """Two-phase solve: min cost, then min #column families.
@@ -155,6 +263,7 @@ class _Program:
         effort; with a time limit the incumbent solution is returned
         (still feasible, within the reported gap of optimal).
         """
+        solve_started = time.perf_counter()
         options = {"mip_rel_gap": mip_rel_gap, "time_limit": time_limit}
         cost_vector = np.asarray(self.costs)
         result = self._solve(self.costs, [self._matrix()], options)
@@ -183,27 +292,46 @@ class _Program:
                 "mip_rel_gap": max(mip_rel_gap, 0.02),
                 "time_limit": min(time_limit, 30.0),
             }
+            bounds = self._phase2_bounds(best_cost, tolerance)
             try:
                 result = self._solve(objective, [constraint],
-                                     phase2_options)
+                                     phase2_options, bounds=bounds)
             except OptimizationError:
                 pass
-        return self._extract(result, best_cost)
+        extract_started = time.perf_counter()
+        self.solve_seconds = extract_started - solve_started
+        recommendation = self._extract(result, best_cost)
+        self.extract_seconds = time.perf_counter() - extract_started
+        return recommendation
+
+    @staticmethod
+    def _beats(weight, plan, best):
+        """Plan ranking for extraction: highest solver weight wins, then
+        cheaper cost, then the lexicographically smallest signature — so
+        equal-cost recommendations are byte-for-byte reproducible across
+        runs and hash seeds instead of following iteration order."""
+        if best is None:
+            return True
+        best_weight, best_cost, best_plan = best
+        rank = (weight, -plan.cost)
+        if rank != (best_weight, -best_cost):
+            return rank > (best_weight, -best_cost)
+        return plan.signature < best_plan.signature
 
     def _extract(self, result, total_cost):
         selected = result.x > 0.5
         # plan variables are continuous and may split across
         # equal-cost alternatives; pick the highest-weight plan per
-        # statement (ties broken toward cheaper plans)
+        # statement (ties broken toward cheaper plans, then by plan
+        # signature for determinism)
         query_plans = {}
         query_best = {}
         for query, plan, column in self.plan_columns:
             weight = result.x[column]
             if weight < 1e-6:
                 continue
-            best = query_best.get(query)
-            if best is None or (weight, -plan.cost) > best:
-                query_best[query] = (weight, -plan.cost)
+            if self._beats(weight, plan, query_best.get(query)):
+                query_best[query] = (weight, plan.cost, plan)
                 query_plans[query] = plan
         chosen_support = {}
         support_best = {}
@@ -212,10 +340,9 @@ class _Program:
             if weight < 1e-6:
                 continue
             key = (id(update_plan), id(support))
-            best = support_best.get(key)
-            if best is None or (weight, -plan.cost) > best[0]:
-                support_best[key] = ((weight, -plan.cost), plan)
-        for (plan_id, _support_id), (_rank, plan) in support_best.items():
+            if self._beats(weight, plan, support_best.get(key)):
+                support_best[key] = (weight, plan.cost, plan)
+        for (plan_id, _support_id), (_w, _c, plan) in support_best.items():
             chosen_support.setdefault(plan_id, []).append(plan)
         chosen_keys = self._used_keys(selected, query_plans,
                                       chosen_support)
@@ -285,6 +412,16 @@ class BIPOptimizer:
     def prepare(self, problem):
         """Construct the program (the 'BIP construction' stage)."""
         return _Program(problem)
+
+    def reweight(self, program, weights):
+        """Re-cost a prepared program for new statement weights.
+
+        The constraint structure is weight-independent, so this replaces
+        only the cost vector — re-solving after a weight change skips
+        construction entirely.
+        """
+        program.reweight(weights)
+        return program
 
     def optimize(self, program):
         """Solve a prepared program (the 'BIP solving' stage)."""

@@ -22,6 +22,7 @@ class OptimizationProblem:
         self.update_plans = dict(update_plans)
         self.weights = dict(weights)
         self.space_limit = space_limit
+        self._indexes = None
         for query, plans in self.query_plans.items():
             if not plans:
                 raise OptimizationError(
@@ -29,19 +30,26 @@ class OptimizationProblem:
 
     @property
     def indexes(self):
-        """Every candidate column family referenced by any plan."""
-        seen = {}
-        for plans in self.query_plans.values():
-            for plan in plans:
-                for index in plan.indexes:
-                    seen.setdefault(index.key, index)
-        for update_plans in self.update_plans.values():
-            for update_plan in update_plans:
-                seen.setdefault(update_plan.index.key, update_plan.index)
-                for plan in update_plan.support_plans:
+        """Every candidate column family referenced by any plan.
+
+        The plan spaces are fixed at construction, so the scan is done
+        once and cached — the BIP consults this list per column.
+        """
+        if self._indexes is None:
+            seen = {}
+            for plans in self.query_plans.values():
+                for plan in plans:
                     for index in plan.indexes:
                         seen.setdefault(index.key, index)
-        return list(seen.values())
+            for update_plans in self.update_plans.values():
+                for update_plan in update_plans:
+                    seen.setdefault(update_plan.index.key,
+                                    update_plan.index)
+                    for plan in update_plan.support_plans:
+                        for index in plan.indexes:
+                            seen.setdefault(index.key, index)
+            self._indexes = list(seen.values())
+        return list(self._indexes)
 
     def weight(self, statement):
         try:
@@ -49,6 +57,21 @@ class OptimizationProblem:
         except KeyError:
             raise OptimizationError(
                 f"no weight for statement {statement.label!r}") from None
+
+    def set_weights(self, weights):
+        """Replace the statement weights (plan spaces stay fixed).
+
+        Every statement with a plan space must keep a weight — the BIP's
+        constraint structure is weight-independent, so a prepared
+        program can be re-costed in place after this.
+        """
+        weights = dict(weights)
+        statements = list(self.query_plans) + list(self.update_plans)
+        missing = [s.label for s in statements if s.label not in weights]
+        if missing:
+            raise OptimizationError(
+                f"new weights miss statements: {sorted(missing)}")
+        self.weights = weights
 
     @property
     def size(self):

@@ -1,0 +1,30 @@
+"""A tiny ordered parallel map shared by the advisor pipeline.
+
+Planning and costing are independent per statement, so the advisor fans
+them out over a thread pool when ``jobs > 1``.  Threads (rather than
+processes) keep plan objects shared by identity — the optimizer relies
+on ``id()``-stable plans — and the per-statement work releases the GIL
+inside numpy/scipy, so threads still help on multi-core hosts while
+degrading gracefully to serial order on one core.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+__all__ = ["parallel_map"]
+
+
+def parallel_map(function, items, jobs=None):
+    """``[function(item) for item in items]``, optionally on a pool.
+
+    Results are returned in input order regardless of completion order,
+    and the first exception (in input order) propagates exactly as it
+    would from the serial loop.  ``jobs`` of ``None``, 0 or 1 runs
+    serially with no pool overhead.
+    """
+    items = list(items)
+    if not jobs or jobs <= 1 or len(items) <= 1:
+        return [function(item) for item in items]
+    with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
+        return list(pool.map(function, items))

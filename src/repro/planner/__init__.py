@@ -8,7 +8,7 @@ put/delete steps for updates.  The optimizer later selects one plan per
 statement.
 """
 
-from repro.planner.plans import QueryPlan, UpdatePlan
+from repro.planner.plans import PlanSpace, QueryPlan, UpdatePlan
 from repro.planner.query_planner import QueryPlanner
 from repro.planner.steps import (
     DeleteStep,
@@ -27,6 +27,7 @@ __all__ = [
     "IndexLookupStep",
     "InsertStep",
     "LimitStep",
+    "PlanSpace",
     "PlanStep",
     "QueryPlan",
     "QueryPlanner",

@@ -5,6 +5,22 @@ from __future__ import annotations
 from repro.planner.steps import DeleteStep, IndexLookupStep, InsertStep
 
 
+class PlanSpace(list):
+    """The enumerated plans for one query, with provenance.
+
+    Behaves exactly like the plain list the planner used to return, but
+    additionally records whether the depth-first enumeration was cut
+    short by the planner's ``max_plans`` cap (``truncated``) — a capped
+    space must never be mistaken for an exhaustive one.
+    """
+
+    def __init__(self, plans=(), query=None, truncated=False):
+        super().__init__(plans)
+        self.query = query
+        #: True when ``max_plans`` stopped the DFS with branches left
+        self.truncated = truncated
+
+
 class QueryPlan:
     """A sequence of primitive steps answering one query.
 
@@ -78,11 +94,14 @@ class UpdatePlan:
     is part of the recommended schema.
     """
 
-    def __init__(self, update, index, support_plans, steps):
+    def __init__(self, update, index, support_plans, steps,
+                 truncated_support=()):
         self.update = update
         self.index = index
         self.support_plans = tuple(support_plans)
         self.steps = tuple(steps)
+        #: support queries whose plan spaces hit the planner cap
+        self.truncated_support = tuple(truncated_support)
 
     @property
     def update_steps(self):

@@ -22,7 +22,8 @@ from __future__ import annotations
 import itertools
 
 from repro.exceptions import PlanningError
-from repro.planner.plans import QueryPlan
+from repro.parallel import parallel_map
+from repro.planner.plans import PlanSpace, QueryPlan
 from repro.planner.steps import (
     FilterStep,
     IndexLookupStep,
@@ -79,7 +80,9 @@ class QueryPlanner:
 
         Raises :class:`PlanningError` when ``require`` is set and no plan
         exists (i.e. the pool cannot answer the query).  ``max_plans``
-        overrides the planner-wide cap for this query.
+        overrides the planner-wide cap for this query.  The returned
+        :class:`~repro.planner.plans.PlanSpace` records whether the cap
+        cut the enumeration short (``.truncated``).
         """
         rpath = query.key_path.reverse() if len(query.key_path) > 1 \
             else query.key_path
@@ -90,12 +93,20 @@ class QueryPlanner:
         if require and not plans:
             raise PlanningError(
                 f"no plan found for query: {query.text or query!r}")
-        return list(plans.values())
+        return PlanSpace(plans.values(), query=query,
+                         truncated=state.truncated)
 
-    def plan_all(self, queries, require=True):
-        """Plan spaces for many queries: ``{query: [plans]}``."""
-        return {query: self.plans_for(query, require=require)
-                for query in queries}
+    def plan_all(self, queries, require=True, jobs=None):
+        """Plan spaces for many queries: ``{query: PlanSpace}``.
+
+        Per-query enumeration is independent; ``jobs`` fans it out over
+        a thread pool (input order, hence result determinism, is kept).
+        """
+        queries = list(queries)
+        spaces = parallel_map(
+            lambda query: self.plans_for(query, require=require),
+            queries, jobs=jobs)
+        return dict(zip(queries, spaces))
 
     def best_plan(self, query, cost_model):
         """Cost all plans and return the cheapest one."""
@@ -154,6 +165,10 @@ class _PlannerState:
         self.rpath = rpath
         self.plans = plans
         self.max_plans = max_plans
+        #: set when the cap stopped the DFS with work left (an
+        #: unexplored branch may only hold duplicate plans, so this is
+        #: a conservative "may be incomplete", never a false negative)
+        self.truncated = False
         self.length = len(rpath)
         self.order_by = tuple(query.order_by) \
             if hasattr(query, "order_by") else ()
@@ -170,6 +185,7 @@ class _PlannerState:
                 order_served):
         """Extend the chain from frontier ``position`` (-1 = nothing yet)."""
         if len(self.plans) >= self.max_plans:
+            self.truncated = True
             return
         if position == self.length - 1:
             self._finalize(steps, cardinality, available, order_served)
@@ -363,7 +379,8 @@ class _PlannerState:
                 per_entity.append(options)
             variants = [tuple(combo)
                         for combo in itertools.product(*per_entity)]
-        for fetch_indexes in variants:
+        last_variant = len(variants) - 1
+        for variant, fetch_indexes in enumerate(variants):
             final_steps = list(steps)
             out = cardinality
             for fetch_index in fetch_indexes:
@@ -378,4 +395,6 @@ class _PlannerState:
             plan = QueryPlan(self.query, final_steps)
             self.plans.setdefault(plan.signature, plan)
             if len(self.plans) >= self.max_plans:
+                if variant < last_variant:
+                    self.truncated = True
                 return

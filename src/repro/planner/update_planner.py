@@ -16,6 +16,7 @@ from repro.enumerator.support import (
     support_queries,
 )
 from repro.exceptions import PlanningError
+from repro.parallel import parallel_map
 from repro.planner.plans import UpdatePlan
 from repro.planner.steps import DeleteStep, InsertStep
 
@@ -51,14 +52,22 @@ class UpdatePlanner:
                 plans.append(plan)
         return plans
 
-    def plan_all(self, updates, indexes=None, require=True):
-        """Maintenance plan spaces for many updates: ``{update: [plans]}``."""
-        return {update: self.plans_for(update, indexes=indexes,
-                                       require=require)
-                for update in updates}
+    def plan_all(self, updates, indexes=None, require=True, jobs=None):
+        """Maintenance plan spaces for many updates: ``{update: [plans]}``.
+
+        Per-update planning is independent; ``jobs`` fans it out over a
+        thread pool while keeping results in input order.
+        """
+        updates = list(updates)
+        spaces = parallel_map(
+            lambda update: self.plans_for(update, indexes=indexes,
+                                          require=require),
+            updates, jobs=jobs)
+        return dict(zip(updates, spaces))
 
     def _plan_one(self, update, index, require):
         support_plans = []
+        truncated_support = []
         for support in support_queries(update, index):
             try:
                 plans = self.query_planner.plans_for(
@@ -69,6 +78,8 @@ class UpdatePlanner:
                         f"cannot plan support query {support.text or support!r} "
                         f"for {update.label or update!r} on {index.key}")
                 return None
+            if getattr(plans, "truncated", False):
+                truncated_support.append(support)
             support_plans.extend(plans)
         deleted, inserted = modified_row_counts(update, index)
         steps = []
@@ -76,4 +87,5 @@ class UpdatePlanner:
             steps.append(DeleteStep(index, deleted))
         if inserted > 0:
             steps.append(InsertStep(index, inserted))
-        return UpdatePlan(update, index, support_plans, steps)
+        return UpdatePlan(update, index, support_plans, steps,
+                          truncated_support=truncated_support)
