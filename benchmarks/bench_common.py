@@ -17,8 +17,6 @@ from __future__ import annotations
 import os
 import pathlib
 
-import pytest
-
 from repro import Advisor
 from repro.backend import ExecutionEngine
 from repro.rubis import (
@@ -27,8 +25,6 @@ from repro.rubis import (
     expert_schema,
     generate_dataset,
     normalized_schema,
-    rubis_model,
-    rubis_workload,
 )
 
 BENCH_USERS = int(os.environ.get("NOSE_BENCH_USERS", "20000"))

@@ -1,0 +1,98 @@
+"""Benchmark: telemetry overhead on the RuBiS bidding mix.
+
+The overhead policy (DESIGN.md, "Telemetry") promises that disabled
+telemetry costs less than 3% of advisor runtime.  A direct
+enabled-vs-disabled wall-clock comparison is too noisy to enforce a 3%
+bound on a shared box, so the guard bounds the overhead analytically:
+
+1. run the advisor once with telemetry *enabled* and read the exact
+   number of telemetry operations the pipeline performed (metric
+   updates plus spans opened);
+2. measure the per-operation cost of the *disabled* hooks — a
+   ``telemetry.current()`` read, the ``enabled`` check, and a null
+   metric call — in a tight loop;
+3. assert that op-count x null-op cost stays under 3% of the median
+   disabled advisor runtime.
+
+The estimate is conservative: it charges every operation the full null
+hook price even though disabled runs skip most hook call sites behind
+one ``enabled`` branch.  Writes ``BENCH_telemetry.json`` at the repo
+root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro import Advisor, telemetry
+from repro.rubis import rubis_model, rubis_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OVERHEAD_BUDGET = 0.03
+NULL_LOOP = 200_000
+
+
+def _timed(function):
+    started = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - started
+
+
+def _null_hook_seconds():
+    """Per-operation cost of the disabled telemetry hooks."""
+    started = time.perf_counter()
+    for _ in range(NULL_LOOP):
+        active = telemetry.current()
+        if active.enabled:
+            active.count("never")
+    elapsed = time.perf_counter() - started
+    return elapsed / NULL_LOOP
+
+
+def test_disabled_telemetry_overhead_under_budget():
+    model = rubis_model()
+    workload = rubis_workload(model, mix="bidding")
+
+    # 1. count telemetry operations in one enabled run
+    with telemetry.activate() as sink:
+        Advisor(model).recommend(workload)
+        ops = sink.metrics.ops + sink.tracer.span_count
+    assert ops > 0, "enabled run recorded no telemetry"
+
+    # 2. median disabled runtime (telemetry off is the default state)
+    assert not telemetry.current().enabled
+    disabled_samples = []
+    for _ in range(3):
+        advisor = Advisor(model)
+        _, seconds = _timed(lambda: advisor.recommend(workload))
+        disabled_samples.append(seconds)
+    disabled_seconds = statistics.median(disabled_samples)
+
+    # 3. bound the disabled-hook cost by op count x null-op price
+    null_op_seconds = _null_hook_seconds()
+    overhead_seconds = ops * null_op_seconds
+    overhead_share = overhead_seconds / disabled_seconds
+
+    payload = {
+        "workload": "rubis/bidding",
+        "telemetry_ops": ops,
+        "null_op_seconds": null_op_seconds,
+        "estimated_overhead_seconds": overhead_seconds,
+        "disabled_seconds_median": disabled_seconds,
+        "disabled_samples": disabled_samples,
+        "overhead_share": overhead_share,
+        "budget": OVERHEAD_BUDGET,
+    }
+    (REPO_ROOT / "BENCH_telemetry.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    print(f"\ntelemetry ops: {ops}, null hook: {null_op_seconds:.2e}s, "
+          f"estimated overhead: {overhead_share:.4%} "
+          f"of {disabled_seconds:.3f}s (budget {OVERHEAD_BUDGET:.0%})")
+
+    assert overhead_share < OVERHEAD_BUDGET, (
+        f"disabled-telemetry overhead {overhead_share:.2%} exceeds "
+        f"the {OVERHEAD_BUDGET:.0%} budget")

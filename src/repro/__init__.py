@@ -17,6 +17,8 @@ See ``examples/quickstart.py`` for an end-to-end walkthrough using the
 paper's hotel-booking running example.
 """
 
+import logging as _logging
+
 from repro.advisor import (
     Advisor,
     AdvisorTiming,
@@ -47,6 +49,7 @@ from repro.model import (
     Model,
     StringField,
 )
+from repro.telemetry import RunReport, Telemetry
 from repro.workload import (
     Connect,
     Delete,
@@ -58,6 +61,10 @@ from repro.workload import (
     Workload,
     parse_statement,
 )
+
+# library logging convention: the "repro" logger hierarchy is silent
+# unless the application configures handlers
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.0.0"
 
@@ -89,10 +96,12 @@ __all__ = [
     "PlanningError",
     "PreparedWorkload",
     "Query",
+    "RunReport",
     "SchemaRecommendation",
     "SimpleCostModel",
     "Statement",
     "StringField",
+    "Telemetry",
     "TruncationWarning",
     "Update",
     "Workload",

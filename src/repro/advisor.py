@@ -18,10 +18,12 @@ one-shot entry point as a thin wrapper over the two stages.
 
 from __future__ import annotations
 
+import logging
 import time
 import warnings
 from dataclasses import dataclass
 
+from repro import telemetry
 from repro.cost import CassandraCostModel
 from repro.enumerator import CandidateEnumerator
 from repro.exceptions import TruncationWarning
@@ -39,6 +41,8 @@ __all__ = [
     "prune_dominated_plans",
     "prune_plan_space",
 ]
+
+logger = logging.getLogger("repro.advisor")
 
 
 def _signature(plan):
@@ -86,6 +90,7 @@ def prune_plan_space(plans, keep=None):
     solve as well.  This typically halves the BIP's plan columns.
     ``keep`` caps the result (cheapest first) after both rules.
     """
+    plans = list(plans)
     pruned = prune_dominated_plans(plans)
     kept = []
     kept_keys = []
@@ -96,9 +101,16 @@ def prune_plan_space(plans, keep=None):
             continue
         kept.append(plan)
         kept_keys.append(keys)
-    if keep is not None:
-        kept = kept[:keep]
-    return kept
+    capped = kept if keep is None else kept[:keep]
+    active = telemetry.current()
+    if active.enabled:
+        active.count("prune.plans_in", len(plans))
+        active.count("prune.removed_duplicate_cfset",
+                      len(plans) - len(pruned))
+        active.count("prune.removed_superset", len(pruned) - len(kept))
+        active.count("prune.removed_cap", len(kept) - len(capped))
+        active.count("prune.plans_out", len(capped))
+    return capped
 
 
 @dataclass
@@ -292,9 +304,10 @@ class Advisor:
         changes included) reuse the cached plan spaces and program and
         only re-cost and re-solve.
         """
-        prepared = self.prepare(workload, jobs=jobs)
-        return self.recommend_prepared(prepared, weights=workload,
-                                       space_limit=space_limit)
+        with telemetry.current().span("recommend"):
+            prepared = self.prepare(workload, jobs=jobs)
+            return self.recommend_prepared(prepared, weights=workload,
+                                           space_limit=space_limit)
 
     # -- stage 1: enumeration + planning -------------------------------------
 
@@ -315,31 +328,41 @@ class Advisor:
         advisor-wide thread count for this call.
         """
         jobs = self.jobs if jobs is None else jobs
+        active = telemetry.current()
         key = self._workload_key(workload)
         prepared = self._prepared.get(key)
         if prepared is not None:
             prepared.reuse_count += 1
             prepared._fresh = False
             prepared.workload = workload
+            active.count("advisor.prepared_cache_hits")
             return prepared
+        active.count("advisor.prepared_cache_misses")
 
-        started = time.perf_counter()
-        candidates = self.enumerator.candidates(workload)
-        enumeration_seconds = time.perf_counter() - started
+        with active.span("enumeration"):
+            started = time.perf_counter()
+            candidates = self.enumerator.candidates(workload)
+            enumeration_seconds = time.perf_counter() - started
 
-        stage = time.perf_counter()
-        planner = QueryPlanner(self.model, candidates,
-                               max_plans=self.max_plans)
-        update_planner = UpdatePlanner(self.model, planner)
-        query_plans = planner.plan_all(workload.queries, jobs=jobs)
-        update_plans = update_planner.plan_all(workload.updates,
-                                               jobs=jobs)
-        planning_seconds = time.perf_counter() - stage
+        with active.span("planning"):
+            stage = time.perf_counter()
+            planner = QueryPlanner(self.model, candidates,
+                                   max_plans=self.max_plans)
+            update_planner = UpdatePlanner(self.model, planner)
+            query_plans = planner.plan_all(workload.queries, jobs=jobs)
+            update_plans = update_planner.plan_all(workload.updates,
+                                                   jobs=jobs)
+            planning_seconds = time.perf_counter() - stage
 
         prepared = PreparedWorkload(key, workload, candidates,
                                     query_plans, update_plans,
                                     enumeration_seconds,
                                     planning_seconds)
+        if active.enabled:
+            active.gauge("enumeration.pool_size", len(candidates))
+            active.gauge("planner.query_plan_count", prepared.plan_count)
+            active.count("planner.truncated_statements",
+                         len(prepared.truncated))
         self._warn_truncation(prepared)
         if len(self._prepared) >= self.cache_size:
             self._prepared.pop(next(iter(self._prepared)))
@@ -362,11 +385,14 @@ class Advisor:
                          for statement in capped})
         shown = ", ".join(labels[:5]) + (", ..." if len(labels) > 5
                                          else "")
-        warnings.warn(TruncationWarning(
-            f"plan enumeration hit the planner's plan cap for "
-            f"{len(labels)} statement(s) ({shown}); the plan space may "
-            f"be incomplete — raise max_plans for an exhaustive "
-            f"search"), stacklevel=3)
+        message = (f"plan enumeration hit the planner's plan cap for "
+                   f"{len(labels)} statement(s) ({shown}); the plan "
+                   f"space may be incomplete — raise max_plans for an "
+                   f"exhaustive search")
+        # emitted both ways: a warning for interactive use, a log
+        # record so library users get signal without filtering warnings
+        logger.warning("%s", message)
+        warnings.warn(TruncationWarning(message), stacklevel=3)
 
     def clear_cache(self):
         """Drop all cached prepared workloads."""
@@ -426,46 +452,62 @@ class Advisor:
         ``jobs`` is set — their step objects are disjoint."""
         if prepared._costed_by == id(self.cost_model):
             return
-        stage = time.perf_counter()
-        hits_before = self.cost_model.cache_info()[0]
+        active = telemetry.current()
+        with active.span("cost_calculation"):
+            stage = time.perf_counter()
+            hits_before, misses_before, _ = self.cost_model.cache_info()
 
-        def cost_space(space):
-            for plan in space:
-                self.cost_model.cost_plan(plan)
+            def cost_space(space):
+                for plan in space:
+                    self.cost_model.cost_plan(plan)
 
-        def cost_update_space(plans):
-            for update_plan in plans:
-                self.cost_model.cost_update_plan(update_plan)
+            def cost_update_space(plans):
+                for update_plan in plans:
+                    self.cost_model.cost_update_plan(update_plan)
 
-        parallel_map(cost_space, prepared.query_plans.values(),
-                     jobs=self.jobs)
-        parallel_map(cost_update_space, prepared.update_plans.values(),
-                     jobs=self.jobs)
-        prepared._costed_by = id(self.cost_model)
-        # costs changed: downstream artifacts are stale
-        prepared._pruned_query_plans = None
-        prepared._pruned_update_plans = None
-        prepared._programs.clear()
-        prepared._cost_seconds = time.perf_counter() - stage
-        prepared._cost_cache_hits = (self.cost_model.cache_info()[0]
-                                     - hits_before)
+            parallel_map(cost_space, prepared.query_plans.values(),
+                         jobs=self.jobs)
+            parallel_map(cost_update_space,
+                         prepared.update_plans.values(),
+                         jobs=self.jobs)
+            prepared._costed_by = id(self.cost_model)
+            # costs changed: downstream artifacts are stale
+            prepared._pruned_query_plans = None
+            prepared._pruned_update_plans = None
+            prepared._programs.clear()
+            prepared._cost_seconds = time.perf_counter() - stage
+            hits, misses, _ = self.cost_model.cache_info()
+            prepared._cost_cache_hits = hits - hits_before
+        if active.enabled:
+            active.count("cost.cache_hits", hits - hits_before)
+            active.count("cost.cache_misses", misses - misses_before)
+            self.cost_model.record_metrics(active)
         timing.cost_calculation = prepared._cost_seconds
         timing.cache_hits += prepared._cost_cache_hits
 
     def _prune_prepared(self, prepared, timing):
         if prepared._pruned_query_plans is not None:
             return
-        stage = time.perf_counter()
-        prepared._pruned_query_plans = {
-            query: prune_plan_space(plans, self.prune_to)
-            for query, plans in prepared.query_plans.items()}
-        pruned_updates = {
-            update: [self._prune_update_plan(update_plan)
-                     for update_plan in plans]
-            for update, plans in prepared.update_plans.items()}
-        prepared._pruned_update_plans = self._reachable_update_plans(
-            prepared._pruned_query_plans, pruned_updates)
-        prepared._pruning_seconds = time.perf_counter() - stage
+        active = telemetry.current()
+        with active.span("pruning"):
+            stage = time.perf_counter()
+            prepared._pruned_query_plans = {
+                query: prune_plan_space(plans, self.prune_to)
+                for query, plans in prepared.query_plans.items()}
+            pruned_updates = {
+                update: [self._prune_update_plan(update_plan)
+                         for update_plan in plans]
+                for update, plans in prepared.update_plans.items()}
+            prepared._pruned_update_plans = self._reachable_update_plans(
+                prepared._pruned_query_plans, pruned_updates)
+            prepared._pruning_seconds = time.perf_counter() - stage
+        if active.enabled:
+            before = sum(len(plans)
+                         for plans in pruned_updates.values())
+            after = sum(len(plans) for plans
+                        in prepared._pruned_update_plans.values())
+            active.count("prune.update_plans_removed_unreachable",
+                         before - after)
         timing.pruning = prepared._pruning_seconds
 
     @staticmethod
@@ -510,26 +552,37 @@ class Advisor:
         update_plans = prepared._pruned_update_plans
         staged = (hasattr(self.optimizer, "prepare")
                   and hasattr(self.optimizer, "optimize"))
+        active = telemetry.current()
         stage = time.perf_counter()
         if not staged:
             # e.g. BruteForceOptimizer: single solve() entry point
-            problem = OptimizationProblem(query_plans, update_plans,
-                                          weights,
-                                          space_limit=space_limit)
+            with active.span("bip_construction"):
+                problem = OptimizationProblem(query_plans, update_plans,
+                                              weights,
+                                              space_limit=space_limit)
             timing.bip_construction = time.perf_counter() - stage
             stage = time.perf_counter()
-            recommendation = self.optimizer.solve(problem)
+            with active.span("bip_solving"):
+                recommendation = self.optimizer.solve(problem)
             timing.bip_solving = time.perf_counter() - stage
             return recommendation
-        program = prepared._programs.get(space_limit)
-        if program is not None and hasattr(self.optimizer, "reweight"):
-            self.optimizer.reweight(program, weights)
-        else:
-            problem = OptimizationProblem(query_plans, update_plans,
-                                          weights,
-                                          space_limit=space_limit)
-            program = self.optimizer.prepare(problem)
-            prepared._programs[space_limit] = program
+        with active.span("bip_construction") as span:
+            program = prepared._programs.get(space_limit)
+            if program is not None \
+                    and hasattr(self.optimizer, "reweight"):
+                self.optimizer.reweight(program, weights)
+                active.count("bip.programs_reweighted")
+                if span is not None:
+                    span.set(mode="reweight")
+            else:
+                problem = OptimizationProblem(query_plans, update_plans,
+                                              weights,
+                                              space_limit=space_limit)
+                program = self.optimizer.prepare(problem)
+                prepared._programs[space_limit] = program
+                active.count("bip.programs_built")
+                if span is not None:
+                    span.set(mode="build")
         timing.bip_construction = time.perf_counter() - stage
 
         stage = time.perf_counter()

@@ -14,9 +14,11 @@ prototype loaded workload definition files.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import importlib.util
 import sys
 
+from repro import telemetry
 from repro.advisor import Advisor
 from repro.cost import CassandraCostModel, SimpleCostModel
 from repro.exceptions import NoseError
@@ -81,6 +83,13 @@ def build_parser():
                              "prints a per-epoch timing table")
     parser.add_argument("--timing", action="store_true",
                         help="print the advisor stage timing breakdown")
+    parser.add_argument("--trace", action="store_true",
+                        help="record a telemetry trace and print the "
+                             "span tree and metric summary "
+                             "(NOSE_TELEMETRY=0 disables)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        dest="metrics_out",
+                        help="write the telemetry run report as JSON")
     parser.add_argument("--cql", action="store_true",
                         help="also print CREATE TABLE DDL for the schema")
     parser.add_argument("--output-json", metavar="FILE",
@@ -91,6 +100,7 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    report = None
     try:
         if arguments.demo:
             model, workload = _load_demo(arguments.demo, arguments.mix)
@@ -106,17 +116,24 @@ def main(argv=None):
         advisor = Advisor(model, cost_model=cost_model,
                           max_plans=arguments.max_plans,
                           jobs=arguments.jobs)
-        recommendation = advisor.recommend(
-            workload, space_limit=arguments.space_limit)
-        tuning_rows = None
-        if arguments.repeat_tuning:
-            tuning_rows = {"cold": recommendation.timing}
-            for epoch in range(1, arguments.repeat_tuning + 1):
-                factor = 2.0 ** epoch
-                tuned = workload.scale_weights(factor)
-                epoch_rec = advisor.recommend(
-                    tuned, space_limit=arguments.space_limit)
-                tuning_rows[f"writes x{factor:g}"] = epoch_rec.timing
+        if arguments.trace or arguments.metrics_out:
+            scope = telemetry.activate()
+        else:
+            scope = contextlib.nullcontext(None)
+        with scope as sink:
+            recommendation = advisor.recommend(
+                workload, space_limit=arguments.space_limit)
+            tuning_rows = None
+            if arguments.repeat_tuning:
+                tuning_rows = {"cold": recommendation.timing}
+                for epoch in range(1, arguments.repeat_tuning + 1):
+                    factor = 2.0 ** epoch
+                    tuned = workload.scale_weights(factor)
+                    epoch_rec = advisor.recommend(
+                        tuned, space_limit=arguments.space_limit)
+                    tuning_rows[f"writes x{factor:g}"] = epoch_rec.timing
+            if sink is not None:
+                report = sink.report()
     except NoseError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -141,6 +158,17 @@ def main(argv=None):
         print("Repeated tuning (write weights scaled per epoch; warm "
               "epochs reuse the prepared pipeline):")
         print(timing_table(tuning_rows))
+    if arguments.trace and report is not None:
+        print()
+        if report.meta.get("enabled"):
+            print(report.render())
+        else:
+            print("telemetry disabled (NOSE_TELEMETRY=0); no trace "
+                  "recorded")
+    if arguments.metrics_out and report is not None:
+        from repro.io import dump_run_report
+        dump_run_report(report, arguments.metrics_out)
+        print(f"\ntelemetry report written to {arguments.metrics_out}")
     return 0
 
 

@@ -82,6 +82,18 @@ class CostModel:
         self.__dict__["cache_hits"] = 0
         self.__dict__["cache_misses"] = 0
 
+    def record_metrics(self, telemetry, prefix="cost"):
+        """Publish the lookup-memo statistics to a telemetry sink.
+
+        Lifetime totals go out as gauges (the advisor additionally
+        counts per-pass deltas); called once per costing pass, never on
+        the per-lookup hot path.
+        """
+        hits, misses, entries = self.cache_info()
+        telemetry.gauge(f"{prefix}.cache_hits_total", hits)
+        telemetry.gauge(f"{prefix}.cache_misses_total", misses)
+        telemetry.gauge(f"{prefix}.memo_entries", entries)
+
     def cost_plan(self, plan):
         """Annotate a query plan's steps; returns the plan cost."""
         total = 0.0

@@ -17,11 +17,11 @@ every update (Algorithm 1) and closes the pool with Combine.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.enumerator.combiner import combine_candidates
 from repro.enumerator.support import modifies, support_queries
 from repro.indexes.index import Index
 from repro.indexes.materialize import entity_fetch_index
-from repro.model.paths import KeyPath
 
 
 def _dedupe(fields):
@@ -58,23 +58,52 @@ class CandidateEnumerator:
     def candidates(self, workload):
         """The full candidate pool for a workload, including support-query
         candidates for updates, closed under Combine."""
+        active = telemetry.current()
         pool = set()
         for query in workload.queries:
-            pool |= self.enumerate_query(query)
+            found = self.enumerate_query(query)
+            if active.enabled:
+                before = len(pool)
+                pool |= found
+                # candidates another query already produced count as
+                # discarded: they add nothing to the pool
+                active.count("enumerator.queries")
+                active.count("enumerator.candidates_generated",
+                             len(found))
+                active.count("enumerator.candidates_discarded",
+                             len(found) - (len(pool) - before))
+                active.observe("enumerator.candidates_per_query",
+                               len(found))
+            else:
+                pool |= found
         updates = workload.updates
         # run support enumeration twice: support queries may traverse
         # paths not covered by any workload query (Algorithm 1)
         for _round in range(2):
             additions = set()
+            support_count = 0
             for update in updates:
                 for index in pool:
                     if not modifies(update, index):
                         continue
                     for support in support_queries(update, index):
                         additions |= self.enumerate_query(support)
-            pool |= additions
+                        support_count += 1
+            if active.enabled:
+                before = len(pool)
+                pool |= additions
+                active.count("enumerator.support_queries",
+                             support_count)
+                active.count("enumerator.support_candidates_added",
+                             len(pool) - before)
+            else:
+                pool |= additions
         if self.combine:
-            pool |= combine_candidates(pool)
+            merged = combine_candidates(pool)
+            if active.enabled:
+                active.count("enumerator.combined_candidates",
+                             len(merged - pool))
+            pool |= merged
         return sorted(pool, key=lambda index: index.key)
 
     # -- per-query enumeration ------------------------------------------------
@@ -162,16 +191,23 @@ class CandidateEnumerator:
                             + [grouped_target.id_field], ()))
         # served layout: range scanned via the clustering order
         layouts.append((other_eq + list(order_by) + range_fields + ids, ()))
+        relaxed = 0
         if self.relax and range_condition is not None:
             # relaxation (§IV-A2): move the predicate attribute to the
             # value columns (client-side filter) or drop it entirely
             layouts.append((other_eq + list(order_by) + ids,
                             (range_condition.field,)))
             layouts.append((other_eq + list(order_by) + ids, ()))
+            relaxed += 2
         if self.relax and order_by:
             # order relaxation: sort client-side instead
             layouts.append((other_eq + range_fields + ids,
                             tuple(order_by)))
+            relaxed += 1
+        if relaxed:
+            active = telemetry.current()
+            if active.enabled:
+                active.count("enumerator.relaxed_layouts", relaxed)
         candidates = set()
         for order_fields, forced_extra in layouts:
             order_fields = [f for f in _dedupe(order_fields)

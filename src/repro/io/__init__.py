@@ -3,23 +3,32 @@
 The original prototype loaded applications from workload definition
 files; this package provides the equivalent: a stable JSON document
 format for conceptual models and weighted workloads (round-trippable),
-plus loaders used by the command line.
+plus loaders used by the command line and the telemetry run-report
+format.
 """
 
 from repro.io.serialize import (
     dump_application,
+    dump_run_report,
     load_application,
+    load_run_report,
     model_from_dict,
     model_to_dict,
+    run_report_from_dict,
+    run_report_to_dict,
     workload_from_dict,
     workload_to_dict,
 )
 
 __all__ = [
     "dump_application",
+    "dump_run_report",
     "load_application",
+    "load_run_report",
     "model_from_dict",
     "model_to_dict",
+    "run_report_from_dict",
+    "run_report_to_dict",
     "workload_from_dict",
     "workload_to_dict",
 ]

@@ -44,7 +44,6 @@ from repro.model import (
     DateField,
     Entity,
     FloatField,
-    ForeignKeyField,
     IDField,
     IntegerField,
     Model,
@@ -206,3 +205,31 @@ def dump_application(model, workload, path):
     with open(path, "w") as handle:
         json.dump(document, handle, indent=2)
     return path
+
+
+# -- telemetry run reports ------------------------------------------------------
+
+
+def run_report_to_dict(report):
+    """Serialize a :class:`repro.telemetry.RunReport`."""
+    return report.as_dict()
+
+
+def run_report_from_dict(document):
+    """Rebuild a run report from its document form."""
+    from repro.telemetry import RunReport
+    return RunReport.from_dict(document)
+
+
+def dump_run_report(report, path):
+    """Write a telemetry run report as a diffable JSON file."""
+    with open(path, "w") as handle:
+        json.dump(run_report_to_dict(report), handle, indent=2)
+        handle.write("\n")
+    return path
+
+
+def load_run_report(path):
+    """Load a telemetry run report from a JSON file."""
+    with open(path) as handle:
+        return run_report_from_dict(json.load(handle))

@@ -23,6 +23,7 @@ import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 from scipy.sparse import csr_matrix
 
+from repro import telemetry
 from repro.exceptions import OptimizationError
 from repro.optimizer.results import SchemaRecommendation
 from repro.planner.plans import UpdatePlan
@@ -62,6 +63,12 @@ class _Program:
         self.solve_seconds = 0.0
         self.extract_seconds = 0.0
         self._build()
+        active = telemetry.current()
+        if active.enabled:
+            active.gauge("bip.columns", self.columns)
+            active.gauge("bip.binary_columns", len(self.indexes))
+            active.gauge("bip.rows", len(self._lower))
+            active.gauge("bip.nonzeros", len(self._entries))
 
     # -- construction -----------------------------------------------------
 
@@ -249,6 +256,12 @@ class _Program:
             margins[column] = costs[column]
         slack = best_cost + tolerance - lower_bound
         fixed = margins > slack
+        active = telemetry.current()
+        if active.enabled:
+            active.gauge("bip.phase2_fixed_columns",
+                         int(fixed.sum()))
+            active.gauge("bip.phase2_free_columns",
+                         int(self.columns - fixed.sum()))
         if not fixed.any():
             return None
         upper = np.ones(self.columns)
@@ -263,45 +276,55 @@ class _Program:
         effort; with a time limit the incumbent solution is returned
         (still feasible, within the reported gap of optimal).
         """
+        active = telemetry.current()
         solve_started = time.perf_counter()
-        options = {"mip_rel_gap": mip_rel_gap, "time_limit": time_limit}
-        cost_vector = np.asarray(self.costs)
-        result = self._solve(self.costs, [self._matrix()], options)
-        best_cost = float(cost_vector @ result.x)
-        if minimize_schema_size:
-            # pin the cost at the incumbent — slack proportional to the
-            # MIP gap, so the second solve is never knife-edge — and
-            # minimise the number of selected column families
-            row = len(self._lower)
-            tolerance = (mip_rel_gap * abs(best_cost)
-                         + 1e-7 * (1.0 + abs(best_cost)))
-            cost_row = [(row, column, value)
-                        for column, value in enumerate(self.costs)
-                        if value != 0.0]
-            constraint = self._matrix(
-                extra_entries=cost_row,
-                extra_bounds=[(-np.inf, best_cost + tolerance)])
-            objective = [0.0] * self.columns
-            for column in range(len(self.indexes)):
-                objective[column] = 1.0
-            # the second solve only shrinks the schema at equal cost, so
-            # it gets a bounded budget and a loose gap (its objective is
-            # a small integer count); on failure the phase-1 solution is
-            # kept and _extract prunes unused column families
-            phase2_options = {
-                "mip_rel_gap": max(mip_rel_gap, 0.02),
-                "time_limit": min(time_limit, 30.0),
-            }
-            bounds = self._phase2_bounds(best_cost, tolerance)
-            try:
-                result = self._solve(objective, [constraint],
-                                     phase2_options, bounds=bounds)
-            except OptimizationError:
-                pass
-        extract_started = time.perf_counter()
-        self.solve_seconds = extract_started - solve_started
-        recommendation = self._extract(result, best_cost)
+        with active.span("bip_solving"):
+            options = {"mip_rel_gap": mip_rel_gap,
+                       "time_limit": time_limit}
+            cost_vector = np.asarray(self.costs)
+            result = self._solve(self.costs, [self._matrix()], options)
+            best_cost = float(cost_vector @ result.x)
+            if minimize_schema_size:
+                # pin the cost at the incumbent — slack proportional to
+                # the MIP gap, so the second solve is never knife-edge —
+                # and minimise the number of selected column families
+                row = len(self._lower)
+                tolerance = (mip_rel_gap * abs(best_cost)
+                             + 1e-7 * (1.0 + abs(best_cost)))
+                cost_row = [(row, column, value)
+                            for column, value in enumerate(self.costs)
+                            if value != 0.0]
+                constraint = self._matrix(
+                    extra_entries=cost_row,
+                    extra_bounds=[(-np.inf, best_cost + tolerance)])
+                objective = [0.0] * self.columns
+                for column in range(len(self.indexes)):
+                    objective[column] = 1.0
+                # the second solve only shrinks the schema at equal
+                # cost, so it gets a bounded budget and a loose gap (its
+                # objective is a small integer count); on failure the
+                # phase-1 solution is kept and _extract prunes unused
+                # column families
+                phase2_options = {
+                    "mip_rel_gap": max(mip_rel_gap, 0.02),
+                    "time_limit": min(time_limit, 30.0),
+                }
+                bounds = self._phase2_bounds(best_cost, tolerance)
+                try:
+                    result = self._solve(objective, [constraint],
+                                         phase2_options, bounds=bounds)
+                except OptimizationError:
+                    pass
+            extract_started = time.perf_counter()
+            self.solve_seconds = extract_started - solve_started
+        with active.span("recommendation"):
+            recommendation = self._extract(result, best_cost)
         self.extract_seconds = time.perf_counter() - extract_started
+        if active.enabled:
+            active.observe("bip.solve_seconds", self.solve_seconds,
+                           buckets=telemetry.TIME_BUCKETS)
+            active.observe("bip.extract_seconds", self.extract_seconds,
+                           buckets=telemetry.TIME_BUCKETS)
         return recommendation
 
     @staticmethod

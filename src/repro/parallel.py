@@ -6,13 +6,51 @@ processes) keep plan objects shared by identity — the optimizer relies
 on ``id()``-stable plans — and the per-statement work releases the GIL
 inside numpy/scipy, so threads still help on multi-core hosts while
 degrading gracefully to serial order on one core.
+
+Two pipeline-wide concerns are handled here rather than at every call
+site: worker exceptions are re-raised with the originating item
+attached (an exception note on Python 3.11+, and always as the
+``parallel_item`` attribute) so a failure in a ``jobs=N`` run names the
+statement that caused it; and, when telemetry is active, worker threads
+adopt the caller's current span so their spans nest under the stage
+that fanned the work out.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
 
-__all__ = ["parallel_map"]
+from repro import telemetry
+
+__all__ = ["describe_item", "parallel_map"]
+
+
+def describe_item(item):
+    """A short human-readable identity for a work item.
+
+    Statements carry labels; plan spaces carry their query.  Falls back
+    to a truncated ``repr`` so arbitrary items still identify
+    themselves in an exception note.
+    """
+    label = getattr(item, "label", None)
+    if label:
+        return str(label)
+    query = getattr(item, "query", None)
+    if query is not None:
+        label = getattr(query, "label", None)
+        if label:
+            return str(label)
+    text = repr(item)
+    return text if len(text) <= 120 else text[:117] + "..."
+
+
+def _annotate(error, item):
+    """Attach the failing item's identity to an in-flight exception."""
+    context = f"while processing {describe_item(item)}"
+    error.parallel_item = context
+    add_note = getattr(error, "add_note", None)
+    if add_note is not None:  # Python 3.11+
+        add_note(context)
 
 
 def parallel_map(function, items, jobs=None):
@@ -20,11 +58,31 @@ def parallel_map(function, items, jobs=None):
 
     Results are returned in input order regardless of completion order,
     and the first exception (in input order) propagates exactly as it
-    would from the serial loop.  ``jobs`` of ``None``, 0 or 1 runs
-    serially with no pool overhead.
+    would from the serial loop — annotated with the item that raised
+    it.  ``jobs`` of ``None``, 0 or 1 runs serially with no pool
+    overhead.
     """
     items = list(items)
+
+    def run(item):
+        try:
+            return function(item)
+        except Exception as error:
+            _annotate(error, item)
+            raise
+
     if not jobs or jobs <= 1 or len(items) <= 1:
-        return [function(item) for item in items]
+        return [run(item) for item in items]
+    active = telemetry.current()
+    worker = run
+    if active.enabled:
+        active.count("parallel.batches")
+        active.count("parallel.items", len(items))
+        parent = active.current_span()
+
+        def adopted(item):
+            with active.adopt(parent):
+                return run(item)
+        worker = adopted
     with ThreadPoolExecutor(max_workers=min(jobs, len(items))) as pool:
-        return list(pool.map(function, items))
+        return list(pool.map(worker, items))

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import itertools
 
+from repro import telemetry
 from repro.exceptions import PlanningError
 from repro.parallel import parallel_map
 from repro.planner.plans import PlanSpace, QueryPlan
@@ -93,6 +94,12 @@ class QueryPlanner:
         if require and not plans:
             raise PlanningError(
                 f"no plan found for query: {query.text or query!r}")
+        active = telemetry.current()
+        if active.enabled:
+            active.count("planner.plans_generated", len(plans))
+            active.observe("planner.plans_per_query", len(plans))
+            if state.truncated:
+                active.count("planner.truncated_spaces")
         return PlanSpace(plans.values(), query=query,
                          truncated=state.truncated)
 

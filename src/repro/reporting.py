@@ -33,8 +33,9 @@ def bar_chart(rows, width=40, log_scale=False, unit=""):
         raise NoseError("nothing to chart")
     label_width = max(len(str(label)) for label, _ in rows)
     values = [value for _, value in rows]
-    if log_scale:
-        floor = min(value for value in values if value > 0) / 10
+    positives = [value for value in values if value > 0]
+    if log_scale and positives:
+        floor = min(positives) / 10
         transform = (lambda value:
                      math.log10(max(value, floor) / floor))
     else:
@@ -119,4 +120,82 @@ def stacked_series(rows, components, width=50, unit="s"):
     legend = "  ".join(f"{fill}={part}"
                        for fill, part in zip(fills, components))
     lines.append(f"({legend})")
+    return "\n".join(lines)
+
+
+# -- telemetry run reports ----------------------------------------------------
+
+
+def span_tree(spans, indent=0):
+    """Render serialized span records (``Span.as_dict`` shape) as an
+    indented tree with total and self wall time per span."""
+    lines = []
+    for record in spans:
+        total = record.get("total_seconds", 0.0)
+        self_seconds = record.get("self_seconds", total)
+        name = f"{'  ' * indent}{record['name']}"
+        suffix = ""
+        attributes = record.get("attributes")
+        if attributes:
+            pairs = ", ".join(f"{key}={attributes[key]}"
+                              for key in sorted(attributes))
+            suffix = f"  [{pairs}]"
+        lines.append(f"{name:<40} {total:>10.4f}s "
+                     f"{self_seconds:>10.4f}s{suffix}")
+        lines.extend(span_tree(record.get("children", ()),
+                               indent + 1).splitlines())
+    return "\n".join(lines)
+
+
+def metrics_summary(metrics, top=5):
+    """Render a metrics snapshot: counters and gauges as aligned rows,
+    plus the ``top`` largest histograms (by observation count) as bar
+    charts over their buckets."""
+    lines = []
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    scalars = [(name, counters[name]) for name in sorted(counters)]
+    scalars += [(name, gauges[name]) for name in sorted(gauges)]
+    if scalars:
+        width = max(len(name) for name, _ in scalars)
+        for name, value in scalars:
+            rendered = f"{value:.4f}" if isinstance(value, float) \
+                else str(value)
+            lines.append(f"{name:<{width}}  {rendered:>12}")
+    histograms = metrics.get("histograms", {})
+    ranked = sorted(histograms,
+                    key=lambda name: -histograms[name]["count"])[:top]
+    for name in sorted(ranked):
+        histogram = histograms[name]
+        lines.append("")
+        lines.append(f"{name} (count={histogram['count']}, "
+                     f"min={histogram['min']}, max={histogram['max']})")
+        labels = [f"<= {bound}" for bound in histogram["boundaries"]]
+        labels.append(f"> {histogram['boundaries'][-1]}"
+                      if histogram["boundaries"] else "all")
+        rows = [(label, count)
+                for label, count in zip(labels, histogram["counts"])
+                if count]
+        if rows:
+            for line in bar_chart(rows, width=30).splitlines():
+                lines.append(f"  {line}")
+        else:
+            lines.append("  (no observations)")
+    return "\n".join(lines)
+
+
+def render_run_report(report, top=5):
+    """Full ASCII rendering of a :class:`repro.telemetry.RunReport`."""
+    meta = report.meta
+    lines = ["run report"]
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]}")
+    if report.spans:
+        lines.append("")
+        lines.append(f"{'span':<40} {'total':>11} {'self':>11}")
+        lines.append(span_tree(report.spans))
+    if any(report.metrics.get(section)
+           for section in ("counters", "gauges", "histograms")):
+        lines.append("")
+        lines.append(metrics_summary(report.metrics, top=top))
     return "\n".join(lines)

@@ -8,7 +8,6 @@ from repro.planner import QueryPlanner
 from repro.planner.steps import (
     DeleteStep,
     FilterStep,
-    IndexLookupStep,
     InsertStep,
     LimitStep,
     SortStep,

@@ -1,6 +1,5 @@
 """Tests for the HBase cost model and cross-backend recommendations."""
 
-import pytest
 
 from repro import Advisor
 from repro.cost import CassandraCostModel, HBaseCostModel

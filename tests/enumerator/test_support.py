@@ -3,7 +3,7 @@
 import pytest
 
 from repro.enumerator import modified_row_counts, modifies, support_queries
-from repro.indexes import Index, entity_fetch_index, materialized_view_for
+from repro.indexes import entity_fetch_index, materialized_view_for
 from repro.workload import parse_statement
 
 FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "

@@ -5,9 +5,9 @@ import json
 import pytest
 
 from repro import Advisor
-from repro.demo import hotel_model, hotel_workload
+from repro.demo import hotel_workload
 from repro.indexes import materialized_view_for
-from repro.indexes.cql import column_name, cql_type, create_schema
+from repro.indexes.cql import column_name, cql_type
 from repro.workload import parse_statement
 
 FIG3 = ("SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import ModelError
-from repro.model import Entity, IDField, Model, StringField
+from repro.model import Entity, IDField, Model
 
 
 def _two_entity_model():

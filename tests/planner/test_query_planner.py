@@ -7,7 +7,6 @@ from repro.indexes import Index, entity_fetch_index, materialized_view_for
 from repro.planner import QueryPlanner
 from repro.planner.steps import (
     FilterStep,
-    IndexLookupStep,
     LimitStep,
     SortStep,
 )

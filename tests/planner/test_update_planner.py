@@ -5,7 +5,7 @@ import pytest
 from repro.cost import SimpleCostModel
 from repro.enumerator import CandidateEnumerator
 from repro.exceptions import PlanningError
-from repro.indexes import entity_fetch_index, materialized_view_for
+from repro.indexes import materialized_view_for
 from repro.planner import QueryPlanner, UpdatePlanner
 from repro.planner.steps import DeleteStep, InsertStep
 from repro.workload import parse_statement

@@ -14,7 +14,6 @@ from repro.cost import CassandraCostModel
 from repro.demo import hotel_model
 from repro.enumerator import CandidateEnumerator
 from repro.indexes import materialized_view_for
-from repro.model import KeyPath
 from repro.optimizer import (
     BIPOptimizer,
     BruteForceOptimizer,

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 from repro.demo import hotel_model
 from repro.enumerator import combine_candidates, modifies, support_queries
 from repro.indexes import Index
-from repro.model import KeyPath
 from repro.workload import parse_statement
 
 MODEL = hotel_model()

@@ -1,6 +1,5 @@
 """Property-based parser tests: render/parse round trips."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,7 @@
 """Property-based tests on key-path invariants."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.demo import hotel_model

@@ -5,7 +5,6 @@ partition, clustering prefix and range" for any sequence of puts and
 deletes.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

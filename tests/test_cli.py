@@ -61,6 +61,36 @@ def test_workload_module_without_build_fails(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_trace_flag_prints_run_report(capsys):
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--trace"]) == 0
+    output = capsys.readouterr().out
+    assert "run report" in output
+    assert "recommend" in output
+    assert "enumerator.queries" in output
+
+
+def test_metrics_out_writes_round_trippable_report(tmp_path, capsys):
+    target = tmp_path / "telemetry.json"
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--metrics-out", str(target)]) == 0
+    assert "telemetry report written" in capsys.readouterr().out
+    from repro.io import load_run_report
+    report = load_run_report(target)
+    assert report.meta["enabled"] is True
+    assert report.stage_totals()["recommend"] > 0
+    assert report.metrics["counters"]["enumerator.queries"] > 0
+
+
+def test_trace_respects_kill_switch(monkeypatch, capsys):
+    monkeypatch.setenv("NOSE_TELEMETRY", "0")
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--trace"]) == 0
+    output = capsys.readouterr().out
+    assert "telemetry disabled" in output
+    assert "run report" not in output
+
+
 def test_unknown_demo_rejected():
     parser = build_parser()
     with pytest.raises(SystemExit):

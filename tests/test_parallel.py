@@ -1,0 +1,77 @@
+"""Tests for the ordered parallel map and its failure annotation."""
+
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.parallel import describe_item, parallel_map
+
+
+class _Labelled:
+    def __init__(self, label):
+        self.label = label
+
+
+@pytest.mark.parametrize("jobs", [None, 0, 1, 4])
+def test_results_preserve_input_order(jobs):
+    items = list(range(20))
+    assert parallel_map(lambda n: n * n, items, jobs=jobs) \
+        == [n * n for n in items]
+
+
+def test_empty_and_single_item():
+    assert parallel_map(len, [], jobs=4) == []
+    assert parallel_map(len, ["ab"], jobs=4) == [2]
+
+
+def test_describe_item_prefers_labels():
+    assert describe_item(_Labelled("q1")) == "q1"
+
+    class Space:
+        query = _Labelled("q2")
+    assert describe_item(Space()) == "q2"
+    assert describe_item(3) == "3"
+    long = "x" * 300
+    assert len(describe_item(long)) <= 120
+    assert describe_item(long).endswith("...")
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+def test_exception_carries_originating_item(jobs):
+    def explode(item):
+        if item.label == "bad":
+            raise ValueError("boom")
+        return item.label
+
+    items = [_Labelled("ok"), _Labelled("bad"), _Labelled("also ok")]
+    with pytest.raises(ValueError) as exc_info:
+        parallel_map(explode, items, jobs=jobs)
+    error = exc_info.value
+    assert error.parallel_item == "while processing bad"
+    if sys.version_info >= (3, 11):
+        assert "while processing bad" in getattr(error, "__notes__", [])
+
+
+def test_worker_spans_adopt_caller_span():
+    with telemetry.activate() as sink:
+        with sink.span("stage"):
+            def work(item):
+                with telemetry.current().span(f"item-{item}"):
+                    return item
+            assert parallel_map(work, [1, 2, 3], jobs=3) == [1, 2, 3]
+    report = sink.report()
+    stage_record, = report.spans
+    assert stage_record["name"] == "stage"
+    names = sorted(child["name"]
+                   for child in stage_record.get("children", []))
+    assert names == ["item-1", "item-2", "item-3"]
+    counters = report.metrics["counters"]
+    assert counters["parallel.batches"] == 1
+    assert counters["parallel.items"] == 3
+
+
+def test_serial_path_records_no_pool_metrics():
+    with telemetry.activate() as sink:
+        parallel_map(lambda n: n, [1, 2, 3], jobs=1)
+    assert "parallel.batches" not in sink.report().metrics["counters"]

@@ -187,6 +187,67 @@ def test_no_truncation_warning_when_space_is_complete(hotel_setup):
     assert recommendation.timing.truncated_queries == 0
 
 
+def test_truncation_warning_also_logged(hotel_setup, caplog):
+    import logging
+    model, _workload = hotel_setup
+    workload = hotel_workload(model, include_updates=False)
+    advisor = Advisor(model, max_plans=2)
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        with pytest.warns(TruncationWarning):
+            advisor.recommend(workload)
+    messages = [record.message for record in caplog.records
+                if record.name.startswith("repro")]
+    assert any("plan cap" in message for message in messages)
+
+
+# -- timing accounting -----------------------------------------------------
+
+
+_TIMING_STAGES = ("enumeration", "planning", "cost_calculation",
+                  "pruning", "bip_construction", "bip_solving",
+                  "recommendation")
+
+
+def test_timing_buckets_sum_to_total(hotel_setup):
+    model, _workload = hotel_setup
+    workload = hotel_workload(model)
+    timing = Advisor(model).recommend(workload).timing
+    bucketed = sum(getattr(timing, stage) for stage in _TIMING_STAGES)
+    residual = timing.total - bucketed
+    # every stage is attributed to a bucket; only cheap glue (weight
+    # resolution, cache bookkeeping) may land between buckets
+    assert residual >= 0.0
+    assert residual <= max(0.05 * timing.total, 0.02)
+
+
+def test_timing_other_covers_unnamed_stages(hotel_setup):
+    model, _workload = hotel_setup
+    timing = Advisor(model).recommend(hotel_workload(model)).timing
+    row = timing.as_figure13_row()
+    named = (row["cost_calculation"] + row["bip_construction"]
+             + row["bip_solving"])
+    assert row["other"] == pytest.approx(row["total"] - named)
+
+
+def test_timing_counters_survive_prepared_round_trip(hotel_setup):
+    model, _workload = hotel_setup
+    workload = hotel_workload(model, include_updates=False)
+    advisor = Advisor(model, max_plans=2)
+    with pytest.warns(TruncationWarning):
+        prepared = advisor.prepare(workload)
+    cold = advisor.recommend_prepared(prepared)
+    warm = advisor.recommend_prepared(advisor.prepare(workload))
+    # truncation accounting is a property of the prepared structure and
+    # must survive the cache round trip
+    assert cold.timing.truncated_queries > 0
+    assert warm.timing.truncated_queries \
+        == cold.timing.truncated_queries
+    # the cold run counts lookup-memo hits; the warm run skips costing
+    # and reports the structural cache hit instead
+    assert cold.timing.cache_hits >= 1
+    assert warm.timing.cache_hits >= 1
+
+
 # -- deterministic pruning -------------------------------------------------
 
 

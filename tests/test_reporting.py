@@ -3,7 +3,16 @@
 import pytest
 
 from repro.exceptions import NoseError
-from repro.reporting import bar_chart, grouped_bar_chart, stacked_series
+from repro.reporting import (
+    bar_chart,
+    grouped_bar_chart,
+    metrics_summary,
+    render_run_report,
+    span_tree,
+    stacked_series,
+)
+
+_BAR = "█"
 
 
 def test_bar_chart_scales_linearly():
@@ -36,6 +45,20 @@ def test_bar_chart_empty_rejected():
         bar_chart({})
 
 
+def test_bar_chart_log_scale_all_nonpositive_falls_back_to_linear():
+    # regression: log scaling used to crash with ValueError when no
+    # value was positive (min() over an empty sequence)
+    chart = bar_chart({"a": 0.0, "b": -1.0}, width=20, log_scale=True)
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert all(_BAR not in line for line in lines)
+
+
+def test_bar_chart_log_scale_with_some_nonpositive_values():
+    chart = bar_chart({"a": 0.0, "b": 10.0}, width=20, log_scale=True)
+    assert len(chart.splitlines()) == 2
+
+
 def test_grouped_bar_chart_structure():
     table = {"ViewItem": {"NoSE": 1.0, "Expert": 2.0},
              "StoreBid": {"NoSE": 3.0, "Expert": 1.5}}
@@ -63,3 +86,57 @@ def test_stacked_series_limits_components():
         stacked_series({1: {}}, ["a", "b", "c", "d", "e"])
     with pytest.raises(NoseError):
         stacked_series({}, ["a"])
+
+
+# -- telemetry run-report rendering ------------------------------------------
+
+
+_SPANS = [
+    {"name": "recommend", "total_seconds": 1.0, "self_seconds": 0.1,
+     "children": [
+         {"name": "planning", "total_seconds": 0.9,
+          "self_seconds": 0.9, "attributes": {"mode": "build"}},
+     ]},
+]
+
+
+def test_span_tree_indents_children_and_shows_attributes():
+    tree = span_tree(_SPANS)
+    lines = tree.splitlines()
+    assert len(lines) == 2
+    assert lines[0].startswith("recommend")
+    assert lines[1].startswith("  planning")
+    assert "[mode=build]" in lines[1]
+    assert "1.0000s" in lines[0]
+
+
+def test_metrics_summary_lists_scalars_and_top_histograms():
+    metrics = {
+        "counters": {"a.count": 3},
+        "gauges": {"b.size": 1.5},
+        "histograms": {
+            "big": {"boundaries": [1, 10], "counts": [2, 1, 0],
+                    "count": 3, "min": 0, "max": 5, "sum": 7},
+            "small": {"boundaries": [1], "counts": [1, 0],
+                      "count": 1, "min": 1, "max": 1, "sum": 1},
+        },
+    }
+    summary = metrics_summary(metrics, top=1)
+    assert "a.count" in summary
+    assert "b.size" in summary
+    assert "big" in summary  # largest histogram kept
+    assert "small" not in summary  # beyond top=1
+    assert "<= 1" in summary
+
+
+def test_render_run_report_combines_sections():
+    class Report:
+        spans = _SPANS
+        metrics = {"counters": {"n": 1}, "gauges": {}, "histograms": {}}
+        meta = {"enabled": True, "total_seconds": 1.0}
+
+    rendered = render_run_report(Report())
+    assert rendered.startswith("run report")
+    assert "enabled: True" in rendered
+    assert "recommend" in rendered
+    assert "n" in rendered

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.exceptions import ParseError
-from repro.model import KeyPath
 from repro.workload import parse_statement
 from repro.workload.conditions import RANGE_SELECTIVITY, Condition
 from repro.workload.statements import Delete, Insert, Query, Update
