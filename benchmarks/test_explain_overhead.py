@@ -1,0 +1,111 @@
+"""Benchmark: explain/provenance collection overhead on RuBiS bidding.
+
+Provenance and ledger collection is always on — there is no flag to
+forget — so it must be cheap.  The policy (DESIGN.md, "Explain and
+diff") budgets it at under 5% of advisor runtime.  A wall-clock A/B
+comparison is impossible (collection cannot be turned off) and would be
+too noisy anyway, so the guard bounds the cost analytically, the same
+way ``test_telemetry_overhead.py`` prices telemetry:
+
+1. run the advisor once and read the exact number of explain-side
+   bookkeeping operations it performed: provenance ``record()`` calls
+   plus pruning-ledger entries plus solver-ledger rows;
+2. measure the per-operation price of the most expensive of those
+   operations — a provenance record with source resolution — in a
+   tight loop;
+3. assert that op-count x per-op price stays under 5% of the median
+   advisor runtime.
+
+The estimate is conservative: every ledger entry is charged the full
+provenance-record price although most are single dict appends.  Writes
+``BENCH_explain.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+from repro import Advisor
+from repro.explain import ProvenanceRecorder
+from repro.rubis import rubis_model, rubis_workload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OVERHEAD_BUDGET = 0.05
+RECORD_LOOP = 100_000
+
+
+class _Index:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+
+class _Statement:
+    is_support = False
+    label = "q_bench"
+
+
+def _record_op_seconds():
+    """Per-operation price of one provenance record."""
+    recorder = ProvenanceRecorder()
+    indexes = [_Index(f"i{n}") for n in range(64)]
+    statement = _Statement()
+    started = time.perf_counter()
+    for n in range(RECORD_LOOP):
+        recorder.record(indexes[n % 64], "materialize", source=statement)
+    elapsed = time.perf_counter() - started
+    return elapsed / RECORD_LOOP
+
+
+def test_explain_collection_overhead_under_budget():
+    model = rubis_model()
+    workload = rubis_workload(model, mix="bidding")
+
+    # 1. count explain bookkeeping operations in one run, and time a
+    #    few runs for the median advisor runtime (collection is always
+    #    on, so these are the same runs)
+    samples = []
+    ops = 0
+    for _ in range(3):
+        advisor = Advisor(model)
+        started = time.perf_counter()
+        recommendation = advisor.recommend(workload)
+        samples.append(time.perf_counter() - started)
+        data = recommendation.explain_data
+        ledger_entries = sum(
+            record["considered"] for record in data.pruning.values())
+        solver_rows = len(recommendation.ledger["indexes"]) \
+            + len(recommendation.ledger["statements"])
+        ops = data.provenance.ops + ledger_entries + solver_rows
+    assert ops > 0, "run collected no provenance"
+    runtime_seconds = statistics.median(samples)
+
+    # 2./3. bound the collection cost by op count x per-record price
+    record_seconds = _record_op_seconds()
+    overhead_seconds = ops * record_seconds
+    overhead_share = overhead_seconds / runtime_seconds
+
+    payload = {
+        "workload": "rubis/bidding",
+        "explain_ops": ops,
+        "record_op_seconds": record_seconds,
+        "estimated_overhead_seconds": overhead_seconds,
+        "runtime_seconds_median": runtime_seconds,
+        "runtime_samples": samples,
+        "overhead_share": overhead_share,
+        "budget": OVERHEAD_BUDGET,
+    }
+    (REPO_ROOT / "BENCH_explain.json").write_text(
+        json.dumps(payload, indent=2) + "\n")
+
+    print(f"\nexplain ops: {ops}, record op: {record_seconds:.2e}s, "
+          f"estimated overhead: {overhead_share:.4%} "
+          f"of {runtime_seconds:.3f}s (budget {OVERHEAD_BUDGET:.0%})")
+
+    assert overhead_share < OVERHEAD_BUDGET, (
+        f"explain-collection overhead {overhead_share:.2%} exceeds "
+        f"the {OVERHEAD_BUDGET:.0%} budget")

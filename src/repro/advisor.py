@@ -27,6 +27,7 @@ from repro import telemetry
 from repro.cost import CassandraCostModel
 from repro.enumerator import CandidateEnumerator
 from repro.exceptions import TruncationWarning
+from repro.explain import ExplainData, prune_entry, prune_record
 from repro.optimizer import BIPOptimizer, OptimizationProblem
 from repro.optimizer.results import SchemaRecommendation
 from repro.parallel import parallel_map
@@ -51,7 +52,7 @@ def _signature(plan):
     return getattr(plan, "signature", "")
 
 
-def prune_dominated_plans(plans, keep=None):
+def prune_dominated_plans(plans, keep=None, removals=None):
     """Drop plans that cannot appear in any optimal solution.
 
     Two plans using the same set of column families impose identical
@@ -61,6 +62,10 @@ def prune_dominated_plans(plans, keep=None):
     feasible since every retained plan is self-contained).  Cost ties
     are broken by plan signature so the result is deterministic across
     runs and hash seeds.  Requires costed plans.
+
+    ``removals`` is an optional list receiving one pruning-ledger entry
+    per dropped plan, naming the rule that killed it and the plan that
+    dominated it.
     """
     best = {}
     for plan in plans:
@@ -69,15 +74,24 @@ def prune_dominated_plans(plans, keep=None):
         if current is None or plan.cost < current.cost \
                 or (plan.cost == current.cost
                     and _signature(plan) < _signature(current)):
+            if current is not None and removals is not None:
+                removals.append(prune_entry(current, "duplicate-cfset",
+                                            dominated_by=plan))
             best[key] = plan
+        elif removals is not None:
+            removals.append(prune_entry(plan, "duplicate-cfset",
+                                        dominated_by=current))
     pruned = sorted(best.values(),
                     key=lambda plan: (plan.cost, _signature(plan)))
     if keep is not None:
+        if removals is not None:
+            removals.extend(prune_entry(plan, "cap")
+                            for plan in pruned[keep:])
         pruned = pruned[:keep]
     return pruned
 
 
-def prune_plan_space(plans, keep=None):
+def prune_plan_space(plans, keep=None, removals=None):
     """Dominance-prune one statement's plan space for the optimizer.
 
     Applies the per-column-family-set rule of
@@ -89,19 +103,30 @@ def prune_plan_space(plans, keep=None):
     holds under a space limit and for the schema-minimising second
     solve as well.  This typically halves the BIP's plan columns.
     ``keep`` caps the result (cheapest first) after both rules.
+    ``removals`` collects pruning-ledger entries as in
+    :func:`prune_dominated_plans`.
     """
     plans = list(plans)
-    pruned = prune_dominated_plans(plans)
+    pruned = prune_dominated_plans(plans, removals=removals)
     kept = []
     kept_keys = []
     # ascending (cost, signature): potential dominators come first
     for plan in pruned:
         keys = frozenset(index.key for index in plan.indexes)
-        if any(existing < keys for existing in kept_keys):
+        dominator = next((position
+                          for position, existing in enumerate(kept_keys)
+                          if existing < keys), None)
+        if dominator is not None:
+            if removals is not None:
+                removals.append(prune_entry(
+                    plan, "superset-cfset",
+                    dominated_by=kept[dominator]))
             continue
         kept.append(plan)
         kept_keys.append(keys)
     capped = kept if keep is None else kept[:keep]
+    if removals is not None and keep is not None:
+        removals.extend(prune_entry(plan, "cap") for plan in kept[keep:])
     active = telemetry.current()
     if active.enabled:
         active.count("prune.plans_in", len(plans))
@@ -207,6 +232,8 @@ class PreparedWorkload:
         self._pruned_query_plans = None
         self._pruned_update_plans = None
         self._pruning_seconds = 0.0
+        #: {statement label: pruning record} — filled during pruning
+        self._prune_ledger = {}
         self._programs = {}
 
     def consume_fresh(self):
@@ -442,6 +469,13 @@ class Advisor:
         recommendation = self._optimize_prepared(prepared, weights,
                                                  space_limit, timing)
         recommendation.timing = timing
+        # decision provenance: candidate derivations from enumeration,
+        # the dominance-pruning ledger, and the cost model for per-step
+        # explain terms (the BIP attached its own ledger in extraction)
+        recommendation.explain_data = ExplainData(
+            provenance=getattr(prepared.candidates, "provenance", None),
+            pruning=prepared._prune_ledger,
+            cost_model=self.cost_model)
         timing.total = (time.perf_counter() - started
                         + timing.enumeration + timing.planning)
         return recommendation
@@ -491,11 +525,19 @@ class Advisor:
         active = telemetry.current()
         with active.span("pruning"):
             stage = time.perf_counter()
-            prepared._pruned_query_plans = {
-                query: prune_plan_space(plans, self.prune_to)
-                for query, plans in prepared.query_plans.items()}
+            ledger = prepared._prune_ledger
+            pruned_query_plans = {}
+            for query, plans in prepared.query_plans.items():
+                removals = []
+                kept = prune_plan_space(plans, self.prune_to,
+                                        removals=removals)
+                pruned_query_plans[query] = kept
+                label = query.label or str(query)
+                ledger[label] = prune_record(query, len(plans),
+                                             len(kept), removals)
+            prepared._pruned_query_plans = pruned_query_plans
             pruned_updates = {
-                update: [self._prune_update_plan(update_plan)
+                update: [self._prune_update_plan(update_plan, ledger)
                          for update_plan in plans]
                 for update, plans in prepared.update_plans.items()}
             prepared._pruned_update_plans = self._reachable_update_plans(
@@ -595,12 +637,18 @@ class Advisor:
         timing.recommendation = extract
         return recommendation
 
-    def _prune_update_plan(self, update_plan):
+    def _prune_update_plan(self, update_plan, ledger=None):
         """Dominance-prune each support query's plan space."""
         pruned = []
-        for plans in update_plan.support_plans_by_query.values():
-            pruned.extend(prune_plan_space(plans,
-                                           self.support_prune_to))
+        for query, plans in update_plan.support_plans_by_query.items():
+            removals = [] if ledger is not None else None
+            kept = prune_plan_space(plans, self.support_prune_to,
+                                    removals=removals)
+            pruned.extend(kept)
+            if ledger is not None:
+                label = query.label or str(query)
+                ledger[label] = prune_record(query, len(plans),
+                                             len(kept), removals)
         return UpdatePlan(update_plan.update, update_plan.index, pruned,
                           update_plan.steps,
                           truncated_support=update_plan.truncated_support)
@@ -649,5 +697,10 @@ class Advisor:
             update_plans[update] = chosen_plans
         weights = {statement.label: weight
                    for statement, weight in workload.weighted_statements}
-        return SchemaRecommendation(indexes, query_plans, update_plans,
-                                    weights, total)
+        recommendation = SchemaRecommendation(indexes, query_plans,
+                                              update_plans, weights, total)
+        # a fixed schema has no enumeration provenance or solver ledger,
+        # but explain() can still annotate plan steps with cost terms
+        recommendation.explain_data = ExplainData(
+            cost_model=self.cost_model)
+        return recommendation

@@ -5,10 +5,14 @@ Usage::
     nose-advisor --demo hotel
     nose-advisor --demo rubis --mix bidding --space-limit 50000000
     nose-advisor --model my_model.py --timing
+    nose-advisor --demo rubis --explain --output-json base.json
+    nose-advisor diff base.json tuned.json --fail-on-regression 10
 
 With ``--model``, the given Python file must define ``build()``
 returning a ``(model, workload)`` pair; this mirrors how the original
-prototype loaded workload definition files.
+prototype loaded workload definition files.  The ``diff`` subcommand
+compares two recommendation documents written by ``--output-json`` and
+exits nonzero when the total cost regresses past the given threshold.
 """
 
 from __future__ import annotations
@@ -41,12 +45,27 @@ def _load_module(path, mix):
     if spec is None or spec.loader is None:
         raise NoseError(f"cannot load workload module {path!r}")
     module = importlib.util.module_from_spec(spec)
-    spec.loader.exec_module(module)
+    try:
+        spec.loader.exec_module(module)
+    except NoseError:
+        raise
+    except Exception as error:
+        # a broken user module must not escape as a raw traceback
+        raise NoseError(
+            f"workload module {path!r} failed to import: "
+            f"{type(error).__name__}: {error}") from error
     if not hasattr(module, "build"):
         raise NoseError(
             f"workload module {path!r} must define build() -> "
             "(model, workload)")
-    model, workload = module.build()
+    try:
+        model, workload = module.build()
+    except NoseError:
+        raise
+    except Exception as error:
+        raise NoseError(
+            f"workload module {path!r} build() failed: "
+            f"{type(error).__name__}: {error}") from error
     if mix:
         workload = workload.with_mix(mix)
     return model, workload
@@ -92,12 +111,67 @@ def build_parser():
                         help="write the telemetry run report as JSON")
     parser.add_argument("--cql", action="store_true",
                         help="also print CREATE TABLE DDL for the schema")
+    parser.add_argument("--explain", action="store_true",
+                        help="annotate the recommendation with candidate "
+                             "provenance, per-step cost terms and the "
+                             "solver's chosen-vs-rejected accounting")
     parser.add_argument("--output-json", metavar="FILE",
-                        help="write the recommendation as JSON")
+                        help="write the recommendation as an explain "
+                             "JSON document (diffable with "
+                             "'nose-advisor diff')")
     return parser
 
 
+def build_diff_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor diff",
+        description="Compare two recommendation JSON documents "
+                    "(written by --output-json)")
+    parser.add_argument("base", help="baseline recommendation JSON")
+    parser.add_argument("other", help="candidate recommendation JSON")
+    parser.add_argument("--fail-on-regression", type=float, default=None,
+                        metavar="PCT",
+                        help="exit with status 2 if the candidate's "
+                             "total cost exceeds the baseline by more "
+                             "than PCT percent")
+    return parser
+
+
+def run_diff(argv):
+    arguments = build_diff_parser().parse_args(argv)
+    from repro.explain import diff_recommendations
+    from repro.io import load_explain
+    from repro.reporting import diff_report
+    try:
+        base = load_explain(arguments.base)
+        other = load_explain(arguments.other)
+        diff = diff_recommendations(base, other)
+    except (NoseError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(diff_report(diff))
+    threshold = arguments.fail_on_regression
+    if threshold is not None:
+        total = diff["total_cost"]
+        pct = total["regression_pct"]
+        # a regression from a zero-cost baseline has no percentage;
+        # any cost increase then counts as exceeding the threshold
+        exceeded = (pct > threshold if pct is not None
+                    else total["delta"] > 0)
+        if exceeded:
+            shown = f"{pct:.2f}%" if pct is not None else "from zero"
+            print(f"error: total cost regression {shown} exceeds "
+                  f"--fail-on-regression {threshold:g}%",
+                  file=sys.stderr)
+            return 2
+    return 0
+
+
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "diff":
+        return run_diff(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     report = None
@@ -138,13 +212,15 @@ def main(argv=None):
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(recommendation.describe())
+    if arguments.explain:
+        print()
+        print(recommendation.explain())
     if arguments.cql:
         print()
         print(recommendation.as_cql())
     if arguments.output_json:
-        import json
-        with open(arguments.output_json, "w") as handle:
-            json.dump(recommendation.as_dict(), handle, indent=2)
+        from repro.io import dump_explain
+        dump_explain(recommendation, arguments.output_json)
         print(f"\nrecommendation written to {arguments.output_json}")
     if arguments.timing:
         print()
@@ -166,9 +242,14 @@ def main(argv=None):
             print("telemetry disabled (NOSE_TELEMETRY=0); no trace "
                   "recorded")
     if arguments.metrics_out and report is not None:
-        from repro.io import dump_run_report
-        dump_run_report(report, arguments.metrics_out)
-        print(f"\ntelemetry report written to {arguments.metrics_out}")
+        if report.meta.get("enabled"):
+            from repro.io import dump_run_report
+            dump_run_report(report, arguments.metrics_out)
+            print(f"\ntelemetry report written to "
+                  f"{arguments.metrics_out}")
+        else:
+            print(f"\ntelemetry disabled (NOSE_TELEMETRY=0); not "
+                  f"writing {arguments.metrics_out}")
     return 0
 
 

@@ -94,6 +94,28 @@ class CostModel:
         telemetry.gauge(f"{prefix}.cache_misses_total", misses)
         telemetry.gauge(f"{prefix}.memo_entries", entries)
 
+    def cost_terms(self, step):
+        """Named cost-model terms for one step, for plan explain output.
+
+        The base implementation reports the physical quantities every
+        model charges for — partitions contacted, rows read or written —
+        so explain output is meaningful for any subclass; models with a
+        richer cost structure override this to split the step cost into
+        their own components.
+        """
+        if isinstance(step, IndexLookupStep):
+            return {"partitions_contacted": max(step.bindings, 1.0),
+                    "rows_read": max(step.raw_rows, 0.0)}
+        if isinstance(step, InsertStep):
+            return {"rows_written": max(step.cardinality, 0.0)}
+        if isinstance(step, DeleteStep):
+            return {"rows_deleted": max(step.cardinality, 0.0)}
+        if isinstance(step, FilterStep):
+            return {"rows_scanned": max(step.input_cardinality, 0.0)}
+        if isinstance(step, SortStep):
+            return {"rows_sorted": max(step.cardinality, 0.0)}
+        return {}
+
     def cost_plan(self, plan):
         """Annotate a query plan's steps; returns the plan cost."""
         total = 0.0
@@ -165,6 +187,25 @@ class CassandraCostModel(CostModel):
         row_bytes = step.index.entry_size
         return (requests * (self.request_cost + self.partition_cost)
                 + rows * (self.row_cost + row_bytes * self.row_byte_cost))
+
+    def cost_terms(self, step):
+        """Split the step cost into this model's components.
+
+        Lookups separate the per-request overhead (round trip plus
+        partition seek) from the row scan/transfer share — the split
+        that tells a designer whether a plan is request-bound or
+        transfer-bound.
+        """
+        terms = super().cost_terms(step)
+        if isinstance(step, IndexLookupStep):
+            requests = max(step.bindings, 1.0)
+            rows = max(step.raw_rows, 0.0)
+            row_bytes = step.index.entry_size
+            terms["request_cost"] = requests * (self.request_cost
+                                                + self.partition_cost)
+            terms["transfer_cost"] = rows * (
+                self.row_cost + row_bytes * self.row_byte_cost)
+        return terms
 
     def filter_cost(self, step):
         return max(step.input_cardinality, 0.0) * self.filter_row_cost

@@ -23,11 +23,14 @@ def _mergeable(left, right):
     return left_extra != right_extra
 
 
-def combine_candidates(pool):
+def combine_candidates(pool, recorder=None):
     """New candidates obtained by merging compatible pairs in the pool.
 
     Returns only the additional column families (the originals stay in
-    the pool; the optimizer chooses).
+    the pool; the optimizer chooses).  When a ``recorder`` is given,
+    every merge is recorded as a ``combiner-merge`` with the two parent
+    candidate keys, so its provenance chain resolves through the
+    parents back to the source statements.
     """
     candidates = sorted(pool, key=lambda index: index.key)
     merged = set()
@@ -42,4 +45,7 @@ def combine_candidates(pool):
             combined = Index(left.hash_fields, (), extra_fields, left.path)
             if combined not in pool:
                 merged.add(combined)
+                if recorder is not None:
+                    recorder.record(combined, "combiner-merge",
+                                    parents=(left.key, right.key))
     return merged

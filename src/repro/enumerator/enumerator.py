@@ -20,12 +20,28 @@ from __future__ import annotations
 from repro import telemetry
 from repro.enumerator.combiner import combine_candidates
 from repro.enumerator.support import modifies, support_queries
+from repro.explain.provenance import ProvenanceRecorder
 from repro.indexes.index import Index
 from repro.indexes.materialize import entity_fetch_index
 
 
 def _dedupe(fields):
     return tuple(dict.fromkeys(fields))
+
+
+class CandidatePool(list):
+    """The enumerated candidate list, with per-candidate provenance.
+
+    Behaves exactly like the sorted list :meth:`CandidateEnumerator
+    .candidates` used to return; ``provenance`` is the enumeration's
+    :class:`~repro.explain.provenance.ProvenanceRecorder`, carrying the
+    derivation record of every candidate in (and merged out of) the
+    pool.
+    """
+
+    def __init__(self, indexes=(), provenance=None):
+        super().__init__(indexes)
+        self.provenance = provenance
 
 
 class CandidateEnumerator:
@@ -57,11 +73,17 @@ class CandidateEnumerator:
 
     def candidates(self, workload):
         """The full candidate pool for a workload, including support-query
-        candidates for updates, closed under Combine."""
+        candidates for updates, closed under Combine.
+
+        Returns a :class:`CandidatePool` whose ``provenance`` records,
+        for every candidate, the derivation rule that produced it and
+        the workload statements it was derived for (support-query
+        candidates are attributed to their update)."""
         active = telemetry.current()
+        recorder = ProvenanceRecorder()
         pool = set()
         for query in workload.queries:
-            found = self.enumerate_query(query)
+            found = self.enumerate_query(query, recorder=recorder)
             if active.enabled:
                 before = len(pool)
                 pool |= found
@@ -87,7 +109,8 @@ class CandidateEnumerator:
                     if not modifies(update, index):
                         continue
                     for support in support_queries(update, index):
-                        additions |= self.enumerate_query(support)
+                        additions |= self.enumerate_query(
+                            support, recorder=recorder)
                         support_count += 1
             if active.enabled:
                 before = len(pool)
@@ -99,17 +122,28 @@ class CandidateEnumerator:
             else:
                 pool |= additions
         if self.combine:
-            merged = combine_candidates(pool)
+            merged = combine_candidates(pool, recorder=recorder)
             if active.enabled:
                 active.count("enumerator.combined_candidates",
                              len(merged - pool))
             pool |= merged
-        return sorted(pool, key=lambda index: index.key)
+        return CandidatePool(sorted(pool, key=lambda index: index.key),
+                             provenance=recorder)
 
     # -- per-query enumeration ------------------------------------------------
 
-    def enumerate_query(self, query):
-        """Candidate column families for a single query (§IV-A2)."""
+    def enumerate_query(self, query, recorder=None):
+        """Candidate column families for a single query (§IV-A2).
+
+        When a ``recorder`` is given, every candidate is recorded with
+        the derivation rule that produced it and ``query`` as its
+        source."""
+        if recorder is None:
+            def record(index, rule):
+                return None
+        else:
+            def record(index, rule):
+                recorder.record(index, rule, source=query)
         candidates = set()
         rpath = query.key_path.reverse() if len(query.key_path) > 1 \
             else query.key_path
@@ -134,12 +168,15 @@ class CandidateEnumerator:
                 else (rpath[end].id_field,)
             segment_order = order_by if all(
                 segment.includes(f.parent) for f in order_by) else ()
+            base_rule = "materialize" if is_final else "prefix-split"
             for hash_entity in eq_entities:
                 candidates |= self._anchored(segment, segment_conditions,
                                              hash_entity, segment_select,
                                              segment_order,
                                              grouped_target=rpath[end]
-                                             if is_final else None)
+                                             if is_final else None,
+                                             record=record,
+                                             base_rule=base_rule)
         # interior join segments
         for start in range(length - 1):
             for end in range(start + 1, length):
@@ -150,26 +187,40 @@ class CandidateEnumerator:
                 is_final = end == length - 1
                 candidates |= self._join_segment(
                     segment, segment_conditions,
-                    select if is_final else ())
+                    select if is_final else (), record=record)
         # point lookups for predicate attributes and selected attributes
+        # (the second stage of the paper's two-step "ID-fetch" plans)
+        fetches = []
         for condition in query.conditions:
             entity = condition.field.parent
-            candidates.add(entity_fetch_index(entity, [condition.field]))
-            candidates.add(entity_fetch_index(entity))
+            fetches.append(entity_fetch_index(entity, [condition.field]))
+            fetches.append(entity_fetch_index(entity))
         by_entity = {}
         for field in select:
             by_entity.setdefault(field.parent, []).append(field)
         for entity, fields in by_entity.items():
-            candidates.add(entity_fetch_index(entity, fields))
-            candidates.add(entity_fetch_index(entity))
+            fetches.append(entity_fetch_index(entity, fields))
+            fetches.append(entity_fetch_index(entity))
+        for index in fetches:
+            record(index, "id-fetch-split")
+        candidates.update(fetches)
         return candidates
 
     # -- candidate construction ---------------------------------------------------
 
     def _anchored(self, segment, conditions, hash_entity, select, order_by,
-                  grouped_target=None):
+                  grouped_target=None, record=None, base_rule="materialize"):
         """Materialized-view family for one prefix segment and one choice
-        of partition-key entity."""
+        of partition-key entity.
+
+        Each generated layout carries the derivation rule that produced
+        it, reported through ``record`` for candidate provenance;
+        ``base_rule`` names the unrelaxed layout (``materialize`` for
+        the full path, ``prefix-split`` for a proper prefix).
+        """
+        if record is None:
+            def record(index, rule):
+                return None
         eq_fields = [c.field for c in conditions
                      if c.is_equality and c.field.parent is hash_entity]
         if not eq_fields:
@@ -187,21 +238,27 @@ class CandidateEnumerator:
             # the target's ID, collapsing duplicate results; every
             # predicate/order attribute stays in the key so no data is
             # lost to collisions
-            layouts.append((other_eq + list(order_by) + range_fields
+            layouts.append(("group-collapse",
+                            other_eq + list(order_by) + range_fields
                             + [grouped_target.id_field], ()))
         # served layout: range scanned via the clustering order
-        layouts.append((other_eq + list(order_by) + range_fields + ids, ()))
+        layouts.append((base_rule,
+                        other_eq + list(order_by) + range_fields + ids,
+                        ()))
         relaxed = 0
         if self.relax and range_condition is not None:
             # relaxation (§IV-A2): move the predicate attribute to the
             # value columns (client-side filter) or drop it entirely
-            layouts.append((other_eq + list(order_by) + ids,
+            layouts.append(("predicate-relax",
+                            other_eq + list(order_by) + ids,
                             (range_condition.field,)))
-            layouts.append((other_eq + list(order_by) + ids, ()))
+            layouts.append(("predicate-relax",
+                            other_eq + list(order_by) + ids, ()))
             relaxed += 2
         if self.relax and order_by:
             # order relaxation: sort client-side instead
-            layouts.append((other_eq + range_fields + ids,
+            layouts.append(("order-relax",
+                            other_eq + range_fields + ids,
                             tuple(order_by)))
             relaxed += 1
         if relaxed:
@@ -209,24 +266,32 @@ class CandidateEnumerator:
             if active.enabled:
                 active.count("enumerator.relaxed_layouts", relaxed)
         candidates = set()
-        for order_fields, forced_extra in layouts:
+        for rule, order_fields, forced_extra in layouts:
             order_fields = [f for f in _dedupe(order_fields)
                             if f not in eq_fields]
             taken = set(eq_fields) | set(order_fields)
             extras = _dedupe([f for f in forced_extra if f not in taken]
                              + [f for f in select if f not in taken])
-            candidates.add(Index(eq_fields, order_fields, extras,
-                                 segment))
+            index = Index(eq_fields, order_fields, extras, segment)
+            candidates.add(index)
+            record(index, rule)
             if extras:
-                candidates.add(Index(eq_fields, order_fields,
-                                     tuple(f for f in forced_extra
-                                           if f not in taken),
-                                     segment))
+                # key-only variant: values fetched through a separate
+                # per-entity column family instead
+                split = Index(eq_fields, order_fields,
+                              tuple(f for f in forced_extra
+                                    if f not in taken),
+                              segment)
+                candidates.add(split)
+                record(split, "id-fetch-split")
         return candidates
 
-    def _join_segment(self, segment, conditions, select):
+    def _join_segment(self, segment, conditions, select, record=None):
         """Indexes chaining a plan across one interior segment: keyed by
         the pivot entity's ID, clustering through to the frontier."""
+        if record is None:
+            def record(index, rule):
+                return None
         pivot = segment.first.id_field
         ids = [entity.id_field
                for entity in reversed(segment.entities[1:])]
@@ -243,8 +308,11 @@ class CandidateEnumerator:
                             if f is not pivot]
             taken = {pivot, *order_fields}
             extras = tuple(f for f in _dedupe(select) if f not in taken)
-            candidates.add(Index((pivot,), order_fields, (), segment))
+            bare = Index((pivot,), order_fields, (), segment)
+            candidates.add(bare)
+            record(bare, "join-segment")
             if extras:
-                candidates.add(Index((pivot,), order_fields, extras,
-                                     segment))
+                wide = Index((pivot,), order_fields, extras, segment)
+                candidates.add(wide)
+                record(wide, "join-segment")
         return candidates

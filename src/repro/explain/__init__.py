@@ -1,0 +1,51 @@
+"""Decision observability for the advisor pipeline.
+
+Three layers make a recommendation explainable instead of a black box:
+
+* :mod:`repro.explain.provenance` — why each candidate column family
+  was enumerated (derivation rule, source statements, merge parents);
+* :mod:`repro.explain.ledger` — why plans and candidates were rejected
+  (dominance-pruning removals, BIP selection statuses, chosen-plan
+  cost next to the best rejected alternative);
+* :mod:`repro.explain.document` — the serializable explain document
+  built from a recommendation, and recommendation diffing for the
+  repeated-tuning workflow (``nose-advisor diff``).
+"""
+
+from repro.explain.document import (
+    EXPLAIN_FORMAT,
+    ExplainData,
+    diff_recommendations,
+    explain_document,
+    step_terms,
+)
+from repro.explain.ledger import (
+    INDEX_STATUSES,
+    PRUNE_RULES,
+    prune_entry,
+    prune_record,
+    solver_ledger,
+)
+from repro.explain.provenance import (
+    RULES,
+    IndexProvenance,
+    ProvenanceRecorder,
+    source_label,
+)
+
+__all__ = [
+    "EXPLAIN_FORMAT",
+    "ExplainData",
+    "INDEX_STATUSES",
+    "IndexProvenance",
+    "PRUNE_RULES",
+    "ProvenanceRecorder",
+    "RULES",
+    "diff_recommendations",
+    "explain_document",
+    "prune_entry",
+    "prune_record",
+    "solver_ledger",
+    "source_label",
+    "step_terms",
+]

@@ -1,0 +1,160 @@
+"""Candidate provenance: why each column family was enumerated.
+
+Every candidate the enumerator produces is derived from a workload
+statement by one of a small set of rules (the §IV-A constructions plus
+this repo's extensions).  The recorder keeps, per column-family key,
+which rules produced it, which workload statements it serves, and —
+for combiner merges — which parent candidates it was built from.  A
+*chain* walks these records back until it reaches workload statements,
+so a schema designer can answer "why does this column family exist?"
+for any index in a recommendation.
+
+Recording is identity-based (index ``key``), so the same column family
+reached from several queries or rules accumulates all of them; the
+records are cheap dict updates and stay attached to the candidate pool
+through the advisor's structural cache.
+"""
+
+from __future__ import annotations
+
+#: derivation rules, in roughly decreasing specificity
+RULES = (
+    "materialize",       # the view answering a full query with one get
+    "prefix-split",      # view for a proper prefix of the query path
+    "join-segment",      # chain link across an interior path segment
+    "order-relax",       # ORDER BY moved out of the clustering key
+    "predicate-relax",   # range predicate demoted to value / dropped
+    "id-fetch-split",    # key-only variant or per-entity point lookup
+    "group-collapse",    # GROUP BY extension: one row per result
+    "combiner-merge",    # §IV-A3 Combine of two value-only candidates
+)
+
+_KNOWN_RULES = frozenset(RULES)
+
+
+def source_label(statement):
+    """The workload-statement label a candidate's derivation anchors to.
+
+    Support queries are synthetic — they exist only to maintain a
+    column family under an update — so their candidates are attributed
+    to the *update* statement, keeping every chain terminated at a real
+    workload statement.
+    """
+    if statement is None:
+        return None
+    if getattr(statement, "is_support", False):
+        update = getattr(statement, "update", None)
+        if update is not None and update.label:
+            return update.label
+    label = getattr(statement, "label", None)
+    return label or str(statement)
+
+
+class IndexProvenance:
+    """Accumulated derivation facts for one candidate column family."""
+
+    __slots__ = ("key", "rules", "sources", "parents")
+
+    def __init__(self, key):
+        self.key = key
+        #: rules that produced this candidate, in first-recorded order
+        self.rules = []
+        #: labels of the workload statements it was derived for
+        self.sources = []
+        #: keys of parent candidates (combiner merges)
+        self.parents = []
+
+    def add(self, rule, source=None, parents=()):
+        if rule not in self.rules:
+            self.rules.append(rule)
+        if source is not None and source not in self.sources:
+            self.sources.append(source)
+        for parent in parents:
+            if parent not in self.parents:
+                self.parents.append(parent)
+
+    def as_dict(self):
+        return {
+            "rules": list(self.rules),
+            "sources": sorted(self.sources),
+            "parents": sorted(self.parents),
+        }
+
+    def __repr__(self):
+        return (f"IndexProvenance({self.key}: rules={self.rules}, "
+                f"sources={self.sources}, parents={self.parents})")
+
+
+class ProvenanceRecorder:
+    """Collects :class:`IndexProvenance` records during enumeration."""
+
+    def __init__(self):
+        self.records = {}
+        #: total record() calls — the explain-overhead benchmark prices
+        #: provenance collection as ops x per-op cost
+        self.ops = 0
+
+    def record(self, index, rule, source=None, parents=()):
+        """Note that ``index`` was produced by ``rule`` for ``source``.
+
+        ``source`` may be a statement (its label is resolved, support
+        queries mapping to their update) or a plain label string;
+        ``parents`` are the keys of the candidates a merge combined.
+        """
+        if rule not in _KNOWN_RULES:
+            from repro.exceptions import NoseError
+            raise NoseError(f"unknown derivation rule {rule!r}; "
+                            f"known rules: {', '.join(RULES)}")
+        self.ops += 1
+        record = self.records.get(index.key)
+        if record is None:
+            record = self.records[index.key] = IndexProvenance(index.key)
+        if source is not None and not isinstance(source, str):
+            source = source_label(source)
+        record.add(rule, source=source, parents=parents)
+        return record
+
+    def get(self, key):
+        return self.records.get(key)
+
+    def __contains__(self, key):
+        return key in self.records
+
+    def __len__(self):
+        return len(self.records)
+
+    def chain(self, key):
+        """Derivation chain from ``key`` back to workload statements.
+
+        Returns a list of record dicts (each with ``index``, ``rules``,
+        ``sources``, ``parents``), starting at ``key`` and following
+        combiner parents breadth-first.  Empty when the key was never
+        recorded.  The chain *terminates at a workload statement* when
+        some record in it carries a non-empty ``sources`` list.
+        """
+        chain = []
+        seen = set()
+        frontier = [key]
+        while frontier:
+            next_frontier = []
+            for current in frontier:
+                if current in seen:
+                    continue
+                seen.add(current)
+                record = self.records.get(current)
+                if record is None:
+                    continue
+                chain.append({"index": record.key,
+                              **record.as_dict()})
+                next_frontier.extend(record.parents)
+            frontier = next_frontier
+        return chain
+
+    def terminates_at_statement(self, key):
+        """True when the chain for ``key`` reaches a workload statement."""
+        return any(record["sources"] for record in self.chain(key))
+
+    def as_dict(self):
+        """``{key: provenance}`` with deterministic key order."""
+        return {key: self.records[key].as_dict()
+                for key in sorted(self.records)}

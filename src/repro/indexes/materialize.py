@@ -34,7 +34,7 @@ def _hash_entity_for(query):
     return best[1]
 
 
-def materialized_view_for(query, hash_entity=None):
+def materialized_view_for(query, hash_entity=None, recorder=None):
     """The column family answering ``query`` with one get request.
 
     ``hash_entity`` selects which entity's equality attributes form the
@@ -42,6 +42,8 @@ def materialized_view_for(query, hash_entity=None):
     Fig 9 of the paper hashes on the target entity while Fig 3 hashes on
     the far end of the path).  Remaining equality attributes become the
     leading clustering columns, where a get can still bind them exactly.
+    With a ``recorder`` the construction is logged as ``materialize``
+    provenance sourced at ``query``.
     """
     if hash_entity is None:
         hash_entity = _hash_entity_for(query)
@@ -66,26 +68,37 @@ def materialized_view_for(query, hash_entity=None):
     extra_fields = tuple(f for f in _dedupe(select) if f not in taken)
     path = query.key_path.reverse() if len(query.key_path) > 1 \
         else query.key_path
-    return Index(hash_fields, order_fields, extra_fields, path)
+    view = Index(hash_fields, order_fields, extra_fields, path)
+    if recorder is not None:
+        recorder.record(view, "materialize", source=query)
+    return view
 
 
-def id_index_for(query, hash_entity=None):
+def id_index_for(query, hash_entity=None, recorder=None):
     """The key-only variant: same keys as the materialized view, no values.
 
     Used when the optimizer prefers fetching the selected attributes
-    through a separate per-entity column family (§IV-A2).
+    through a separate per-entity column family (§IV-A2).  With a
+    ``recorder`` the split is logged as ``id-fetch-split`` provenance.
     """
     view = materialized_view_for(query, hash_entity=hash_entity)
     if not view.extra_fields:
+        if recorder is not None:
+            recorder.record(view, "materialize", source=query)
         return view
-    return Index(view.hash_fields, view.order_fields, (), view.path)
+    split = Index(view.hash_fields, view.order_fields, (), view.path)
+    if recorder is not None:
+        recorder.record(split, "id-fetch-split", source=query)
+    return split
 
 
-def entity_fetch_index(entity, fields=None):
+def entity_fetch_index(entity, fields=None, recorder=None, source=None):
     """A per-entity lookup column family ``[ID][][attributes]``.
 
     Maps an entity's primary key to (by default all of) its attributes;
-    the second stage of the paper's two-step plans.
+    the second stage of the paper's two-step plans.  With a ``recorder``
+    the construction is logged as ``id-fetch-split`` provenance sourced
+    at ``source``.
     """
     id_field = entity.id_field
     if id_field is None:
@@ -97,4 +110,7 @@ def entity_fetch_index(entity, fields=None):
         if field.parent is not entity:
             raise ModelError(
                 f"field {field.id} does not belong to {entity.name}")
-    return Index((id_field,), (), extra, KeyPath(entity))
+    index = Index((id_field,), (), extra, KeyPath(entity))
+    if recorder is not None:
+        recorder.record(index, "id-fetch-split", source=source)
+    return index

@@ -9,8 +9,10 @@ format.
 
 from repro.io.serialize import (
     dump_application,
+    dump_explain,
     dump_run_report,
     load_application,
+    load_explain,
     load_run_report,
     model_from_dict,
     model_to_dict,
@@ -22,8 +24,10 @@ from repro.io.serialize import (
 
 __all__ = [
     "dump_application",
+    "dump_explain",
     "dump_run_report",
     "load_application",
+    "load_explain",
     "load_run_report",
     "model_from_dict",
     "model_to_dict",

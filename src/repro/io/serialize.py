@@ -207,6 +207,34 @@ def dump_application(model, workload, path):
     return path
 
 
+# -- explain documents ----------------------------------------------------------
+
+
+def dump_explain(document, path):
+    """Write an explain document (or a recommendation) as stable JSON.
+
+    Keys are sorted so two dumps of the same decision are byte-for-byte
+    identical — the property ``nose-advisor diff`` and CI artifact
+    comparison rely on.  Accepts either a prepared document dict or a
+    :class:`~repro.optimizer.results.SchemaRecommendation`.
+    """
+    if not isinstance(document, dict):
+        document = document.explain_document()
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_explain(path):
+    """Load an explain document from a JSON file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ParseError(f"{path} is not an explain document")
+    return document
+
+
 # -- telemetry run reports ------------------------------------------------------
 
 

@@ -25,6 +25,7 @@ from scipy.sparse import csr_matrix
 
 from repro import telemetry
 from repro.exceptions import OptimizationError
+from repro.explain import solver_ledger
 from repro.optimizer.results import SchemaRecommendation
 from repro.planner.plans import UpdatePlan
 
@@ -384,8 +385,18 @@ class _Program:
                 update_plans[update] = kept
         weights = {label: weight
                    for label, weight in self.problem.weights.items()}
-        return SchemaRecommendation(indexes, query_plans, update_plans,
-                                    weights, total_cost)
+        recommendation = SchemaRecommendation(indexes, query_plans,
+                                              update_plans, weights,
+                                              total_cost)
+        # the decision ledger: per-candidate selection status and, per
+        # statement, the chosen plan next to the best rejected one
+        selected_keys = {self.indexes[column].key
+                         for column in range(len(self.indexes))
+                         if selected[column]}
+        recommendation.ledger = solver_ledger(
+            self.problem, chosen_keys, selected_keys, query_plans,
+            self.plan_columns)
+        return recommendation
 
     def _used_keys(self, selected, query_plans, chosen_support):
         """Selected column families actually needed by some chosen plan.

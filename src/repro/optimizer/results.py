@@ -23,6 +23,12 @@ class SchemaRecommendation:
         self.total_cost = total_cost
         #: filled by the advisor with an AdvisorTiming breakdown
         self.timing = None
+        #: filled by the BIP: per-candidate selection statuses and
+        #: per-statement chosen-vs-rejected plan costs
+        self.ledger = None
+        #: filled by the advisor: candidate provenance, pruning ledger
+        #: and the cost model used (see repro.explain.ExplainData)
+        self.explain_data = None
 
     # -- derived reporting ---------------------------------------------------
 
@@ -92,6 +98,23 @@ class SchemaRecommendation:
                     for plan in plans]
                 for update, plans in self.update_plans.items()},
         }
+
+    def explain_document(self):
+        """The serializable explain document (see ``repro.explain``)."""
+        from repro.explain import explain_document
+        return explain_document(self)
+
+    def explain(self, statement=None):
+        """Annotated decision report: provenance, ledger and plan trees.
+
+        Renders each chosen plan with per-step cost-model terms, the
+        derivation chain of every recommended column family, and the
+        solver's chosen-vs-rejected accounting.  ``statement`` narrows
+        the report to one statement label.
+        """
+        from repro.reporting import explain_report
+        return explain_report(self.explain_document(),
+                              statement=statement)
 
     def describe(self):
         """Human-readable report: schema, then one plan per statement."""

@@ -184,6 +184,135 @@ def metrics_summary(metrics, top=5):
     return "\n".join(lines)
 
 
+# -- explain documents and recommendation diffs -------------------------------
+
+
+def _fmt(value):
+    if value is None:
+        return "n/a"
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 1e6 else f"{value:.4g}"
+    return str(value)
+
+
+def _provenance_lines(chain):
+    """Render a derivation chain (``repro.explain`` record dicts)."""
+    lines = []
+    for depth, record in enumerate(chain):
+        rules = ", ".join(record.get("rules", ())) or "?"
+        sources = ", ".join(record.get("sources", ()))
+        via = "" if depth == 0 else f"via {record['index']}: "
+        arrow = f" <- {sources}" if sources else ""
+        lines.append(f"{'  ' * min(depth, 1)}{via}{rules}{arrow}")
+    return lines
+
+
+def _explain_statement_lines(label, record):
+    lines = [f"{label} ({record.get('kind', 'statement')}, "
+             f"weight {_fmt(record.get('weight'))}, "
+             f"cost {_fmt(record.get('cost'))}, "
+             f"weighted {_fmt(record.get('weighted_cost'))})"]
+    funnel = []
+    if "alternatives_enumerated" in record:
+        funnel.append(f"{record['alternatives_enumerated']} enumerated")
+    if "alternatives_after_pruning" in record:
+        funnel.append(f"{record['alternatives_after_pruning']} "
+                      f"after pruning")
+    if "alternatives_in_solver" in record:
+        funnel.append(f"{record['alternatives_in_solver']} in solver")
+    header = "  plan"
+    if funnel:
+        header += f" ({' -> '.join(funnel)})"
+    if record.get("best_rejected_cost") is not None:
+        header += (f", best rejected alternative cost "
+                   f"{_fmt(record['best_rejected_cost'])}")
+    plan = record.get("plan")
+    if plan is not None:
+        lines.append(header + ":")
+        for number, step in enumerate(plan.get("steps", ()), start=1):
+            terms = step.get("terms", {})
+            rendered = " ".join(f"{name}={_fmt(terms[name])}"
+                                for name in sorted(terms))
+            suffix = f"  [{rendered}]" if rendered else ""
+            lines.append(f"    {number}. {step['op']}  "
+                         f"cost={_fmt(step.get('cost'))}{suffix}")
+    for maintenance in record.get("maintenance", ()):
+        lines.append(f"  maintains {maintenance['index']} "
+                     f"(update cost {_fmt(maintenance['update_cost'])}, "
+                     f"write amplification "
+                     f"{_fmt(maintenance['write_amplification'])}):")
+        for step in maintenance.get("steps", ()):
+            lines.append(f"    {step['op']}  "
+                         f"cost={_fmt(step.get('cost'))}")
+        for support in maintenance.get("support_plans", ()):
+            lines.append(f"    support plan {support['signature']}  "
+                         f"cost={_fmt(support.get('cost'))}")
+    return lines
+
+
+def explain_report(document, statement=None):
+    """Render an explain document (``repro.explain.explain_document``).
+
+    Shows the recommended column families with selection status and
+    derivation provenance, then each statement's chosen plan as an
+    annotated step tree with per-step cost terms and the
+    alternatives-considered funnel.  ``statement`` narrows the report
+    to one statement label.
+    """
+    if statement is not None:
+        record = document.get("statements", {}).get(statement)
+        if record is None:
+            raise NoseError(
+                f"no statement {statement!r} in the explain document")
+        return "\n".join(_explain_statement_lines(statement, record))
+    indexes = document.get("indexes", [])
+    lines = [f"explain: {len(indexes)} column families, total cost "
+             f"{_fmt(document.get('total_cost'))}"]
+    for entry in indexes:
+        status = entry.get("status", "chosen")
+        lines.append(f"  {entry['key']}  {entry.get('triple', '')}  "
+                     f"[{status}]")
+        for line in _provenance_lines(entry.get("provenance", ())):
+            lines.append(f"    {line}")
+    for label, record in document.get("statements", {}).items():
+        lines.append("")
+        lines.extend(_explain_statement_lines(label, record))
+    return "\n".join(lines)
+
+
+def diff_report(diff):
+    """Render a recommendation diff
+    (``repro.explain.diff_recommendations``)."""
+    total = diff.get("total_cost", {})
+    pct = total.get("regression_pct")
+    pct_text = f"{pct:+.2f}%" if pct is not None else "n/a"
+    lines = ["recommendation diff",
+             f"  total cost: {_fmt(total.get('base'))} -> "
+             f"{_fmt(total.get('other'))}  "
+             f"(delta {_fmt(total.get('delta'))}, {pct_text})"]
+    added = diff.get("indexes_added", [])
+    dropped = diff.get("indexes_dropped", [])
+    lines.append(f"  indexes added ({len(added)}):")
+    for entry in added:
+        lines.append(f"    + {entry['key']}  {entry.get('triple', '')}")
+    lines.append(f"  indexes dropped ({len(dropped)}):")
+    for entry in dropped:
+        lines.append(f"    - {entry['key']}  {entry.get('triple', '')}")
+    statements = diff.get("statements", {})
+    lines.append(f"  statement changes ({len(statements)}):")
+    for label in sorted(statements):
+        record = statements[label]
+        delta = record.get("delta")
+        delta_text = f" ({delta:+.4f})" if delta is not None else ""
+        plan_text = ", plan changed" if record.get("plan_changed") \
+            else ""
+        lines.append(f"    {label}: cost "
+                     f"{_fmt(record.get('base_cost'))} -> "
+                     f"{_fmt(record.get('other_cost'))}"
+                     f"{delta_text}{plan_text}")
+    return "\n".join(lines)
+
+
 def render_run_report(report, top=5):
     """Full ASCII rendering of a :class:`repro.telemetry.RunReport`."""
     meta = report.meta

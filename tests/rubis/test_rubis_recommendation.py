@@ -65,6 +65,22 @@ def test_advisor_runtime_matches_paper_claim(recommendation):
     assert result.timing.total < 10.0
 
 
+def test_every_index_has_provenance_chain(recommendation):
+    """Acceptance: each recommended column family carries a non-empty
+    derivation chain terminating at a workload statement."""
+    _model, workload, result = recommendation
+    labels = set(workload.statements)
+    data = result.explain_data
+    assert data is not None and data.provenance is not None
+    for index in result.indexes:
+        chain = data.chain(index.key)
+        assert chain, f"no provenance for {index.key}"
+        sources = {source for record in chain
+                   for source in record["sources"]}
+        assert sources & labels, \
+            f"{index.key} does not terminate at a workload statement"
+
+
 def test_schema_is_reasonably_sized(recommendation):
     _model, _workload, result = recommendation
     # workload-specific but not absurd: between 5 and 40 column families

@@ -61,6 +61,27 @@ def test_workload_module_without_build_fails(tmp_path, capsys):
     assert "error" in capsys.readouterr().err
 
 
+def test_workload_module_build_exception_is_reported(tmp_path, capsys):
+    # a crashing build() must not escape as a raw traceback
+    module = tmp_path / "crashy.py"
+    module.write_text(
+        "def build():\n"
+        "    raise RuntimeError('boom at build time')\n")
+    assert main(["--model", str(module)]) == 1
+    error = capsys.readouterr().err
+    assert error.startswith("error:")
+    assert "boom at build time" in error
+
+
+def test_workload_module_import_error_is_reported(tmp_path, capsys):
+    module = tmp_path / "unimportable.py"
+    module.write_text("import not_a_real_module_xyz\n")
+    assert main(["--model", str(module)]) == 1
+    error = capsys.readouterr().err
+    assert error.startswith("error:")
+    assert "failed to import" in error
+
+
 def test_trace_flag_prints_run_report(capsys):
     assert main(["--demo", "hotel", "--cost-model", "simple",
                  "--trace"]) == 0
@@ -89,6 +110,79 @@ def test_trace_respects_kill_switch(monkeypatch, capsys):
     output = capsys.readouterr().out
     assert "telemetry disabled" in output
     assert "run report" not in output
+
+
+def test_metrics_out_skipped_when_telemetry_disabled(monkeypatch,
+                                                     tmp_path, capsys):
+    monkeypatch.setenv("NOSE_TELEMETRY", "0")
+    target = tmp_path / "telemetry.json"
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--metrics-out", str(target)]) == 0
+    output = capsys.readouterr().out
+    assert "telemetry disabled" in output
+    assert not target.exists()
+
+
+def test_explain_flag_prints_provenance_and_terms(capsys):
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--explain"]) == 0
+    output = capsys.readouterr().out
+    assert "explain:" in output
+    assert "materialize" in output
+    assert "after pruning" in output
+
+
+def test_output_json_is_an_explain_document(tmp_path):
+    target = tmp_path / "recommendation.json"
+    assert main(["--demo", "hotel", "--cost-model", "simple",
+                 "--output-json", str(target)]) == 0
+    import json
+    document = json.loads(target.read_text())
+    assert document["format"] == "nose-explain/1"
+    assert document["statements"]
+
+
+def _write_documents(tmp_path):
+    import json
+    base = tmp_path / "base.json"
+    other = tmp_path / "other.json"
+    base.write_text(json.dumps(
+        {"total_cost": 10.0, "indexes": [{"key": "ia", "triple": ""}],
+         "statements": {}}))
+    other.write_text(json.dumps(
+        {"total_cost": 12.0, "indexes": [{"key": "ib", "triple": ""}],
+         "statements": {}}))
+    return base, other
+
+
+def test_diff_subcommand_reports_changes(tmp_path, capsys):
+    base, other = _write_documents(tmp_path)
+    assert main(["diff", str(base), str(other)]) == 0
+    output = capsys.readouterr().out
+    assert "recommendation diff" in output
+    assert "+20.00%" in output
+    assert "+ ib" in output
+    assert "- ia" in output
+
+
+def test_diff_fail_on_regression_exceeded(tmp_path, capsys):
+    base, other = _write_documents(tmp_path)
+    assert main(["diff", str(base), str(other),
+                 "--fail-on-regression", "10"]) == 2
+    assert "exceeds" in capsys.readouterr().err
+
+
+def test_diff_fail_on_regression_within_threshold(tmp_path, capsys):
+    base, other = _write_documents(tmp_path)
+    assert main(["diff", str(base), str(other),
+                 "--fail-on-regression", "25"]) == 0
+    assert capsys.readouterr().err == ""
+
+
+def test_diff_missing_file_is_an_error(tmp_path, capsys):
+    base, _other = _write_documents(tmp_path)
+    assert main(["diff", str(base), str(tmp_path / "missing.json")]) == 1
+    assert "error:" in capsys.readouterr().err
 
 
 def test_unknown_demo_rejected():

@@ -5,11 +5,14 @@ import pytest
 from repro.exceptions import NoseError
 from repro.reporting import (
     bar_chart,
+    diff_report,
+    explain_report,
     grouped_bar_chart,
     metrics_summary,
     render_run_report,
     span_tree,
     stacked_series,
+    timing_table,
 )
 
 _BAR = "█"
@@ -86,6 +89,72 @@ def test_stacked_series_limits_components():
         stacked_series({1: {}}, ["a", "b", "c", "d", "e"])
     with pytest.raises(NoseError):
         stacked_series({}, ["a"])
+
+
+# -- renderer edge cases ------------------------------------------------------
+
+
+def test_explain_report_empty_recommendation():
+    # an infeasible or trivial optimization can recommend nothing;
+    # the renderer must still produce a coherent report
+    document = {"total_cost": 0.0, "indexes": [], "statements": {}}
+    report = explain_report(document)
+    assert report == "explain: 0 column families, total cost 0.0000"
+
+
+def test_explain_report_single_statement_workload():
+    document = {
+        "total_cost": 1.5,
+        "indexes": [{"key": "ia", "triple": "[a][][]",
+                     "status": "chosen",
+                     "provenance": [{"index": "ia",
+                                     "rules": ["materialize"],
+                                     "sources": ["q1"],
+                                     "parents": []}]}],
+        "statements": {
+            "q1": {"kind": "query", "weight": 1.0, "cost": 1.5,
+                   "weighted_cost": 1.5,
+                   "plan": {"signature": "L:ia", "cost": 1.5,
+                            "steps": [{"op": "lookup ia", "cost": 1.5,
+                                       "terms": {"rows_read": 3.0}}]}},
+        },
+    }
+    report = explain_report(document)
+    assert "1 column families" in report
+    assert "materialize <- q1" in report
+    assert "rows_read=3.0000" in report
+    # the single statement renders identically when selected directly
+    assert explain_report(document, statement="q1") in report
+
+
+def test_timing_table_single_row():
+    class Timing:
+        enumeration = 0.1
+        planning = 0.2
+        total = 0.3
+        cache_hits = 7
+
+    table = timing_table({"cold": Timing()})
+    lines = table.splitlines()
+    assert len(lines) == 2  # header + the one row
+    assert "cold" in lines[1]
+    assert "7" in lines[1]
+
+
+def test_timing_table_empty_rejected():
+    with pytest.raises(NoseError):
+        timing_table({})
+
+
+def test_diff_report_no_changes():
+    diff = {"total_cost": {"base": 1.0, "other": 1.0, "delta": 0.0,
+                           "regression_pct": 0.0},
+            "size_bytes": {"base": 1, "other": 1},
+            "indexes_added": [], "indexes_dropped": [],
+            "statements": {}}
+    report = diff_report(diff)
+    assert "indexes added (0)" in report
+    assert "statement changes (0)" in report
 
 
 # -- telemetry run-report rendering ------------------------------------------
