@@ -8,6 +8,10 @@ Two workflows beyond the one-shot recommendation:
 2. *Migration* — when the workload drifts (here: writes grow 50x),
    re-run the advisor and apply the schema diff to the running store
    without rebuilding unchanged column families.
+3. *Incremental re-advising* — when the workload is *edited* (a
+   statement retired), clone it, drop the statement and re-recommend:
+   the advisor's per-statement artifact store replans only what
+   changed, and the previous recommendation warm-starts the solve.
 
 Run with::
 
@@ -54,7 +58,23 @@ def main():
     loaded = execute_migration(engine.store, dataset, migration)
     print(f"\nMigrated: {loaded} rows loaded into new column families")
 
-    # -- 4. the store now serves the new plans --------------------------
+    # -- 4. the workload is edited: a statement is retired ---------------
+    # clone() + remove_statement() build the edited workload without
+    # mutating the deployed one; structural_diff shows what changed,
+    # and the advisor replans only the affected statements while the
+    # previous recommendation warm-starts the solve
+    edited = drifted.clone()
+    edited.remove_statement("pois_for_hotel")
+    diff = drifted.structural_diff(edited)
+    print(f"\nWorkload edited ({diff.summary()}): retired "
+          f"'pois_for_hotel'")
+    retuned = advisor.recommend(edited, warm_start=target)
+    timing = retuned.timing
+    print(f"re-advised incrementally: {timing.reused_statements} "
+          f"statement(s) reused, {timing.replanned_statements} "
+          f"re-planned")
+
+    # -- 5. the store now serves the new plans --------------------------
     new_engine = ExecutionEngine(model, target, dataset,
                                  store=engine.store)
     query = workload.statements["pois_for_guest"]

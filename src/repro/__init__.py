@@ -57,9 +57,12 @@ from repro.workload import (
     Insert,
     Query,
     Statement,
+    StructuralDiff,
     Update,
     Workload,
+    WorkloadError,
     parse_statement,
+    statement_digest,
 )
 
 # library logging convention: the "repro" logger hierarchy is silent
@@ -101,10 +104,13 @@ __all__ = [
     "SimpleCostModel",
     "Statement",
     "StringField",
+    "StructuralDiff",
     "Telemetry",
     "TruncationWarning",
     "Update",
     "Workload",
+    "WorkloadError",
     "materialized_view_for",
     "parse_statement",
+    "statement_digest",
 ]

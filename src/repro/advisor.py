@@ -18,6 +18,7 @@ one-shot entry point as a thin wrapper over the two stages.
 
 from __future__ import annotations
 
+import inspect
 import logging
 import time
 import warnings
@@ -26,13 +27,20 @@ from dataclasses import dataclass
 from repro import telemetry
 from repro.cost import CassandraCostModel
 from repro.enumerator import CandidateEnumerator
+from repro.enumerator.support import modifies
 from repro.exceptions import TruncationWarning
 from repro.explain import ExplainData, prune_entry, prune_record
 from repro.optimizer import BIPOptimizer, OptimizationProblem
 from repro.optimizer.results import SchemaRecommendation
 from repro.parallel import parallel_map
+from repro.pipeline import (
+    ArtifactStore,
+    PlanArtifact,
+    UpdatePlanArtifact,
+)
 from repro.planner import QueryPlanner, UpdatePlanner
 from repro.planner.plans import UpdatePlan
+from repro.workload.digest import statement_signature
 
 __all__ = [
     "Advisor",
@@ -169,6 +177,11 @@ class AdvisorTiming:
     cache_hits: int = 0
     #: statements (incl. support queries) whose plan space was capped
     truncated_queries: int = 0
+    #: statements whose plan spaces were served from the per-statement
+    #: artifact store during this call's prepare (delta reuse)
+    reused_statements: int = 0
+    #: statements actually re-enumerated/re-planned during prepare
+    replanned_statements: int = 0
 
     @property
     def other(self):
@@ -202,7 +215,8 @@ class PreparedWorkload:
 
     def __init__(self, key, workload, candidates, query_plans,
                  update_plans, enumeration_seconds=0.0,
-                 planning_seconds=0.0):
+                 planning_seconds=0.0, plan_artifacts=None,
+                 update_artifacts=None):
         self.key = key
         #: the workload last prepared/looked-up with this structure;
         #: supplies default weights to recommend_prepared
@@ -214,6 +228,15 @@ class PreparedWorkload:
         self.update_plans = dict(update_plans)
         self.enumeration_seconds = enumeration_seconds
         self.planning_seconds = planning_seconds
+        #: {query: PlanArtifact} — store entries backing query_plans;
+        #: costed/pruned derivatives ride here for cross-prepare reuse
+        self.plan_artifacts = dict(plan_artifacts or {})
+        #: {update: [UpdatePlanArtifact]} — parallel to update_plans
+        self.update_artifacts = dict(update_artifacts or {})
+        #: delta accounting for the prepare that produced (or served)
+        #: this object; mirrored into AdvisorTiming per recommend
+        self.reused_statements = 0
+        self.replanned_statements = 0
         #: statements (queries and support queries) whose enumeration
         #: hit the planner's plan cap
         truncated = [query for query, space in self.query_plans.items()
@@ -305,7 +328,8 @@ class Advisor:
 
     def __init__(self, model, cost_model=None, enumerator=None,
                  optimizer=None, max_plans=500, prune_to=32,
-                 support_prune_to=8, jobs=None, cache_size=8):
+                 support_prune_to=8, jobs=None, cache_size=8,
+                 artifact_cache_size=4096):
         self.model = model
         self.cost_model = cost_model or CassandraCostModel()
         self.enumerator = enumerator or CandidateEnumerator(model)
@@ -320,21 +344,31 @@ class Advisor:
         #: prepared workloads kept (FIFO-evicted), keyed by structure
         self.cache_size = cache_size
         self._prepared = {}
+        #: per-statement artifacts (enumeration, plan spaces,
+        #: maintenance plans), keyed by structural signature + stage
+        #: config; every prepare — cold or incremental — goes through
+        #: it, so editing one statement replans only that statement
+        self.artifacts = ArtifactStore(artifact_cache_size)
 
     # -- main entry point ----------------------------------------------------
 
-    def recommend(self, workload, space_limit=None, jobs=None):
+    def recommend(self, workload, space_limit=None, jobs=None,
+                  warm_start=None):
         """Recommend a schema and one plan per statement for a workload.
 
         A thin wrapper over :meth:`prepare` + :meth:`recommend_prepared`:
         repeated calls with structurally identical workloads (weight
         changes included) reuse the cached plan spaces and program and
-        only re-cost and re-solve.
+        only re-cost and re-solve.  ``warm_start`` optionally passes a
+        previous recommendation (or iterable of column families) as an
+        incumbent for optimizers that support it — see
+        :meth:`recommend_prepared`.
         """
         with telemetry.current().span("recommend"):
             prepared = self.prepare(workload, jobs=jobs)
             return self.recommend_prepared(prepared, weights=workload,
-                                           space_limit=space_limit)
+                                           space_limit=space_limit,
+                                           warm_start=warm_start)
 
     # -- stage 1: enumeration + planning -------------------------------------
 
@@ -346,12 +380,21 @@ class Advisor:
     def prepare(self, workload, jobs=None):
         """Enumerate candidates and generate per-statement plan spaces.
 
-        Results are cached on the advisor keyed by the structure of the
-        workload's active statements — weights are excluded, so any
-        workload differing only in (positive) weights is served from
-        the cache with enumeration and planning skipped.  Note that a
-        weight change that activates or deactivates a statement changes
-        the structure and is prepared afresh.  ``jobs`` overrides the
+        Preparation is incremental at two levels.  Whole prepared
+        workloads are cached on the advisor keyed by the structure of
+        the workload's active statements — weights are excluded, so any
+        workload differing only in (positive) weights is served with
+        enumeration and planning skipped entirely.  Below that, every
+        prepare runs through the advisor's per-statement artifact
+        store: enumeration results, plan spaces and maintenance plans
+        are keyed by structural statement signature plus stage
+        configuration, so after an edit only the changed statements are
+        re-enumerated and re-planned while unchanged ones are served
+        from the store (only the cross-statement Combine step and the
+        BIP look across statements and always re-run).  Cold and
+        incremental prepares share this one code path — a fresh advisor
+        simply starts with an empty store — so incremental results are
+        identical to cold ones by construction.  ``jobs`` overrides the
         advisor-wide thread count for this call.
         """
         jobs = self.jobs if jobs is None else jobs
@@ -362,13 +405,18 @@ class Advisor:
             prepared.reuse_count += 1
             prepared._fresh = False
             prepared.workload = workload
+            total = (len(prepared.query_plans)
+                     + len(prepared.update_plans))
+            prepared.reused_statements = total
+            prepared.replanned_statements = 0
             active.count("advisor.prepared_cache_hits")
+            active.count("advisor.delta_reused_statements", total)
             return prepared
         active.count("advisor.prepared_cache_misses")
 
         with active.span("enumeration"):
             started = time.perf_counter()
-            candidates = self.enumerator.candidates(workload)
+            candidates = self._enumerate(workload)
             enumeration_seconds = time.perf_counter() - started
 
         with active.span("planning"):
@@ -376,15 +424,27 @@ class Advisor:
             planner = QueryPlanner(self.model, candidates,
                                    max_plans=self.max_plans)
             update_planner = UpdatePlanner(self.model, planner)
-            query_plans = planner.plan_all(workload.queries, jobs=jobs)
-            update_plans = update_planner.plan_all(workload.updates,
-                                                   jobs=jobs)
+            plan_artifacts = {}
+            query_plans, reused_queries = self._plan_queries(
+                workload.queries, planner, plan_artifacts, jobs)
+            update_artifacts = {}
+            update_plans, reused_updates = self._plan_updates(
+                workload.updates, planner, update_planner,
+                update_artifacts, jobs)
             planning_seconds = time.perf_counter() - stage
 
         prepared = PreparedWorkload(key, workload, candidates,
                                     query_plans, update_plans,
                                     enumeration_seconds,
-                                    planning_seconds)
+                                    planning_seconds,
+                                    plan_artifacts=plan_artifacts,
+                                    update_artifacts=update_artifacts)
+        reused = reused_queries + reused_updates
+        replanned = len(query_plans) + len(update_plans) - reused
+        prepared.reused_statements = reused
+        prepared.replanned_statements = replanned
+        active.count("advisor.delta_reused_statements", reused)
+        active.count("advisor.delta_replanned_statements", replanned)
         if active.enabled:
             active.gauge("enumeration.pool_size", len(candidates))
             active.gauge("planner.query_plan_count", prepared.plan_count)
@@ -395,6 +455,105 @@ class Advisor:
             self._prepared.pop(next(iter(self._prepared)))
         self._prepared[key] = prepared
         return prepared
+
+    def _enumerate(self, workload):
+        """Run enumeration through the artifact store when supported.
+
+        The default :class:`~repro.enumerator.CandidateEnumerator`
+        serves per-statement candidate sets (with replayed provenance)
+        from the store; custom enumerators without the ``store``
+        keyword keep working uncached.
+        """
+        candidates = self.enumerator.candidates
+        try:
+            parameters = inspect.signature(candidates).parameters
+        except (TypeError, ValueError):  # C callables and odd stand-ins
+            parameters = {}
+        if "store" in parameters:
+            return candidates(workload, store=self.artifacts)
+        return candidates(workload)
+
+    def _plan_queries(self, queries, planner, artifacts, jobs):
+        """Per-query plan spaces: ``({query: space}, reused count)``.
+
+        A query's plan space is a pure function of its structure, the
+        planner's plan cap and the pool subset its plans can touch —
+        the artifact key captures exactly that (see
+        :meth:`~repro.planner.QueryPlanner.relevant_pool_key`), so a
+        cached space is served even when unrelated parts of the pool
+        changed.  Misses are planned in parallel, store order follows
+        the workload.
+        """
+        store = self.artifacts
+        spaces = {}
+        missing = []
+        reused = 0
+        for query in queries:
+            key = ("plan", statement_signature(query), query.label,
+                   planner.max_plans, planner.relevant_pool_key(query))
+            artifact = store.get(key)
+            if artifact is None:
+                missing.append((query, key))
+                spaces[query] = None  # placeholder keeps workload order
+            else:
+                artifacts[query] = artifact
+                spaces[query] = artifact.space
+                reused += 1
+        planned = parallel_map(
+            lambda item: planner.plans_for(item[0]), missing, jobs=jobs)
+        for (query, key), space in zip(missing, planned):
+            artifact = PlanArtifact(space)
+            store.put(key, artifact)
+            artifacts[query] = artifact
+            spaces[query] = space
+        return spaces, reused
+
+    def _plan_updates(self, updates, planner, update_planner,
+                      artifacts, jobs):
+        """Maintenance plans: ``({update: [UpdatePlan]}, reused count)``.
+
+        One artifact per (update, modified column family) pair, keyed
+        by the update's signature, the column family, the support-plan
+        cap and a fingerprint of the pool subset each support query can
+        touch.  An update counts as reused only when every one of its
+        pairs was served from the store.
+        """
+        store = self.artifacts
+        pool = planner.pool
+
+        def plan_update(update):
+            signature = statement_signature(update)
+            pairs = []
+            fresh = False
+            for index in pool:
+                if not modifies(update, index):
+                    continue
+                supports = update_planner.support_queries_for(update,
+                                                              index)
+                fingerprint = tuple(planner.relevant_pool_key(support)
+                                    for support in supports)
+                key = ("update-plan", signature, update.label,
+                       index.key, update_planner.max_support_plans,
+                       fingerprint)
+                artifact = store.get(key)
+                if artifact is None:
+                    fresh = True
+                    plan = update_planner.plan_one(update, index,
+                                                   supports=supports)
+                    artifact = UpdatePlanArtifact(plan)
+                    store.put(key, artifact)
+                pairs.append(artifact)
+            return pairs, fresh
+
+        results = parallel_map(plan_update, updates, jobs=jobs)
+        update_plans = {}
+        reused = 0
+        for update, (pairs, fresh) in zip(updates, results):
+            artifacts[update] = list(pairs)
+            update_plans[update] = [artifact.plan for artifact in pairs]
+            if not fresh:
+                reused += 1
+        return update_plans, reused
 
     def _warn_truncation(self, prepared):
         """Warn when a *workload query's* plan space was capped.
@@ -436,7 +595,7 @@ class Advisor:
         return dict(weights)
 
     def recommend_prepared(self, prepared, weights=None,
-                           space_limit=None):
+                           space_limit=None, warm_start=None):
         """Cost, prune and solve a prepared workload.
 
         ``weights`` maps statement labels to weights; a
@@ -446,6 +605,16 @@ class Advisor:
         and program construction all cache on ``prepared``: after the
         first solve, a weight change rebuilds only the program's cost
         vector and re-solves.
+
+        ``warm_start`` optionally passes a previous
+        :class:`SchemaRecommendation` (or any iterable of column
+        families / keys) to optimizers advertising
+        ``supports_warm_start``: the previous schema is evaluated as a
+        feasible incumbent and its cost bounds the new solve.  The
+        bound can change which of several *equal-cost* optima the
+        solver returns, so warm starting is opt-in; leave it unset when
+        byte-identical reproducibility across runs matters more than
+        solve time.
         """
         timing = AdvisorTiming()
         started = time.perf_counter()
@@ -463,11 +632,14 @@ class Advisor:
             len(update_plan.support_plans)
             for plans in prepared.update_plans.values()
             for update_plan in plans)
+        timing.reused_statements = prepared.reused_statements
+        timing.replanned_statements = prepared.replanned_statements
 
         self._cost_prepared(prepared, timing)
         self._prune_prepared(prepared, timing)
         recommendation = self._optimize_prepared(prepared, weights,
-                                                 space_limit, timing)
+                                                 space_limit, timing,
+                                                 warm_start=warm_start)
         recommendation.timing = timing
         # decision provenance: candidate derivations from enumeration,
         # the dominance-pruning ledger, and the cost model for per-step
@@ -483,10 +655,14 @@ class Advisor:
     def _cost_prepared(self, prepared, timing):
         """Cost all plans once per cost model (plan costs are
         weight-independent); statements are costed in parallel when
-        ``jobs`` is set — their step objects are disjoint."""
+        ``jobs`` is set — their step objects are disjoint.  Plans whose
+        artifact was already costed by this model (in an earlier
+        prepare sharing the artifact) are skipped — their step costs
+        are already in place."""
         if prepared._costed_by == id(self.cost_model):
             return
         active = telemetry.current()
+        model_id = id(self.cost_model)
         with active.span("cost_calculation"):
             stage = time.perf_counter()
             hits_before, misses_before, _ = self.cost_model.cache_info()
@@ -499,12 +675,32 @@ class Advisor:
                 for update_plan in plans:
                     self.cost_model.cost_update_plan(update_plan)
 
-            parallel_map(cost_space, prepared.query_plans.values(),
+            query_spaces = []
+            for query, space in prepared.query_plans.items():
+                artifact = prepared.plan_artifacts.get(query)
+                if artifact is not None \
+                        and artifact.costed_by == model_id:
+                    continue
+                query_spaces.append(space)
+            update_spaces = []
+            for update, plans in prepared.update_plans.items():
+                pairs = prepared.update_artifacts.get(update)
+                if pairs:
+                    pending = [artifact.plan for artifact in pairs
+                               if artifact.costed_by != model_id]
+                    if pending:
+                        update_spaces.append(pending)
+                else:
+                    update_spaces.append(plans)
+            parallel_map(cost_space, query_spaces, jobs=self.jobs)
+            parallel_map(cost_update_space, update_spaces,
                          jobs=self.jobs)
-            parallel_map(cost_update_space,
-                         prepared.update_plans.values(),
-                         jobs=self.jobs)
-            prepared._costed_by = id(self.cost_model)
+            for artifact in prepared.plan_artifacts.values():
+                artifact.costed_by = model_id
+            for pairs in prepared.update_artifacts.values():
+                for artifact in pairs:
+                    artifact.costed_by = model_id
+            prepared._costed_by = model_id
             # costs changed: downstream artifacts are stale
             prepared._pruned_query_plans = None
             prepared._pruned_update_plans = None
@@ -526,24 +722,61 @@ class Advisor:
         with active.span("pruning"):
             stage = time.perf_counter()
             ledger = prepared._prune_ledger
+            # pruned results are a pure function of costed plans and
+            # the cap, so artifacts costed+pruned under the same model
+            # and cap serve their pruned plans and ledger records as-is
+            query_key = (id(self.cost_model), self.prune_to)
+            reused_prunes = 0
             pruned_query_plans = {}
             for query, plans in prepared.query_plans.items():
+                artifact = prepared.plan_artifacts.get(query)
+                label = query.label or str(query)
+                if artifact is not None \
+                        and artifact.pruned_key == query_key:
+                    pruned_query_plans[query] = artifact.pruned
+                    ledger[label] = artifact.record
+                    reused_prunes += 1
+                    continue
                 removals = []
                 kept = prune_plan_space(plans, self.prune_to,
                                         removals=removals)
+                record = prune_record(query, len(plans), len(kept),
+                                      removals)
                 pruned_query_plans[query] = kept
-                label = query.label or str(query)
-                ledger[label] = prune_record(query, len(plans),
-                                             len(kept), removals)
+                ledger[label] = record
+                if artifact is not None:
+                    artifact.pruned = kept
+                    artifact.record = record
+                    artifact.pruned_key = query_key
             prepared._pruned_query_plans = pruned_query_plans
-            pruned_updates = {
-                update: [self._prune_update_plan(update_plan, ledger)
-                         for update_plan in plans]
-                for update, plans in prepared.update_plans.items()}
+            support_key = (id(self.cost_model), self.support_prune_to)
+            pruned_updates = {}
+            for update, plans in prepared.update_plans.items():
+                pairs = prepared.update_artifacts.get(update)
+                pruned_plans = []
+                for position, update_plan in enumerate(plans):
+                    artifact = pairs[position] if pairs else None
+                    if artifact is not None \
+                            and artifact.pruned_key == support_key:
+                        pruned_plans.append(artifact.pruned)
+                        ledger.update(artifact.records)
+                        reused_prunes += 1
+                        continue
+                    records = {}
+                    pruned_plan = self._prune_update_plan(update_plan,
+                                                          records)
+                    pruned_plans.append(pruned_plan)
+                    ledger.update(records)
+                    if artifact is not None:
+                        artifact.pruned = pruned_plan
+                        artifact.records = dict(records)
+                        artifact.pruned_key = support_key
+                pruned_updates[update] = pruned_plans
             prepared._pruned_update_plans = self._reachable_update_plans(
                 prepared._pruned_query_plans, pruned_updates)
             prepared._pruning_seconds = time.perf_counter() - stage
         if active.enabled:
+            active.count("prune.spaces_reused", reused_prunes)
             before = sum(len(plans)
                          for plans in pruned_updates.values())
             after = sum(len(plans) for plans
@@ -589,11 +822,15 @@ class Advisor:
                          if update_plan.index.key in reachable]
                 for update, plans in update_plans.items()}
 
-    def _optimize_prepared(self, prepared, weights, space_limit, timing):
+    def _optimize_prepared(self, prepared, weights, space_limit, timing,
+                           warm_start=None):
         query_plans = prepared._pruned_query_plans
         update_plans = prepared._pruned_update_plans
         staged = (hasattr(self.optimizer, "prepare")
                   and hasattr(self.optimizer, "optimize"))
+        warmable = getattr(self.optimizer, "supports_warm_start", False)
+        if warm_start is not None and not warmable:
+            warm_start = None
         active = telemetry.current()
         stage = time.perf_counter()
         if not staged:
@@ -605,7 +842,11 @@ class Advisor:
             timing.bip_construction = time.perf_counter() - stage
             stage = time.perf_counter()
             with active.span("bip_solving"):
-                recommendation = self.optimizer.solve(problem)
+                if warm_start is not None:
+                    recommendation = self.optimizer.solve(
+                        problem, warm_start=warm_start)
+                else:
+                    recommendation = self.optimizer.solve(problem)
             timing.bip_solving = time.perf_counter() - stage
             return recommendation
         with active.span("bip_construction") as span:
@@ -620,7 +861,19 @@ class Advisor:
                 problem = OptimizationProblem(query_plans, update_plans,
                                               weights,
                                               space_limit=space_limit)
-                program = self.optimizer.prepare(problem)
+                # a program for another space limit shares this plan
+                # structure; optimizers advertising incremental prepare
+                # adopt its constraint rows instead of rebuilding
+                previous = None
+                if getattr(self.optimizer,
+                           "supports_incremental_prepare", False):
+                    for existing in prepared._programs.values():
+                        previous = existing
+                if previous is not None:
+                    program = self.optimizer.prepare(problem,
+                                                     previous=previous)
+                else:
+                    program = self.optimizer.prepare(problem)
                 prepared._programs[space_limit] = program
                 active.count("bip.programs_built")
                 if span is not None:
@@ -628,7 +881,11 @@ class Advisor:
         timing.bip_construction = time.perf_counter() - stage
 
         stage = time.perf_counter()
-        recommendation = self.optimizer.optimize(program)
+        if warm_start is not None:
+            recommendation = self.optimizer.optimize(
+                program, warm_start=warm_start)
+        else:
+            recommendation = self.optimizer.optimize(program)
         solving = time.perf_counter() - stage
         # the BIP program separates solver time from result extraction;
         # fall back to the wall measurement for other optimizers

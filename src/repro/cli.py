@@ -100,6 +100,12 @@ def build_parser():
                              "more times with write weights scaled 2x "
                              "per epoch, reusing the prepared pipeline; "
                              "prints a per-epoch timing table")
+    parser.add_argument("--warm-start", action="store_true",
+                        dest="warm_start",
+                        help="seed each --repeat-tuning epoch's solve "
+                             "with the previous recommendation as an "
+                             "incumbent bound (faster; may pick a "
+                             "different equal-cost optimum)")
     parser.add_argument("--timing", action="store_true",
                         help="print the advisor stage timing breakdown")
     parser.add_argument("--trace", action="store_true",
@@ -200,12 +206,16 @@ def main(argv=None):
             tuning_rows = None
             if arguments.repeat_tuning:
                 tuning_rows = {"cold": recommendation.timing}
+                previous = recommendation
                 for epoch in range(1, arguments.repeat_tuning + 1):
                     factor = 2.0 ** epoch
                     tuned = workload.scale_weights(factor)
                     epoch_rec = advisor.recommend(
-                        tuned, space_limit=arguments.space_limit)
+                        tuned, space_limit=arguments.space_limit,
+                        warm_start=previous if arguments.warm_start
+                        else None)
                     tuning_rows[f"writes x{factor:g}"] = epoch_rec.timing
+                    previous = epoch_rec
             if sink is not None:
                 report = sink.report()
     except NoseError as error:
@@ -228,6 +238,10 @@ def main(argv=None):
         for stage, seconds in \
                 recommendation.timing.as_figure13_row().items():
             print(f"  {stage:<18} {seconds:.3f}")
+        timing = recommendation.timing
+        print(f"  delta: {timing.reused_statements} statement(s) "
+              f"served from the artifact store, "
+              f"{timing.replanned_statements} re-planned")
     if tuning_rows:
         from repro.reporting import timing_table
         print()

@@ -29,6 +29,39 @@ def _dedupe(fields):
     return tuple(dict.fromkeys(fields))
 
 
+class _EventLog:
+    """Recorder shim capturing ``(index, rule)`` provenance events.
+
+    Forwards every record to the real recorder unchanged while keeping
+    the ordered event list that enumeration artifacts store for replay
+    (:mod:`repro.pipeline`).
+    """
+
+    __slots__ = ("recorder", "events")
+
+    def __init__(self, recorder):
+        self.recorder = recorder
+        self.events = []
+
+    def record(self, index, rule, source=None, parents=()):
+        self.events.append((index, rule))
+        if self.recorder is not None:
+            self.recorder.record(index, rule, source=source,
+                                 parents=parents)
+
+
+def _replay(events, recorder, source):
+    """Re-record cached provenance events against ``recorder``.
+
+    ``source`` is the *current* statement object, so replayed records
+    resolve to current labels; the event order is the cold
+    enumeration's record order, keeping provenance byte-identical."""
+    if recorder is None:
+        return
+    for index, rule in events:
+        recorder.record(index, rule, source=source)
+
+
 class CandidatePool(list):
     """The enumerated candidate list, with per-candidate provenance.
 
@@ -69,21 +102,36 @@ class CandidateEnumerator:
         self.combine = combine
         self.grouped = grouped
 
+    @property
+    def config_key(self):
+        """The enumeration-affecting configuration, for artifact keys."""
+        return (type(self).__name__, self.relax, self.combine,
+                self.grouped)
+
     # -- workload-level enumeration (Algorithm 1) ---------------------------
 
-    def candidates(self, workload):
+    def candidates(self, workload, store=None):
         """The full candidate pool for a workload, including support-query
         candidates for updates, closed under Combine.
 
         Returns a :class:`CandidatePool` whose ``provenance`` records,
         for every candidate, the derivation rule that produced it and
         the workload statements it was derived for (support-query
-        candidates are attributed to their update)."""
+        candidates are attributed to their update).
+
+        ``store`` is an optional :class:`~repro.pipeline.ArtifactStore`:
+        per-statement enumerations are then served from (and saved to)
+        it keyed by structural digest, so only statements new to the
+        store are actually enumerated.  The pool-assembly loops and the
+        cross-statement Combine step always run in full — the result is
+        identical to an uncached enumeration."""
         active = telemetry.current()
         recorder = ProvenanceRecorder()
+        config = self.config_key if store is not None else None
         pool = set()
         for query in workload.queries:
-            found = self.enumerate_query(query, recorder=recorder)
+            found = self._enumerate_query_cached(query, recorder, store,
+                                                 config, active)
             if active.enabled:
                 before = len(pool)
                 pool |= found
@@ -105,13 +153,16 @@ class CandidateEnumerator:
             additions = set()
             support_count = 0
             for update in updates:
-                for index in pool:
+                # sorted so provenance record order (and therefore the
+                # explain document) is deterministic and identical
+                # between cold and artifact-served enumerations
+                for index in sorted(pool, key=lambda index: index.key):
                     if not modifies(update, index):
                         continue
-                    for support in support_queries(update, index):
-                        additions |= self.enumerate_query(
-                            support, recorder=recorder)
-                        support_count += 1
+                    found, enumerated = self._enumerate_support_cached(
+                        update, index, recorder, store, config, active)
+                    additions |= found
+                    support_count += enumerated
             if active.enabled:
                 before = len(pool)
                 pool |= additions
@@ -129,6 +180,61 @@ class CandidateEnumerator:
             pool |= merged
         return CandidatePool(sorted(pool, key=lambda index: index.key),
                              provenance=recorder)
+
+    # -- artifact-served enumeration ----------------------------------------
+
+    def _enumerate_query_cached(self, query, recorder, store, config,
+                                active):
+        """One workload query's candidates, served from ``store``."""
+        if store is None:
+            return self.enumerate_query(query, recorder=recorder)
+        from repro.pipeline import EnumerationArtifact
+        from repro.workload.digest import statement_signature
+        key = ("enum-query", config, statement_signature(query))
+        artifact = store.get(key)
+        if artifact is not None:
+            _replay(artifact.events, recorder, query)
+            if active.enabled:
+                active.count("enumerator.query_cache_hits")
+            return set(artifact.indexes)
+        log = _EventLog(recorder)
+        found = self.enumerate_query(query, recorder=log)
+        store.put(key, EnumerationArtifact(found, log.events))
+        return found
+
+    def _enumerate_support_cached(self, update, index, recorder, store,
+                                  config, active):
+        """Candidates of one (update, column family) support round.
+
+        Returns ``(candidates, support query count)``.  Cached per
+        ``(update digest, index key)``: the support queries derived from
+        the pair are a pure function of both, and replayed provenance
+        events resolve to the update's *current* label."""
+        if store is None:
+            found = set()
+            count = 0
+            for support in support_queries(update, index):
+                found |= self.enumerate_query(support, recorder=recorder)
+                count += 1
+            return found, count
+        from repro.pipeline import EnumerationArtifact
+        from repro.workload.digest import statement_signature
+        key = ("enum-support", config, statement_signature(update),
+               index.key)
+        artifact = store.get(key)
+        if artifact is not None:
+            _replay(artifact.events, recorder, update)
+            if active.enabled:
+                active.count("enumerator.support_cache_hits")
+            return set(artifact.indexes), artifact.support_count
+        log = _EventLog(recorder)
+        found = set()
+        count = 0
+        for support in support_queries(update, index):
+            found |= self.enumerate_query(support, recorder=log)
+            count += 1
+        store.put(key, EnumerationArtifact(found, log.events, count))
+        return found, count
 
     # -- per-query enumeration ------------------------------------------------
 

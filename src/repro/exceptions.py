@@ -33,6 +33,16 @@ class ParseError(NoseError):
         self.text = text
 
 
+class WorkloadError(ParseError):
+    """A workload was assembled inconsistently.
+
+    Raised for validation failures that involve no parsing at all —
+    duplicate statement labels, non-positive weights, removing a
+    statement that is not registered.  Subclasses :class:`ParseError`
+    so existing callers catching that type keep working.
+    """
+
+
 class PlanningError(NoseError):
     """No valid implementation plan exists for a statement.
 

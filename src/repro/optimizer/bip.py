@@ -30,6 +30,31 @@ from repro.optimizer.results import SchemaRecommendation
 from repro.planner.plans import UpdatePlan
 
 
+def _same_plan_structure(previous, problem):
+    """True when two problems carry identical per-statement plan lists.
+
+    Identity (``is``) per plan object: the constraint structure built
+    from them is then guaranteed equal, which is what program adoption
+    relies on.  Statement labels must match too — the cost vector is
+    rebuilt through label-keyed weight lookups.
+    """
+
+    def matches(left, right):
+        if len(left) != len(right):
+            return False
+        for (stmt_a, plans_a), (stmt_b, plans_b) in zip(left.items(),
+                                                        right.items()):
+            if stmt_a.label != stmt_b.label \
+                    or len(plans_a) != len(plans_b):
+                return False
+            if any(a is not b for a, b in zip(plans_a, plans_b)):
+                return False
+        return True
+
+    return (matches(previous.query_plans, problem.query_plans)
+            and matches(previous.update_plans, problem.update_plans))
+
+
 class _Program:
     """A fully materialized BIP instance, ready to optimize.
 
@@ -40,7 +65,7 @@ class _Program:
     each materialized once and reused across solves.
     """
 
-    def __init__(self, problem):
+    def __init__(self, problem, previous=None):
         self.problem = problem
         self.indexes = problem.indexes
         self.index_column = {index.key: column
@@ -54,6 +79,11 @@ class _Program:
         self._entries = []  # (row, column, value)
         self._lower = []
         self._upper = []
+        #: rows/entries belonging to the weight- and space-independent
+        #: constraint structure (everything but the space row); lets a
+        #: later program over the same plan spaces adopt the structure
+        self._structure_rows = 0
+        self._structure_entries = 0
         #: lazily materialized solver inputs, reused across solves
         self._base_constraint = None
         self._entry_arrays = None
@@ -63,13 +93,17 @@ class _Program:
         #: advisor can attribute solving vs result extraction honestly
         self.solve_seconds = 0.0
         self.extract_seconds = 0.0
-        self._build()
+        adopted = previous is not None and self._adopt(previous)
+        if not adopted:
+            self._build()
         active = telemetry.current()
         if active.enabled:
             active.gauge("bip.columns", self.columns)
             active.gauge("bip.binary_columns", len(self.indexes))
             active.gauge("bip.rows", len(self._lower))
             active.gauge("bip.nonzeros", len(self._entries))
+            if adopted:
+                active.count("bip.programs_adopted")
 
     # -- construction -----------------------------------------------------
 
@@ -83,6 +117,52 @@ class _Program:
         column = self.columns
         self.columns += 1
         return column
+
+    def _adopt(self, previous):
+        """Rebuild incrementally from a previous program.
+
+        The constraint structure (choose-one rows, support gates, plan
+        links) is a pure function of the plan spaces, so when the new
+        problem carries the *same plan objects per statement* — e.g.
+        the same prepared workload solved under a different space limit
+        or with new weights — the previous program's rows and columns
+        are adopted wholesale, only the space row and cost vector are
+        rebuilt, and construction work is skipped.  Returns False (and
+        leaves the program untouched) when the plan spaces differ, in
+        which case the caller falls back to a full build.
+        """
+        if not _same_plan_structure(previous.problem, self.problem):
+            return False
+        self.indexes = previous.indexes
+        self.index_column = previous.index_column
+        self.columns = previous.columns
+        self.plan_columns = list(previous.plan_columns)
+        self.support_columns = list(previous.support_columns)
+        self._entries = previous._entries[:previous._structure_entries]
+        self._lower = previous._lower[:previous._structure_rows]
+        self._upper = previous._upper[:previous._structure_rows]
+        self._structure_rows = previous._structure_rows
+        self._structure_entries = previous._structure_entries
+        self._append_space_row()
+        if self.problem.space_limit == previous.problem.space_limit:
+            # identical matrices: the materialized solver inputs
+            # (constraint matrix, entry arrays) carry over as well
+            self._base_constraint = previous._base_constraint
+            self._entry_arrays = previous._entry_arrays
+        self._integrality = previous._integrality
+        self._unit_bounds = previous._unit_bounds
+        self.costs = [0.0] * self.columns
+        self.reweight(self.problem.weights)
+        return True
+
+    def _append_space_row(self):
+        problem = self.problem
+        if problem.space_limit is None:
+            return
+        space = self._new_row(-np.inf, float(problem.space_limit))
+        for index in self.indexes:
+            self._entries.append(
+                (space, self.index_column[index.key], index.size))
 
     def _build(self):
         problem = self.problem
@@ -112,11 +192,9 @@ class _Program:
                             (update_plan, support, plan, column))
                         self._entries.append((gate, column, 1.0))
                         self._link_plan(column, plan, links)
-        if problem.space_limit is not None:
-            space = self._new_row(-np.inf, float(problem.space_limit))
-            for index in self.indexes:
-                self._entries.append(
-                    (space, self.index_column[index.key], index.size))
+        self._structure_rows = len(self._lower)
+        self._structure_entries = len(self._entries)
+        self._append_space_row()
 
     def _link_plan(self, column, plan, links):
         """Plan usable only when every column family it touches exists.
@@ -269,13 +347,45 @@ class _Program:
         upper[fixed] = 0.0
         return Bounds(0, upper)
 
+    def _warm_bound(self, warm_start):
+        """Incumbent cost bound from a previous solution, or None.
+
+        ``warm_start`` is a schema — a recommendation, indexes, or
+        index keys.  Evaluating it as a full solution of *this* program
+        yields a feasible objective value; solutions costing more can
+        be cut off without losing any optimum.  scipy's ``milp`` has no
+        MIP-start API, so this incumbent-bound cut is how a previous
+        solution warm-starts the solve.  None (no cut) when the warm
+        schema is infeasible for the current problem.
+        """
+        if hasattr(warm_start, "indexes"):
+            warm_start = warm_start.indexes
+        keys = {getattr(index, "key", index) for index in warm_start}
+        incumbent = self.problem.evaluate_schema(keys)
+        active = telemetry.current()
+        if incumbent is None:
+            if active.enabled:
+                active.count("bip.warm_start_infeasible")
+            return None
+        if active.enabled:
+            active.count("bip.warm_starts_applied")
+            active.gauge("bip.warm_start_bound", incumbent)
+        # slack absorbs float noise only: any true optimum still
+        # satisfies cost <= incumbent < incumbent + slack
+        return incumbent + 1e-7 * (1.0 + abs(incumbent))
+
     def optimize(self, minimize_schema_size=True, mip_rel_gap=1e-4,
-                 time_limit=120.0):
+                 time_limit=120.0, warm_start=None):
         """Two-phase solve: min cost, then min #column families.
 
         ``mip_rel_gap`` and ``time_limit`` bound the branch-and-bound
         effort; with a time limit the incumbent solution is returned
         (still feasible, within the reported gap of optimal).
+        ``warm_start`` optionally supplies a previous solution whose
+        cost bounds the first solve from above (see :meth:`_warm_bound`
+        for the exact semantics — the optimum is never changed, though
+        equal-cost ties may resolve differently than an unassisted
+        solve).
         """
         active = telemetry.current()
         solve_started = time.perf_counter()
@@ -283,7 +393,19 @@ class _Program:
             options = {"mip_rel_gap": mip_rel_gap,
                        "time_limit": time_limit}
             cost_vector = np.asarray(self.costs)
-            result = self._solve(self.costs, [self._matrix()], options)
+            bound = self._warm_bound(warm_start) \
+                if warm_start is not None else None
+            if bound is None:
+                constraint = self._matrix()
+            else:
+                row = len(self._lower)
+                cut = [(row, column, value)
+                       for column, value in enumerate(self.costs)
+                       if value != 0.0]
+                constraint = self._matrix(
+                    extra_entries=cut,
+                    extra_bounds=[(-np.inf, bound)])
+            result = self._solve(self.costs, [constraint], options)
             best_cost = float(cost_vector @ result.x)
             if minimize_schema_size:
                 # pin the cost at the incumbent — slack proportional to
@@ -437,15 +559,26 @@ class BIPOptimizer:
     """Facade exposing BIP construction and solving as separate stages,
     so the advisor can report the paper's Fig 13 runtime breakdown."""
 
+    #: a previous solution can seed the solve (incumbent-bound cut)
+    supports_warm_start = True
+    #: prepare() accepts a previous program for incremental rebuild
+    supports_incremental_prepare = True
+
     def __init__(self, minimize_schema_size=True, mip_rel_gap=1e-4,
                  time_limit=120.0):
         self.minimize_schema_size = minimize_schema_size
         self.mip_rel_gap = mip_rel_gap
         self.time_limit = time_limit
 
-    def prepare(self, problem):
-        """Construct the program (the 'BIP construction' stage)."""
-        return _Program(problem)
+    def prepare(self, problem, previous=None):
+        """Construct the program (the 'BIP construction' stage).
+
+        ``previous`` optionally passes an earlier program; when the new
+        problem spans the same plan spaces (e.g. the same prepared
+        workload under a different space limit), its constraint
+        structure is adopted instead of rebuilt.
+        """
+        return _Program(problem, previous=previous)
 
     def reweight(self, program, weights):
         """Re-cost a prepared program for new statement weights.
@@ -457,12 +590,20 @@ class BIPOptimizer:
         program.reweight(weights)
         return program
 
-    def optimize(self, program):
-        """Solve a prepared program (the 'BIP solving' stage)."""
+    def optimize(self, program, warm_start=None):
+        """Solve a prepared program (the 'BIP solving' stage).
+
+        ``warm_start`` may be a previous
+        :class:`~repro.optimizer.results.SchemaRecommendation` (or any
+        iterable of indexes / index keys); its cost becomes an
+        incumbent upper bound on the first solve.
+        """
         return program.optimize(self.minimize_schema_size,
                                 mip_rel_gap=self.mip_rel_gap,
-                                time_limit=self.time_limit)
+                                time_limit=self.time_limit,
+                                warm_start=warm_start)
 
-    def solve(self, problem):
+    def solve(self, problem, warm_start=None):
         """Construct and solve in one call."""
-        return self.optimize(self.prepare(problem))
+        return self.optimize(self.prepare(problem),
+                             warm_start=warm_start)

@@ -73,6 +73,52 @@ class OptimizationProblem:
                 f"new weights miss statements: {sorted(missing)}")
         self.weights = weights
 
+    def evaluate_schema(self, keys):
+        """Total weighted cost of selecting exactly ``keys``, or None.
+
+        Evaluates the feasible solution that materializes every listed
+        column family: the cheapest plan per query restricted to
+        ``keys``, plus — for every maintained column family in ``keys``
+        — its update cost and the cheapest feasible plan per support
+        query.  Returns None when some query or open support gate has
+        no plan within ``keys`` or the schema exceeds the space limit.
+        Requires costed plans; used to turn a previous recommendation
+        into a warm-start incumbent bound for the BIP.
+        """
+        known = {index.key for index in self.indexes}
+        keys = frozenset(keys) & known
+        if self.space_limit is not None:
+            total_size = sum(index.size for index in self.indexes
+                             if index.key in keys)
+            if total_size > self.space_limit:
+                return None
+
+        def cheapest(plans):
+            feasible = [plan.cost for plan in plans
+                        if all(index.key in keys
+                               for index in plan.indexes)]
+            return min(feasible) if feasible else None
+
+        total = 0.0
+        for query, plans in self.query_plans.items():
+            cost = cheapest(plans)
+            if cost is None:
+                return None
+            total += self.weight(query) * cost
+        for update, update_plans in self.update_plans.items():
+            weight = self.weight(update)
+            for update_plan in update_plans:
+                if update_plan.index.key not in keys:
+                    continue
+                total += weight * update_plan.update_cost
+                grouped = update_plan.support_plans_by_query
+                for _support, plans in grouped.items():
+                    cost = cheapest(plans)
+                    if cost is None:
+                        return None
+                    total += weight * cost
+        return total
+
     @property
     def size(self):
         """Rough problem size: (candidates, query plans, support plans)."""

@@ -19,6 +19,7 @@ decomposition of Fig 13 can be reported.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 
 from repro import telemetry
@@ -127,6 +128,31 @@ class QueryPlanner:
     def segment_indexes(self, segment):
         """Pool indexes defined over exactly this path segment."""
         return self._segments.get(segment.signature, [])
+
+    def relevant_pool_key(self, query):
+        """Fingerprint of the pool subset that can serve ``query``.
+
+        Plan enumeration only ever consults indexes registered under a
+        contiguous sub-path of the query's (reversed) path — segment
+        lookups directly, fetch lookups through the single-entity
+        segments of on-path entities — so the plan space is a pure
+        function of the query's structure and this subset.  Two pools
+        with the same fingerprint for a query therefore yield identical
+        plan spaces, which is what lets the advisor reuse per-statement
+        plan artifacts across pool changes elsewhere in the workload.
+        """
+        rpath = query.key_path.reverse() if len(query.key_path) > 1 \
+            else query.key_path
+        length = len(rpath)
+        signatures = set()
+        for start in range(length):
+            for end in range(start, length):
+                signatures.add(rpath[start:end + 1].signature)
+        keys = sorted({index.key
+                       for signature in signatures
+                       for index in self._segments.get(signature, ())})
+        payload = "\n".join(keys).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
 
     def fetch_indexes(self, entity, fields):
         """Point-lookup indexes ``[E.id][][...]`` covering ``fields``."""

@@ -47,10 +47,20 @@ class UpdatePlanner:
         for index in pool:
             if not modifies(update, index):
                 continue
-            plan = self._plan_one(update, index, require)
+            plan = self.plan_one(update, index, require=require)
             if plan is not None:
                 plans.append(plan)
         return plans
+
+    def support_queries_for(self, update, index):
+        """The support queries maintaining ``index`` under ``update``.
+
+        A pure function of the pair (§VI-B); exposed so the advisor can
+        fingerprint the pool subset relevant to each support query
+        before deciding whether a cached maintenance plan still
+        applies.
+        """
+        return list(support_queries(update, index))
 
     def plan_all(self, updates, indexes=None, require=True, jobs=None):
         """Maintenance plan spaces for many updates: ``{update: [plans]}``.
@@ -65,10 +75,19 @@ class UpdatePlanner:
             updates, jobs=jobs)
         return dict(zip(updates, spaces))
 
-    def _plan_one(self, update, index, require):
+    def plan_one(self, update, index, require=True, supports=None):
+        """The maintenance plan for one (update, column family) pair.
+
+        ``supports`` optionally passes pre-built support queries (from
+        :meth:`support_queries_for`) to avoid deriving them twice.
+        Returns None when ``require`` is unset and a support query has
+        no plan.
+        """
+        if supports is None:
+            supports = support_queries(update, index)
         support_plans = []
         truncated_support = []
-        for support in support_queries(update, index):
+        for support in supports:
             try:
                 plans = self.query_planner.plans_for(
                     support, max_plans=self.max_support_plans)

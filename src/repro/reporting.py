@@ -75,21 +75,26 @@ def timing_table(rows, stages=("enumeration", "planning",
     """Render ``{label: AdvisorTiming}`` as an aligned stage table.
 
     One row per recommendation run, one column per pipeline stage plus
-    the cache-hit counter — the shape the CLI's ``--repeat-tuning``
-    report and the pipeline benchmark use to put cold and warm runs
-    side by side.
+    the cache-hit counter and the delta-reuse accounting (statements
+    served from the artifact store vs actually re-planned) — the shape
+    the CLI's ``--repeat-tuning`` report and the pipeline benchmark use
+    to put cold and warm runs side by side.
     """
     rows = list(rows.items()) if isinstance(rows, dict) else list(rows)
     if not rows:
         raise NoseError("nothing to tabulate")
     label_width = max(len(str(label)) for label, _ in rows)
     header = "  ".join(f"{stage:>16}" for stage in stages)
-    lines = [f"{'':<{label_width}}  {header}  {'cache_hits':>10}"]
+    lines = [f"{'':<{label_width}}  {header}  {'cache_hits':>10}"
+             f"  {'reused':>8}  {'replanned':>10}"]
     for label, timing in rows:
         cells = "  ".join(f"{getattr(timing, stage, 0.0):>16.4f}"
                           for stage in stages)
         hits = getattr(timing, "cache_hits", 0)
-        lines.append(f"{str(label):<{label_width}}  {cells}  {hits:>10}")
+        reused = getattr(timing, "reused_statements", 0)
+        replanned = getattr(timing, "replanned_statements", 0)
+        lines.append(f"{str(label):<{label_width}}  {cells}  {hits:>10}"
+                     f"  {reused:>8}  {replanned:>10}")
     return "\n".join(lines)
 
 

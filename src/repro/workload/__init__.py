@@ -6,7 +6,9 @@ frequency.  Statements are written in the paper's SQL-like syntax over
 the conceptual model and parsed by :func:`parse_statement`.
 """
 
+from repro.exceptions import WorkloadError
 from repro.workload.conditions import Condition
+from repro.workload.digest import StructuralDiff, statement_digest
 from repro.workload.parser import parse_statement
 from repro.workload.statements import (
     Connect,
@@ -28,8 +30,11 @@ __all__ = [
     "Insert",
     "Query",
     "Statement",
+    "StructuralDiff",
     "SupportQuery",
     "Update",
     "Workload",
+    "WorkloadError",
     "parse_statement",
+    "statement_digest",
 ]

@@ -1,0 +1,134 @@
+"""Structural statement digests for incremental advising.
+
+Every statement gets a stable, canonical digest covering exactly what
+candidate enumeration and plan-space generation look at: the statement
+type, its walk through the entity graph, its predicates (field and
+operator, predicate order canonicalized), selected and ordered fields,
+limit, settings and connections.  Labels, weights, mixes and parameter
+names are deliberately excluded, so a digest identifies a statement's
+*structure* — renaming, reweighting or re-parsing a statement with
+reordered predicates leaves its digest unchanged.
+
+The advisor keys its per-statement artifact store on these digests
+(:mod:`repro.pipeline`), and :meth:`repro.workload.Workload
+.structural_diff` uses them to report which statements an edited
+workload added, removed or kept.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+
+def _canonical_parts(statement):
+    parts = [
+        type(statement).__name__,
+        statement.key_path.signature,
+        # predicate order never changes which plans exist, only the
+        # order they are discovered in; canonicalize it away
+        tuple(sorted((condition.field.id, condition.operator)
+                     for condition in statement.conditions)),
+    ]
+    select = getattr(statement, "select", None)
+    if select is not None:
+        # select order is structural: it decides the value-column order
+        # of enumerated layouts, hence candidate identity
+        parts.append(tuple(field.id for field in select))
+        parts.append(tuple(field.id
+                           for field in getattr(statement, "order_by",
+                                                ())))
+        parts.append(getattr(statement, "limit", None))
+    settings = getattr(statement, "settings", None)
+    if settings is not None:
+        parts.append(tuple(sorted(field.id for field in settings)))
+    connections = getattr(statement, "connections", None)
+    if connections is not None:
+        parts.append(tuple(sorted(key.id for key, _ in connections)))
+    return tuple(parts)
+
+
+def statement_digest(statement):
+    """The statement's structural identity, as a short stable hex string.
+
+    Invariant to the statement's label, its weights in any mix, its
+    parameter names and the order of its predicates; sensitive to
+    everything enumeration and planning consume.  Memoized on the
+    statement (statement structure is immutable after construction;
+    only labels and weights change, and neither is hashed).
+    """
+    cached = getattr(statement, "_structural_digest", None)
+    if cached is not None:
+        return cached
+    payload = repr(_canonical_parts(statement)).encode("utf-8")
+    digest = hashlib.sha256(payload).hexdigest()[:16]
+    try:
+        statement._structural_digest = digest
+    except AttributeError:  # pragma: no cover - slotted stand-ins
+        pass
+    return digest
+
+
+def statement_signature(statement):
+    """Digest plus the order-sensitive parts the digest canonicalizes.
+
+    Predicate order never changes *which* candidates and plans exist,
+    but it does steer the order enumeration and planning discover them
+    in — and the advisor's artifact replay promises byte-identical
+    explain output, which includes discovery order.  Artifact keys
+    therefore pair the digest with the ordered predicate list, while
+    :func:`statement_digest` alone stays order-invariant for workload
+    diffing.
+    """
+    return (statement_digest(statement),
+            tuple((condition.field.id, condition.operator)
+                  for condition in statement.conditions))
+
+
+@dataclass
+class StructuralDiff:
+    """Statement-level delta between two workloads.
+
+    ``added`` and ``unchanged`` hold statements of the *other* (newer)
+    workload, ``removed`` statements of the base workload.  Statements
+    are matched by structural digest, so a relabelled or reweighted
+    statement counts as unchanged; structurally identical duplicates
+    are matched one-for-one (multiset semantics).
+    """
+
+    added: list = field(default_factory=list)
+    removed: list = field(default_factory=list)
+    unchanged: list = field(default_factory=list)
+
+    @property
+    def changed(self):
+        """True when any statement was added or removed."""
+        return bool(self.added or self.removed)
+
+    def summary(self):
+        return (f"+{len(self.added)} -{len(self.removed)} "
+                f"={len(self.unchanged)}")
+
+    def __repr__(self):
+        return f"StructuralDiff({self.summary()})"
+
+
+def structural_diff(base, other):
+    """Diff two workloads' registered statements by structural digest."""
+    mine = {}
+    for statement in base.statements.values():
+        mine.setdefault(statement_digest(statement), []).append(statement)
+    theirs = {}
+    for statement in other.statements.values():
+        theirs.setdefault(statement_digest(statement),
+                          []).append(statement)
+    diff = StructuralDiff()
+    for digest, statements in theirs.items():
+        matched = min(len(statements), len(mine.get(digest, ())))
+        diff.unchanged.extend(statements[:matched])
+        diff.added.extend(statements[matched:])
+    for digest, statements in mine.items():
+        surplus = len(statements) - len(theirs.get(digest, ()))
+        if surplus > 0:
+            diff.removed.extend(statements[-surplus:])
+    return diff

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from repro.exceptions import ParseError
+from repro.exceptions import ParseError, WorkloadError
+from repro.workload.digest import structural_diff
 from repro.workload.parser import parse_statement
 from repro.workload.statements import Query, Statement
 
@@ -47,9 +48,10 @@ class Workload:
             label = statement.label or f"statement_{len(self.statements)}"
         statement.label = label
         if label in self.statements:
-            raise ParseError(f"duplicate statement label {label!r}")
+            raise WorkloadError(f"duplicate statement label {label!r}")
         if weight <= 0 and not mixes:
-            raise ParseError(f"statement weight must be positive: {weight}")
+            raise WorkloadError(
+                f"statement weight must be positive: {weight}")
         self.statements[label] = statement
         if mixes:
             self._weights[label] = dict(mixes)
@@ -60,8 +62,29 @@ class Workload:
     def set_weight(self, label, weight, mix=None):
         """Adjust the weight of an existing statement (for one mix)."""
         if label not in self.statements:
-            raise ParseError(f"unknown statement label {label!r}")
+            raise WorkloadError(f"unknown statement label {label!r}")
         self._weights[label][mix or self.active_mix] = weight
+
+    def remove_statement(self, label):
+        """Drop a statement (all mixes); returns the removed statement."""
+        if label not in self.statements:
+            raise WorkloadError(f"unknown statement label {label!r}")
+        del self._weights[label]
+        return self.statements.pop(label)
+
+    def clone(self):
+        """An independent copy sharing the (immutable) statement objects.
+
+        Unlike :meth:`with_mix`, which returns a *view* over the same
+        registrations, a clone can be edited — statements added,
+        removed, reweighted — without touching the original; the
+        edit-retune loop of incremental advising starts here.
+        """
+        copy = Workload(self.model, mix=self.active_mix)
+        copy.statements = dict(self.statements)
+        copy._weights = {label: dict(weights)
+                         for label, weights in self._weights.items()}
+        return copy
 
     # -- access ------------------------------------------------------------
 
@@ -69,7 +92,11 @@ class Workload:
         """Weight of a statement in the given (default: active) mix."""
         label = statement.label if isinstance(statement, Statement) \
             else statement
-        weights = self._weights[label]
+        try:
+            weights = self._weights[label]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown statement label {label!r}") from None
         mix = mix or self.active_mix
         if mix in weights:
             return weights[mix]
@@ -99,6 +126,18 @@ class Workload:
         """All active (statement, weight) pairs."""
         return [(s, self.weight(s)) for s in self.statements.values()
                 if self.weight(s) > 0]
+
+    def structural_diff(self, other):
+        """Statement-level delta against another workload.
+
+        Statements are matched by their structural digest
+        (:func:`repro.workload.digest.statement_digest`), so labels,
+        weights and mixes never affect the result.  Returns a
+        :class:`repro.workload.digest.StructuralDiff` whose ``added``
+        and ``unchanged`` statements come from ``other`` and whose
+        ``removed`` statements come from this workload.
+        """
+        return structural_diff(self, other)
 
     def scale_weights(self, factor, predicate=None, mix=None,
                       source_mix=None):

@@ -1,0 +1,128 @@
+"""Property-based tests for structural statement digests.
+
+Digests must identify a statement's *structure* only: relabelling,
+reweighting, switching mixes and reordering predicates may never change
+a digest, while `structural_diff` must account for every statement of
+both workloads under arbitrary churn (multiset semantics).
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.randgen import random_model, random_workload
+from repro.workload import Workload, statement_digest
+from repro.workload.statements import Query
+
+
+def _model(seed):
+    return random_model(entities=6, seed=seed, mean_degree=3)
+
+
+def _workload(seed, **kwargs):
+    options = {"queries": 6, "updates": 2, "inserts": 1}
+    options.update(kwargs)
+    return random_workload(_model(seed % 5), seed=seed, **options)
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_digest_ignores_label_and_weight(seed):
+    # the same seed builds a structural twin with independent
+    # statement objects; relabelling and reweighting the twin must
+    # leave every digest identical to the original's
+    workload = _workload(seed)
+    twin = _workload(seed)
+    relabelled = Workload(twin.model)
+    for number, (statement, _) in enumerate(twin.weighted_statements):
+        relabelled.add_statement(statement,
+                                 weight=float(number + 1) * 3.5,
+                                 label=f"renamed_{number}")
+    original = [statement_digest(statement)
+                for statement, _ in workload.weighted_statements]
+    renamed = [statement_digest(statement)
+               for statement, _ in relabelled.weighted_statements]
+    assert original == renamed
+
+
+@given(seed=st.integers(0, 200), mix_seed=st.integers(0, 50))
+@settings(max_examples=40, deadline=None)
+def test_digest_ignores_mix(seed, mix_seed):
+    workload = _workload(seed)
+    weights = {label: float((mix_seed + position) % 7 + 1)
+               for position, label in enumerate(workload.statements)}
+    before = {label: statement_digest(statement)
+              for label, statement in workload.statements.items()}
+    for label, weight in weights.items():
+        workload.set_weight(label, weight)
+    after = {label: statement_digest(statement)
+             for label, statement in workload.statements.items()}
+    assert before == after
+
+
+@given(seed=st.integers(0, 200), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_digest_ignores_condition_order(seed, data):
+    workload = _workload(seed)
+    for query in workload.queries:
+        conditions = list(query.conditions)
+        permuted = data.draw(st.permutations(conditions),
+                             label=f"conditions of {query.label}")
+        shuffled = Query(query.key_path, query.select, permuted,
+                         order_by=query.order_by, limit=query.limit,
+                         label=query.label)
+        assert statement_digest(shuffled) == statement_digest(query)
+
+
+def _digests(workload):
+    return Counter(statement_digest(statement)
+                   for statement in workload.statements.values())
+
+
+@given(seed=st.integers(0, 200), churn_seed=st.integers(0, 100),
+       data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_structural_diff_accounts_for_churn(seed, churn_seed, data):
+    base = _workload(seed)
+    edited = base.clone()
+    labels = list(edited.statements)
+    removals = data.draw(
+        st.lists(st.sampled_from(labels), unique=True,
+                 max_size=len(labels) - 1),
+        label="removed labels")
+    for label in removals:
+        edited.remove_statement(label)
+    extra = _workload(churn_seed + 1000, queries=3, updates=1,
+                      inserts=0) if churn_seed % 2 else None
+    if extra is not None:
+        for number, (statement, weight) in enumerate(
+                extra.weighted_statements):
+            edited.add_statement(statement, weight=weight,
+                                 label=f"churn_{number}")
+
+    diff = base.structural_diff(edited)
+    # every statement of both workloads is accounted for exactly once
+    assert Counter(statement_digest(s) for s in diff.unchanged) \
+        + Counter(statement_digest(s) for s in diff.added) \
+        == _digests(edited)
+    assert Counter(statement_digest(s) for s in diff.unchanged) \
+        + Counter(statement_digest(s) for s in diff.removed) \
+        == _digests(base)
+    assert diff.changed == (_digests(base) != _digests(edited))
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_structural_diff_ignores_relabel_and_reweight(seed):
+    base = _workload(seed)
+    twin = _workload(seed)
+    edited = Workload(twin.model)
+    for number, (statement, weight) in enumerate(
+            reversed(list(twin.weighted_statements))):
+        edited.add_statement(statement, weight=weight * 2.0 + 1.0,
+                             label=f"other_{number}")
+    diff = base.structural_diff(edited)
+    assert not diff.changed
+    assert len(diff.unchanged) == len(base.statements)
+    assert diff.summary() == f"+0 -0 ={len(base.statements)}"

@@ -105,3 +105,68 @@ def test_set_weight(hotel):
 def test_iteration_and_len(hotel_full):
     assert len(hotel_full) == len(list(hotel_full))
     assert len(hotel_full.weighted_statements) == len(hotel_full)
+
+
+def test_workload_error_is_a_parse_error(hotel):
+    from repro.exceptions import WorkloadError
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="q")
+    with pytest.raises(WorkloadError):
+        workload.add_statement(_query_text(1), label="q")
+    with pytest.raises(WorkloadError):
+        workload.add_statement(_query_text(1), weight=-1.0)
+    with pytest.raises(WorkloadError):
+        workload.set_weight("missing", 1.0)
+    assert issubclass(WorkloadError, ParseError)
+
+
+def test_remove_statement(hotel):
+    from repro.exceptions import WorkloadError
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="a", weight=2.0)
+    workload.add_statement(_query_text(1), label="b")
+    removed = workload.remove_statement("a")
+    assert removed.label == "a"
+    assert list(workload.statements) == ["b"]
+    with pytest.raises(WorkloadError):
+        workload.weight("a")
+    with pytest.raises(WorkloadError):
+        workload.remove_statement("a")
+
+
+def test_clone_is_independent(hotel):
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="a", weight=2.0)
+    workload.add_statement(_query_text(1), label="b", weight=3.0)
+    copy = workload.clone()
+    copy.remove_statement("a")
+    copy.set_weight("b", 9.0)
+    copy.add_statement(_query_text(2), label="c")
+    assert list(workload.statements) == ["a", "b"]
+    assert workload.weight("b") == 3.0
+    assert list(copy.statements) == ["b", "c"]
+    assert copy.weight("b") == 9.0
+    # statements themselves are shared, not copied
+    assert copy.statements["b"] is workload.statements["b"]
+
+
+def test_structural_diff_reports_churn(hotel):
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="a")
+    # structurally distinct from "a" (parameter names alone are not)
+    workload.add_statement(
+        "SELECT Guest.GuestEmail FROM Guest "
+        "WHERE Guest.GuestID = ?gid", label="b")
+    edited = workload.clone()
+    edited.remove_statement("a")
+    edited.add_statement(
+        "SELECT Hotel.HotelName FROM Hotel "
+        "WHERE Hotel.HotelCity = ?city", label="c")
+    diff = workload.structural_diff(edited)
+    assert diff.changed
+    assert [s.label for s in diff.removed] == ["a"]
+    assert [s.label for s in diff.added] == ["c"]
+    assert [s.label for s in diff.unchanged] == ["b"]
+    assert diff.summary() == "+1 -1 =1"
+    same = workload.structural_diff(workload.clone())
+    assert not same.changed
