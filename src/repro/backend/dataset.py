@@ -74,6 +74,22 @@ class Dataset:
                     self.links[key.reverse.id].get(target, set()).discard(
                         entity_id)
 
+    def copy(self):
+        """An independent deep copy (rows and links), sharing the model.
+
+        Differential verification replays the same statement sequence
+        against fresh state per update protocol, and the fuzz shrinker
+        mutates candidate datasets; both start from a copy.
+        """
+        twin = Dataset(self.model)
+        twin.rows = {name: {identifier: dict(row)
+                            for identifier, row in rows.items()}
+                     for name, rows in self.rows.items()}
+        twin.links = {key: {source: set(targets)
+                            for source, targets in links.items()}
+                      for key, links in self.links.items()}
+        return twin
+
     def _relationship(self, entity_name, relationship):
         entity = self.model.entity(entity_name)
         key = entity.fields.get(relationship) \
@@ -271,15 +287,29 @@ def materialize_rows(dataset, index, anchor_entity=None, anchor_ids=None):
     """Rows of a column family: the path join projected onto its fields.
 
     With an anchor, only the join rows containing the given entity IDs
-    are produced (the rows an update touches).
+    are produced (the rows an update touches).  A path may visit the
+    anchor entity more than once (e.g. ``E2.R8To4.R6From1.R4To2`` both
+    starts and ends at E2); anchoring only at the first occurrence
+    would miss join rows that pass through a later one — found by the
+    differential oracle as lost maintenance rows on inserts — so the
+    expansion anchors at every occurrence and deduplicates.
     """
     path = index.path
-    anchor_position = None
-    if anchor_entity is not None:
-        anchor_position = path.index_of(anchor_entity)
-        if anchor_position < 0:
+    if anchor_entity is None:
+        tuples = dataset.join_tuples(path)
+    else:
+        positions = [position
+                     for position, entity in enumerate(path.entities)
+                     if entity is anchor_entity]
+        if not positions:
             return []
-    tuples = dataset.join_tuples(path, anchor_position, anchor_ids)
+        seen = set()
+        tuples = []
+        for position in positions:
+            for ids in dataset.join_tuples(path, position, anchor_ids):
+                if ids not in seen:
+                    seen.add(ids)
+                    tuples.append(ids)
     fields_by_position = {}
     for field in index.all_fields:
         position = path.index_of(field.parent)

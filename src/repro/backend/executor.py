@@ -23,6 +23,7 @@ from repro.planner.steps import (
     LimitStep,
     SortStep,
 )
+from repro.workload.semantics import ordering_key
 from repro.workload.statements import Query
 
 
@@ -45,17 +46,28 @@ class ExecutionEngine:
         #: hand-optimized plans a human designer writes)
         self.update_protocol = update_protocol
         self._transaction_cache = None
-        self._query_plans = {query.label: plan
-                             for query, plan
-                             in recommendation.query_plans.items()}
-        self._update_plans = {update.label: plans
-                              for update, plans
-                              in recommendation.update_plans.items()}
+        self._query_plans = {}
+        self._update_plans = {}
         self._statements = {}
-        for query in recommendation.query_plans:
-            self._statements[query.label] = query
-        for update in recommendation.update_plans:
-            self._statements[update.label] = update
+        # Workload guarantees unique labels, but hand-built
+        # recommendations do not: a query and an update sharing a label
+        # would silently shadow each other here, so collisions are an
+        # error rather than last-writer-wins.
+        for query, plan in recommendation.query_plans.items():
+            self._register(query)
+            self._query_plans[query.label] = plan
+        for update, plans in recommendation.update_plans.items():
+            self._register(update)
+            self._update_plans[update.label] = plans
+
+    def _register(self, statement):
+        label = statement.label
+        existing = self._statements.get(label)
+        if existing is not None and existing is not statement:
+            raise ExecutionError(
+                f"duplicate statement label {label!r} in recommendation: "
+                f"{existing!r} and {statement!r} would shadow each other")
+        self._statements[label] = statement
 
     # -- loading -----------------------------------------------------------
 
@@ -176,13 +188,18 @@ class ExecutionEngine:
         return results
 
     def _filter(self, step, params, bindings):
+        # Condition.matches applies the canonical NULL rule (see
+        # repro.workload.semantics), so a missing/None stored value can
+        # still satisfy an equality against a None parameter and never
+        # satisfies a range — the same rule the reference interpreter
+        # and the store's range scans use.
         kept = []
         for binding in bindings:
             keep = True
             for condition in step.conditions:
                 value = binding.get(condition.field.id)
                 bound = params[condition.parameter]
-                if value is None or not condition.matches(value, bound):
+                if not condition.matches(value, bound):
                     keep = False
                     break
             if keep:
@@ -190,11 +207,13 @@ class ExecutionEngine:
         return kept
 
     def _sort(self, step, bindings):
+        # stable, with the canonical NULLS LAST order; a None/missing
+        # sort field must not TypeError against concrete values
         field_ids = [field.id for field in step.fields]
         return sorted(bindings,
                       key=lambda binding: tuple(
-                          binding.get(field_id) for field_id
-                          in field_ids))
+                          ordering_key(binding.get(field_id))
+                          for field_id in field_ids))
 
     # -- updates -------------------------------------------------------------------
 

@@ -14,6 +14,14 @@ from bisect import bisect_left, bisect_right, insort
 
 from repro.backend.latency import LatencyModel
 from repro.exceptions import ExecutionError
+from repro.workload.semantics import NULL_KEY, ordering_key
+
+
+def _clustering_key(clustering):
+    """Comparable sort key for a clustering tuple (NULLS LAST; see
+    repro.workload.semantics — the rule shared with client-side sorts
+    and the reference interpreter)."""
+    return tuple(ordering_key(value) for value in clustering)
 
 
 class StoreMetrics:
@@ -97,15 +105,16 @@ class ColumnFamily:
         """Upsert one record (Cassandra put semantics)."""
         partition, clustering = self._keys_of(row)
         bucket = self._partitions.setdefault(partition, [])
-        position = bisect_left(bucket, clustering,
-                               key=lambda record: record[0])
+        position = bisect_left(bucket, _clustering_key(clustering),
+                               key=lambda record: _clustering_key(
+                                   record[0]))
         values = self._values_of(row)
         if position < len(bucket) and bucket[position][0] == clustering:
             bucket[position] = (clustering,
                                 {**bucket[position][1], **values})
         else:
             insort(bucket, (clustering, values),
-                   key=lambda record: record[0])
+                   key=lambda record: _clustering_key(record[0]))
         if charge:
             self._metrics.puts += 1
             self._metrics.rows_written += 1
@@ -137,10 +146,13 @@ class ColumnFamily:
         prefix = tuple(prefix)
         bucket = self._partitions.get(partition, [])
         width = len(prefix)
-        low = bisect_left(bucket, prefix,
-                          key=lambda record: record[0][:width])
-        high = bisect_right(bucket, prefix,
-                            key=lambda record: record[0][:width])
+        prefix_key = _clustering_key(prefix)
+        low = bisect_left(bucket, prefix_key,
+                          key=lambda record: _clustering_key(
+                              record[0][:width]))
+        high = bisect_right(bucket, prefix_key,
+                            key=lambda record: _clustering_key(
+                                record[0][:width]))
         scanned = high - low
         selected = bucket[low:high]
         if range_filter is not None:
@@ -173,8 +185,9 @@ class ColumnFamily:
         bucket = self._partitions.get(partition)
         removed = False
         if bucket:
-            position = bisect_left(bucket, clustering,
-                                   key=lambda record: record[0])
+            position = bisect_left(bucket, _clustering_key(clustering),
+                                   key=lambda record: _clustering_key(
+                                       record[0]))
             if position < len(bucket) and bucket[position][0] == clustering:
                 del bucket[position]
                 removed = True
@@ -220,16 +233,26 @@ class ColumnFamily:
 
 
 def _range_restrict(records, component, operator, bound):
-    """Restrict a clustering-sorted block on one sorted component."""
-    keys = [record[0][component] for record in records]
+    """Restrict a clustering-sorted block on one sorted component.
+
+    Follows the canonical NULL rule: a NULL bound matches nothing, and
+    NULL component values (sorted last) never satisfy a range.
+    """
+    if bound is None:
+        return []
+    keys = [ordering_key(record[0][component]) for record in records]
+    bound_key = ordering_key(bound)
+    # NULL components sort after every bound, so they must be cut from
+    # the tail of any lower-bounded scan
+    nulls_start = bisect_left(keys, NULL_KEY)
     if operator == ">":
-        return records[bisect_right(keys, bound):]
+        return records[bisect_right(keys, bound_key):nulls_start]
     if operator == ">=":
-        return records[bisect_left(keys, bound):]
+        return records[bisect_left(keys, bound_key):nulls_start]
     if operator == "<":
-        return records[:bisect_left(keys, bound)]
+        return records[:bisect_left(keys, bound_key)]
     if operator == "<=":
-        return records[:bisect_right(keys, bound)]
+        return records[:bisect_right(keys, bound_key)]
     raise ExecutionError(f"unsupported range operator {operator!r}")
 
 

@@ -7,12 +7,18 @@ Usage::
     nose-advisor --model my_model.py --timing
     nose-advisor --demo rubis --explain --output-json base.json
     nose-advisor diff base.json tuned.json --fail-on-regression 10
+    nose-advisor verify --seed 0
+    nose-advisor verify --demo rubis --mix bidding --output-json report.json
+    nose-advisor verify --fuzz 5 --seed 42
 
 With ``--model``, the given Python file must define ``build()``
 returning a ``(model, workload)`` pair; this mirrors how the original
 prototype loaded workload definition files.  The ``diff`` subcommand
 compares two recommendation documents written by ``--output-json`` and
 exits nonzero when the total cost regresses past the given threshold.
+The ``verify`` subcommand runs the differential execution oracle: it
+executes a recommendation through the in-memory engine and a reference
+interpreter side by side and exits with status 2 on any divergence.
 """
 
 from __future__ import annotations
@@ -173,11 +179,176 @@ def run_diff(argv):
     return 0
 
 
+def build_verify_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor verify",
+        description="Differentially verify recommended plans: execute "
+                    "them through the in-memory engine and a reference "
+                    "interpreter side by side and compare answers. "
+                    "Exits 2 on divergence, 1 on error.")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--demo", choices=["hotel", "rubis"],
+                        help="verify one bundled demo (default: both "
+                             "hotel and rubis bidding)")
+    source.add_argument("--model", metavar="FILE",
+                        help="Python file defining build() -> "
+                             "(model, workload)")
+    source.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="JSON application document (see repro.io)")
+    source.add_argument("--fuzz", type=int, metavar="TRIALS",
+                        help="instead of a fixed application, run "
+                             "TRIALS random model/workload/dataset "
+                             "trials through the oracle")
+    parser.add_argument("--mix", help="workload mix to verify under")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for datasets, parameter bindings "
+                             "and request order (default 0)")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="replay passes over the workload's "
+                             "statements (default 3)")
+    parser.add_argument("--protocols", default="nose,expert",
+                        help="comma-separated update protocols to "
+                             "check (default nose,expert)")
+    parser.add_argument("--scale", type=float, default=0.01,
+                        help="demo dataset scale factor (default 0.01)")
+    parser.add_argument("--max-plans", type=int, default=100,
+                        help="cap on enumerated plans per statement")
+    parser.add_argument("--entities", type=int, default=5,
+                        help="entity sets per random model "
+                             "(--fuzz only)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip shrinking divergences to minimal "
+                             "reproducers")
+    parser.add_argument("--output-json", metavar="FILE",
+                        help="write the verification report as JSON")
+    return parser
+
+
+def _verify_demo(name, arguments, protocols):
+    """Run the oracle over one bundled demo; returns a report dict."""
+    from repro.verify import verify_recommendation
+    requests_factory = None
+    if name == "hotel":
+        from repro.demo import hotel_model, hotel_workload
+        from repro.demo.hotel import hotel_dataset
+        model = hotel_model(scale=arguments.scale)
+        workload = hotel_workload(model, include_updates=True)
+        dataset = hotel_dataset(model, seed=arguments.seed)
+    else:
+        from repro.rubis import rubis_model, rubis_workload
+        from repro.rubis.datagen import (
+            RubisParameterGenerator,
+            generate_dataset,
+        )
+        from repro.rubis.transactions import transaction_weights
+        mix = arguments.mix or "bidding"
+        users = max(int(20_000 * arguments.scale), 100)
+        model = rubis_model(users=users)
+        workload = rubis_workload(model, mix=mix)
+        dataset = generate_dataset(model, seed=arguments.seed + 7)
+        transactions = sorted(transaction_weights(mix))
+
+        def requests_factory(live, seed):
+            # draw realistic per-transaction parameters from the live
+            # data, the way the benchmark harness issues them
+            generator = RubisParameterGenerator(live, seed=seed + 11)
+            out = []
+            for name in transactions:
+                for _ in range(max(arguments.rounds - 1, 1)):
+                    for label, params in generator.requests_for(name):
+                        out.append((workload.statements[label], params))
+            return out
+
+    dataset.sync_counts()
+    recommendation = Advisor(model, max_plans=arguments.max_plans) \
+        .recommend(workload)
+    return verify_recommendation(
+        model, workload, recommendation, dataset, seed=arguments.seed,
+        rounds=arguments.rounds, protocols=protocols,
+        requests_factory=requests_factory,
+        shrink=not arguments.no_shrink)
+
+
+def _verify_application(model, workload, arguments, protocols):
+    """Run the oracle over a user-supplied application."""
+    from repro.randgen import random_dataset
+    from repro.verify import verify_recommendation
+    dataset = random_dataset(model, seed=arguments.seed)
+    dataset.sync_counts()
+    recommendation = Advisor(model, max_plans=arguments.max_plans) \
+        .recommend(workload)
+    return verify_recommendation(
+        model, workload, recommendation, dataset, seed=arguments.seed,
+        rounds=arguments.rounds, protocols=protocols,
+        shrink=not arguments.no_shrink)
+
+
+def run_verify(argv):
+    arguments = build_verify_parser().parse_args(argv)
+    from repro.reporting import verify_report
+    protocols = tuple(p for p in arguments.protocols.split(",") if p)
+    try:
+        if arguments.fuzz is not None:
+            from repro.verify import fuzz_workloads
+            trials = fuzz_workloads(
+                trials=arguments.fuzz, seed=arguments.seed,
+                entities=arguments.entities, protocols=protocols,
+                max_plans=arguments.max_plans,
+                shrink=not arguments.no_shrink)
+            reports = {"fuzz": {
+                "seed": arguments.seed,
+                "trials": [trial.as_dict() for trial in trials],
+                "ok": all(trial.ok for trial in trials),
+            }}
+        elif arguments.model or arguments.json_file:
+            if arguments.json_file:
+                from repro.io import load_application
+                model, workload = load_application(arguments.json_file)
+                if arguments.mix:
+                    workload = workload.with_mix(arguments.mix)
+            else:
+                model, workload = _load_module(arguments.model,
+                                               arguments.mix)
+            name = arguments.json_file or arguments.model
+            reports = {name: _verify_application(
+                model, workload, arguments, protocols)}
+        else:
+            targets = [arguments.demo] if arguments.demo \
+                else ["hotel", "rubis"]
+            reports = {name: _verify_demo(name, arguments, protocols)
+                       for name in targets}
+    except NoseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    ok = all(report["ok"] for report in reports.values())
+    for name, report in reports.items():
+        print(f"== {name} ==")
+        print(verify_report(report))
+        print()
+    if arguments.output_json:
+        import json
+        document = {"seed": arguments.seed, "ok": ok,
+                    "targets": reports}
+        with open(arguments.output_json, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True,
+                      default=str)
+            handle.write("\n")
+        print(f"verification report written to "
+              f"{arguments.output_json}")
+    if not ok:
+        print("error: differential verification found divergences",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "diff":
         return run_diff(argv[1:])
+    if argv and argv[0] == "verify":
+        return run_verify(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     report = None

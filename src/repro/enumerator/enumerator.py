@@ -147,39 +147,64 @@ class CandidateEnumerator:
             else:
                 pool |= found
         updates = workload.updates
-        # run support enumeration twice: support queries may traverse
-        # paths not covered by any workload query (Algorithm 1)
-        for _round in range(2):
+        # support enumeration to a fixed point: support queries may
+        # traverse paths not covered by any workload query, and a
+        # support-query view can itself be modified by another update —
+        # its own support queries then need enumerating too, or its
+        # maintenance plan is unplannable (the differential fuzzer
+        # found such pools).  Each (update, candidate) pair is visited
+        # exactly once, so the closure terminates on the finite
+        # candidate space.
+        support_count, added = self._support_closure(
+            updates, pool, set(pool), recorder, store, config, active)
+        if active.enabled:
+            active.count("enumerator.support_queries", support_count)
+            active.count("enumerator.support_candidates_added", added)
+        if self.combine:
+            merged = combine_candidates(pool, recorder=recorder)
+            new_merged = merged - pool
+            if active.enabled:
+                active.count("enumerator.combined_candidates",
+                             len(new_merged))
+            pool |= merged
+            # Combine runs after the support closure, so the merged
+            # candidates need the same treatment: close the pool again
+            # over the combine frontier
+            _count, closure_added = self._support_closure(
+                updates, pool, new_merged, recorder, store, config,
+                active)
+            if active.enabled:
+                active.count("enumerator.closure_candidates_added",
+                             closure_added)
+        return CandidatePool(sorted(pool, key=lambda index: index.key),
+                             provenance=recorder)
+
+    def _support_closure(self, updates, pool, frontier, recorder, store,
+                         config, active):
+        """Grow ``pool`` (in place) with support-query candidates until
+        every update-modified candidate has its support queries
+        enumerated.  ``frontier`` holds the candidates not yet visited;
+        returns ``(support queries enumerated, candidates added)``."""
+        support_count = 0
+        added = 0
+        while frontier:
             additions = set()
-            support_count = 0
             for update in updates:
                 # sorted so provenance record order (and therefore the
                 # explain document) is deterministic and identical
                 # between cold and artifact-served enumerations
-                for index in sorted(pool, key=lambda index: index.key):
+                for index in sorted(frontier,
+                                    key=lambda index: index.key):
                     if not modifies(update, index):
                         continue
                     found, enumerated = self._enumerate_support_cached(
                         update, index, recorder, store, config, active)
                     additions |= found
                     support_count += enumerated
-            if active.enabled:
-                before = len(pool)
-                pool |= additions
-                active.count("enumerator.support_queries",
-                             support_count)
-                active.count("enumerator.support_candidates_added",
-                             len(pool) - before)
-            else:
-                pool |= additions
-        if self.combine:
-            merged = combine_candidates(pool, recorder=recorder)
-            if active.enabled:
-                active.count("enumerator.combined_candidates",
-                             len(merged - pool))
-            pool |= merged
-        return CandidatePool(sorted(pool, key=lambda index: index.key),
-                             provenance=recorder)
+            frontier = additions - pool
+            added += len(frontier)
+            pool |= additions
+        return support_count, added
 
     # -- artifact-served enumeration ----------------------------------------
 

@@ -37,10 +37,18 @@ def modifies(update, index):
 def _insert_modifies(insert, index):
     """An insert creates index rows only when the new entity row joins
     onto the index path, i.e. the edges adjacent to the entity are
-    established by the insert's CONNECT clause."""
+    established by the insert's CONNECT clause.
+
+    The entity may occur at several positions of a self-overlapping
+    path; the insert modifies the index as soon as *any* occurrence has
+    all of its adjacent edges connected (checking only the first
+    occurrence made the executor skip maintenance of rows joining at a
+    later one — found by the differential fuzzer)."""
     entity = insert.entity
-    position = index.path.index_of(entity)
-    if position < 0:
+    positions = [position for position, occupant
+                 in enumerate(index.path.entities)
+                 if occupant is entity]
+    if not positions:
         return False
     own_fields = [f for f in index.all_fields if f.parent is entity]
     if not own_fields:
@@ -50,12 +58,16 @@ def _insert_modifies(insert, index):
         connected.add(key)
         if key.reverse is not None:
             connected.add(key.reverse)
-    for adjacent in (position - 1, position):
-        if 0 <= adjacent < len(index.path.keys):
-            edge = index.path.keys[adjacent]
-            if edge not in connected and edge.reverse not in connected:
-                return False
-    return True
+    for position in positions:
+        for adjacent in (position - 1, position):
+            if 0 <= adjacent < len(index.path.keys):
+                edge = index.path.keys[adjacent]
+                if edge not in connected \
+                        and edge.reverse not in connected:
+                    break
+        else:
+            return True
+    return False
 
 
 def _edge_position(relationship, index):

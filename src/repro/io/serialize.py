@@ -110,6 +110,10 @@ def model_to_dict(model):
             if key.reverse is not None \
                     and key.reverse._avg_fanout is not None:
                 record["reverse_fanout"] = key.reverse._avg_fanout
+            if not key.total:
+                record["forward_total"] = False
+            if key.reverse is not None and not key.reverse.total:
+                record["reverse_total"] = False
             relationships.append(record)
     return {"name": model.name, "entities": entities,
             "relationships": relationships}
@@ -142,7 +146,9 @@ def model_from_dict(document):
                 spec["from"], spec["forward"], spec["to"],
                 spec["reverse"], kind=spec.get("kind", "one_to_many"),
                 forward_fanout=spec.get("forward_fanout"),
-                reverse_fanout=spec.get("reverse_fanout"))
+                reverse_fanout=spec.get("reverse_fanout"),
+                forward_total=spec.get("forward_total", True),
+                reverse_total=spec.get("reverse_total", True))
         return model.validate()
     except KeyError as missing:
         raise ModelError(

@@ -113,6 +113,14 @@ class ForeignKeyField(Field):
         for many-to-many relationships, where the ratio of entity counts
         under-estimates the number of connections).
 
+    ``total`` states whether participation in this direction is
+    mandatory: every ``A`` row has at least one related ``B`` row.  The
+    planner's "possibly larger column family" rule — answering a query
+    from an index whose path extends past the query's — is only sound
+    over total to-one edges; a partial edge makes the extended join drop
+    unlinked rows (found by the differential oracle as lost result
+    rows).
+
     Relationships are created in pairs via
     :meth:`repro.model.graph.Model.add_relationship`, which wires
     ``reverse`` on both directions so paths can be reversed.
@@ -122,7 +130,7 @@ class ForeignKeyField(Field):
     value_type = (int, str)
 
     def __init__(self, name, entity, relationship="one", size=None,
-                 avg_fanout=None):
+                 avg_fanout=None, total=True):
         if relationship not in ("one", "many"):
             raise ValueError(
                 f"relationship must be 'one' or 'many', got {relationship!r}")
@@ -130,6 +138,8 @@ class ForeignKeyField(Field):
         #: the target :class:`~repro.model.entity.Entity`
         self.entity = entity
         self.relationship = relationship
+        #: mandatory participation: every source row has a target
+        self.total = total
         self._avg_fanout = avg_fanout
         #: the foreign key on ``entity`` pointing back at ``self.parent``
         self.reverse = None

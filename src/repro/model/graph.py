@@ -45,7 +45,8 @@ class Model:
 
     def add_relationship(self, source, forward_name, target, reverse_name,
                          kind="one_to_many", forward_fanout=None,
-                         reverse_fanout=None):
+                         reverse_fanout=None, forward_total=True,
+                         reverse_total=True):
         """Connect two entities with a named, reversible relationship.
 
         ``kind`` reads source-to-target: ``one_to_many`` means one source
@@ -54,7 +55,11 @@ class Model:
         ``forward_fanout`` / ``reverse_fanout`` override the default
         average-fanout estimates, which is necessary for many-to-many
         relationships where entity-count ratios under-estimate the number
-        of connections.
+        of connections.  ``forward_total`` / ``reverse_total`` declare
+        mandatory participation per direction (every source row has at
+        least one target); set them to False when rows may legitimately
+        lack the relationship, which restricts the planner's larger-
+        column-family rewrites to stay sound on such data.
 
         Returns the forward :class:`ForeignKeyField`.
         """
@@ -77,10 +82,12 @@ class Model:
                     f"{reverse_links:.0f} connections")
         forward = ForeignKeyField(forward_name, target_entity,
                                   relationship=forward_rel,
-                                  avg_fanout=forward_fanout)
+                                  avg_fanout=forward_fanout,
+                                  total=forward_total)
         reverse = ForeignKeyField(reverse_name, source_entity,
                                   relationship=reverse_rel,
-                                  avg_fanout=reverse_fanout)
+                                  avg_fanout=reverse_fanout,
+                                  total=reverse_total)
         forward.reverse = reverse
         reverse.reverse = forward
         source_entity.add_field(forward)

@@ -161,25 +161,31 @@ class QueryPlanner:
 
 
 def _servable_segments(index):
-    """Path segments an index can serve without duplicating rows.
+    """Path segments an index can serve without changing the row set.
 
     An index always serves its own path (either orientation).  It can
     additionally serve a contiguous sub-path when every trimmed edge,
-    oriented away from the kept segment, is a to-one relationship — the
-    paper's "possibly larger" column families (a suffix on the
-    clustering key or extra data does not change the join's row count).
-    Yields ``(path signature, entity-or-None)`` pairs, the entity being
-    set for single-entity segments (fetch candidates).
+    oriented away from the kept segment, is a *total* to-one
+    relationship — the paper's "possibly larger" column families.
+    To-one keeps the join from duplicating rows; totality (mandatory
+    participation) keeps it from dropping them: over a partial edge the
+    extended join loses rows that lack the relationship, which the
+    differential oracle observes as result rows missing from plans that
+    read the larger column family.  Yields ``(path signature,
+    entity-or-None)`` pairs, the entity being set for single-entity
+    segments (fetch candidates).
     """
     path = index.path
     length = len(path)
     produced = set()
     for start in range(length):
         if any(key.reverse is None or key.reverse.relationship != "one"
+               or not key.reverse.total
                for key in path.keys[:start]):
             continue
         for end in range(length - 1, start - 1, -1):
-            if any(key.relationship != "one" for key in path.keys[end:]):
+            if any(key.relationship != "one" or not key.total
+                   for key in path.keys[end:]):
                 continue
             signature = path[start:end + 1].signature
             if signature in produced:

@@ -7,7 +7,18 @@ defined by random walks through the graph with randomly generated
 predicates.
 """
 
+from repro.randgen.data import (
+    BindingGenerator,
+    random_dataset,
+    random_value,
+)
 from repro.randgen.network import random_model
 from repro.randgen.statements import random_workload
 
-__all__ = ["random_model", "random_workload"]
+__all__ = [
+    "BindingGenerator",
+    "random_dataset",
+    "random_model",
+    "random_value",
+    "random_workload",
+]

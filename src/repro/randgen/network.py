@@ -55,7 +55,12 @@ def random_model(entities=8, seed=0, mean_degree=4, rewire_probability=0.3,
         if rng.random() < 0.5:
             left, right = right, left
         kind = rng.choice(["one_to_many", "one_to_many", "one_to_one"])
+        # random participation per direction, so the fuzzer covers both
+        # regimes: total edges let the planner use larger column
+        # families, partial edges must keep unlinked rows answerable
         model.add_relationship(
             f"E{left}", f"R{edge_number}To{right}",
-            f"E{right}", f"R{edge_number}From{left}", kind=kind)
+            f"E{right}", f"R{edge_number}From{left}", kind=kind,
+            forward_total=rng.random() < 0.5,
+            reverse_total=rng.random() < 0.5)
     return model.validate()

@@ -96,7 +96,9 @@ def _random_insert(model, rng, number):
     settings = {field: field.name for field in entity.attributes}
     connections = []
     for key in entity.foreign_keys:
-        if rng.random() < 0.5:
+        # a total direction must be connected at insert time, or the
+        # new row would violate the model's participation contract
+        if key.total or rng.random() < 0.5:
             connections.append((key, key.name))
     return Insert(KeyPath(entity), settings, connections,
                   label=f"i{number}")

@@ -333,3 +333,48 @@ def render_run_report(report, top=5):
         lines.append("")
         lines.append(metrics_summary(report.metrics, top=top))
     return "\n".join(lines)
+
+
+def verify_report(report):
+    """Plain-text rendering of a differential-verification report.
+
+    ``report`` is the dict produced by
+    :func:`repro.verify.verify_recommendation` (or the fuzz variant
+    assembled by the ``verify`` CLI subcommand): per-protocol check
+    counts, divergences, and shrunk reproducers.
+    """
+    lines = [f"differential verification (seed {report.get('seed')})"]
+    for protocol, entry in sorted(report.get("protocols", {}).items()):
+        status = "OK" if entry.get("ok") \
+            else f"{len(entry.get('divergences', []))} divergence(s)"
+        lines.append(f"  {protocol:<8} {entry.get('checks', 0):>4} "
+                     f"checks  {status}")
+        for divergence in entry.get("divergences", []):
+            lines.append(f"    {divergence.get('kind')} "
+                         f"[{divergence.get('label')}]: "
+                         f"{divergence.get('message')}")
+        shrunk = entry.get("shrunk")
+        if shrunk:
+            rows = sum(shrunk.get("dataset_rows", {}).values())
+            lines.append(
+                f"    shrunk reproducer: "
+                f"{len(shrunk.get('requests', []))} request(s), "
+                f"{rows} dataset row(s), "
+                f"{shrunk.get('replays', 0)} replays")
+            for request in shrunk.get("requests", []):
+                lines.append(f"      {request.get('label')}: "
+                             f"{request.get('statement')} "
+                             f"{request.get('params')}")
+    for trial in report.get("trials", []):
+        status = "OK" if trial.get("ok") \
+            else f"{len(trial.get('divergences', []))} divergence(s)"
+        lines.append(f"  trial seed {trial.get('seed')} "
+                     f"[{trial.get('protocol')}] "
+                     f"{trial.get('checks', 0):>4} checks  {status}")
+        for divergence in trial.get("divergences", []):
+            lines.append(f"    {divergence.get('kind')} "
+                         f"[{divergence.get('label')}]: "
+                         f"{divergence.get('message')}")
+    lines.append("verdict: " + ("OK" if report.get("ok")
+                                else "DIVERGED"))
+    return "\n".join(lines)

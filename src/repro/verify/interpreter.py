@@ -1,0 +1,138 @@
+"""Reference interpreter: statement semantics over the ground truth.
+
+Evaluates any workload statement directly against a :class:`Dataset` and
+the entity graph — no plans, no column families, no store.  This is the
+semantic yardstick the differential runner compares plan execution
+against: deliberately the simplest possible evaluation (full path join,
+then filter, then project), using the canonical NULL/ordering/limit
+rules of :mod:`repro.workload.semantics`.
+
+Queries return a :class:`ReferenceResult`; write statements mutate the
+dataset exactly as :meth:`Dataset.apply` defines and return the affected
+target IDs.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ExecutionError
+from repro.workload.semantics import row_ordering_key
+from repro.workload.statements import Query
+
+
+class ReferenceResult:
+    """The reference answer for one query.
+
+    ``rows`` is the ordered list of distinct selected rows (dicts keyed
+    by field id): join rows are filtered, sorted by the ORDER BY fields
+    (stable, NULLS LAST), deduplicated on the selected values keeping
+    first occurrence, and truncated to LIMIT.  ``full_rows`` is the same
+    list before the LIMIT cut, and ``order_keys`` maps each distinct
+    selected tuple to its minimal ORDER BY sort key — what the runner
+    uses to check that an executed ordering is consistent.
+    """
+
+    def __init__(self, query, rows, full_rows, order_keys):
+        self.query = query
+        self.rows = rows
+        self.full_rows = full_rows
+        self.order_keys = order_keys
+
+    def key_of(self, row):
+        """The distinct-row identity of one result row."""
+        return tuple(row.get(field.id) for field in self.query.select)
+
+    @property
+    def full_keys(self):
+        return {self.key_of(row) for row in self.full_rows}
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __repr__(self):
+        return (f"ReferenceResult({self.query.label!r}, "
+                f"rows={len(self.rows)})")
+
+
+class ReferenceInterpreter:
+    """Evaluates workload statements over a ground-truth dataset."""
+
+    def __init__(self, model, dataset):
+        self.model = model
+        self.dataset = dataset
+
+    def execute(self, statement, params):
+        """Evaluate one statement: queries return a
+        :class:`ReferenceResult`, writes mutate the dataset and return
+        the affected target-entity IDs."""
+        if isinstance(statement, Query):
+            return self.evaluate_query(statement, params)
+        return self.dataset.apply(statement, params)
+
+    # -- queries -----------------------------------------------------------
+
+    def evaluate_query(self, query, params):
+        path = query.key_path
+        join_rows = self._join_rows(query, params)
+        if query.order_by:
+            positions = [self._position(path, field)
+                         for field in query.order_by]
+            join_rows.sort(key=lambda ids: row_ordering_key(
+                self._value(path, position, ids, field)
+                for field, position in zip(query.order_by, positions)))
+        select_positions = [self._position(path, field)
+                            for field in query.select]
+
+        def project(ids):
+            return {field.id: self._value(path, position, ids, field)
+                    for field, position in zip(query.select,
+                                               select_positions)}
+
+        full_rows = []
+        order_keys = {}
+        seen = set()
+        for ids in join_rows:
+            row = project(ids)
+            key = tuple(row[field.id] for field in query.select)
+            if key in seen:
+                continue
+            seen.add(key)
+            full_rows.append(row)
+            if query.order_by:
+                order_keys[key] = row_ordering_key(
+                    self._value(path, position, ids, field)
+                    for field, position in zip(query.order_by,
+                                               positions))
+        rows = full_rows
+        if query.limit is not None:
+            rows = full_rows[:query.limit]
+        return ReferenceResult(query, rows, full_rows, order_keys)
+
+    def _join_rows(self, query, params):
+        """All full-path join ID tuples satisfying the predicates."""
+        path = query.key_path
+        tuples = self.dataset.join_tuples(path)
+        for condition in query.conditions:
+            position = self._position(path, condition.field)
+            bound = params[condition.parameter]
+            field_id = condition.field.id
+            kept = []
+            for ids in tuples:
+                value = self._row(path, position, ids).get(field_id)
+                if condition.matches(value, bound):
+                    kept.append(ids)
+            tuples = kept
+        return tuples
+
+    def _position(self, path, field):
+        position = path.index_of(field.parent)
+        if position < 0:
+            raise ExecutionError(
+                f"field {field.id} lies off the path {path}")
+        return position
+
+    def _row(self, path, position, ids):
+        entity = path.entities[position]
+        return self.dataset.rows[entity.name].get(ids[position], {})
+
+    def _value(self, path, position, ids, field):
+        return self._row(path, position, ids).get(field.id)

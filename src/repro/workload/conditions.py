@@ -7,6 +7,8 @@ named parameters (``?city``) at design time and bound at execution time.
 
 from __future__ import annotations
 
+from repro.workload import semantics
+
 #: supported comparison operators, in the paper's query language
 OPERATORS = ("=", ">", ">=", "<", "<=")
 
@@ -48,16 +50,12 @@ class Condition:
         return RANGE_SELECTIVITY
 
     def matches(self, value, bound):
-        """Evaluate the predicate for a concrete row/parameter value."""
-        if self.operator == "=":
-            return value == bound
-        if self.operator == ">":
-            return value > bound
-        if self.operator == ">=":
-            return value >= bound
-        if self.operator == "<":
-            return value < bound
-        return value <= bound
+        """Evaluate the predicate for a concrete row/parameter value.
+
+        Follows the canonical NULL rule of :mod:`repro.workload.semantics`:
+        ``None`` equals only ``None`` and never satisfies a range.
+        """
+        return semantics.matches(self.operator, value, bound)
 
     def __eq__(self, other):
         if not isinstance(other, Condition):

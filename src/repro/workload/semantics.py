@@ -1,0 +1,54 @@
+"""Canonical value semantics: the NULL comparison and ordering rules.
+
+One definition shared by every layer that compares or orders attribute
+values — WHERE-clause predicates (:meth:`Condition.matches`), the
+execution engine's client-side filter/sort steps, the record store's
+clustering order and range scans, and the :mod:`repro.verify` reference
+interpreter.  A single rule is what makes differential testing
+meaningful: the executor and the oracle can only be compared if they
+agree on what a missing value means.
+
+The rules, restricted to NoSE's operator set (``= > >= < <=``):
+
+* A missing attribute behaves as NULL (``None``).
+* Equality: ``NULL = NULL`` holds, ``NULL = v`` fails for every other
+  value.  (Parameters bound to ``None`` follow the same rule.)
+* Range operators never match when either side is NULL.
+* Ordering: NULL sorts after every non-NULL value (NULLS LAST), and
+  sorts are stable.
+"""
+
+from __future__ import annotations
+
+#: ordering key that sorts after every ``(False, value)`` key — the
+#: NULLS LAST rule (compares against non-NULL keys on the first element)
+NULL_KEY = (True,)
+
+
+def ordering_key(value):
+    """Sort key implementing the canonical NULLS LAST order."""
+    if value is None:
+        return NULL_KEY
+    return (False, value)
+
+
+def row_ordering_key(values):
+    """Sort key for a sequence of values (e.g. an ORDER BY tuple)."""
+    return tuple(ordering_key(value) for value in values)
+
+
+def matches(operator, value, bound):
+    """Evaluate ``value operator bound`` under the canonical NULL rule."""
+    if operator == "=":
+        return value == bound
+    if value is None or bound is None:
+        return False
+    if operator == ">":
+        return value > bound
+    if operator == ">=":
+        return value >= bound
+    if operator == "<":
+        return value < bound
+    if operator == "<=":
+        return value <= bound
+    raise ValueError(f"unsupported operator {operator!r}")

@@ -152,6 +152,61 @@ def test_invalid_update_protocol_rejected(engine_setup):
                         update_protocol="magic")
 
 
+def test_sort_is_stable_with_nulls_last(engine_setup):
+    """A None/missing sort value must order after every concrete value
+    without raising TypeError, and ties must keep arrival order."""
+    from types import SimpleNamespace
+    _model, _workload, _dataset, engine = engine_setup
+    step = SimpleNamespace(fields=[SimpleNamespace(id="f")])
+    bindings = [{"f": 2, "tag": 0}, {"f": None, "tag": 1},
+                {"tag": 2}, {"f": 1, "tag": 3}]
+    ordered = engine._sort(step, bindings)
+    assert [binding.get("f") for binding in ordered] \
+        == [1, 2, None, None]
+    # the explicit None and the missing value keep their relative order
+    assert [binding["tag"] for binding in ordered
+            if binding.get("f") is None] == [1, 2]
+
+
+def test_filter_applies_the_canonical_null_rule(engine_setup):
+    from types import SimpleNamespace
+
+    from repro.workload.conditions import Condition
+    model, _workload, _dataset, engine = engine_setup
+    field = model.entity("Guest")["GuestName"]
+    bindings = [{field.id: None}, {field.id: "x"}, {}]
+    equality = SimpleNamespace(conditions=[Condition(field, "=", "p")])
+    # NULL = NULL holds for both an explicit None and a missing value
+    assert engine._filter(equality, {"p": None}, bindings) \
+        == [{field.id: None}, {}]
+    assert engine._filter(equality, {"p": "x"}, bindings) \
+        == [{field.id: "x"}]
+    ranged = SimpleNamespace(conditions=[Condition(field, ">", "p")])
+    # ranges never match when either side is NULL
+    assert engine._filter(ranged, {"p": "a"}, bindings) \
+        == [{field.id: "x"}]
+    assert engine._filter(ranged, {"p": None}, bindings) == []
+
+
+def test_duplicate_statement_labels_rejected(engine_setup):
+    """A query and an update sharing a label must be an error, not a
+    silent last-writer-wins shadowing."""
+    from types import SimpleNamespace
+    model, workload, dataset, engine = engine_setup
+    query = workload.statements["guest_by_id"]
+    plan = engine._query_plans["guest_by_id"]
+
+    class Impostor:
+        label = "guest_by_id"
+
+    impostor = Impostor()
+    recommendation = SimpleNamespace(
+        query_plans={query: plan},
+        update_plans={impostor: []}, indexes=[])
+    with pytest.raises(ExecutionError, match="duplicate"):
+        ExecutionEngine(model, recommendation, dataset)
+
+
 def test_expert_protocol_writes_fewer_rows(engine_setup):
     """The diff-upsert protocol must touch no more rows than the paper's
     delete-then-insert protocol for the same update."""

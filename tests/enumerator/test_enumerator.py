@@ -142,3 +142,23 @@ def test_combine_disabled_is_subset(hotel, hotel_full):
     without = set(CandidateEnumerator(hotel,
                                       combine=False).candidates(hotel_full))
     assert without <= with_combine
+
+
+def test_combined_candidates_get_support_queries():
+    """Regression: Combine runs after the support-enumeration rounds,
+    so a combine-merged candidate that an update modifies used to reach
+    the planner with no enumerated support candidates — recommend()
+    raised PlanningError for its maintenance plan (found by the
+    differential fuzzer).  The post-combine support pass must close the
+    gap for any seed."""
+    from repro import Advisor
+    from repro.randgen import random_model, random_workload
+    model = random_model(entities=4, seed=55436)
+    workload = random_workload(model, queries=5, updates=2, inserts=1,
+                               seed=55436)
+    # before the closure fix this raised PlanningError while building
+    # u0's maintenance plan
+    recommendation = Advisor(model, max_plans=100).recommend(workload)
+    assert len(recommendation.query_plans) == len(workload.queries)
+    for _update, plans in recommendation.update_plans.items():
+        assert plans  # every maintained update has a complete plan

@@ -107,3 +107,40 @@ def test_cli_json_loading(tmp_path, capsys):
     dump_application(model, workload, path)
     assert main(["--json", str(path), "--cost-model", "simple"]) == 0
     assert "Recommended schema" in capsys.readouterr().out
+
+
+def test_relationship_totality_round_trips():
+    from repro.model import Entity, IDField, Model, StringField
+    model = Model("tot")
+    first = Entity("A", count=5)
+    first.add_field(IDField("AID"))
+    first.add_field(StringField("AName"))
+    second = Entity("B", count=5)
+    second.add_field(IDField("BID"))
+    second.add_field(StringField("BName"))
+    model.add_entity(first)
+    model.add_entity(second)
+    model.add_relationship("A", "TheB", "B", "As", kind="many_to_one",
+                           forward_total=False, reverse_total=True)
+    model.validate()
+    document = model_to_dict(model)
+    spec = document["relationships"][0]
+    # totality is the default; only partial directions are written out
+    assert spec["forward_total"] is False
+    assert "reverse_total" not in spec
+    rebuilt = model_from_dict(json.loads(json.dumps(document)))
+    key = rebuilt.entity("A")["TheB"]
+    assert key.total is False
+    assert key.reverse.total is True
+
+
+def test_total_by_default_round_trips():
+    original = hotel_model()
+    document = model_to_dict(original)
+    for spec in document["relationships"]:
+        assert "forward_total" not in spec
+        assert "reverse_total" not in spec
+    rebuilt = model_from_dict(json.loads(json.dumps(document)))
+    for entity in rebuilt.entities.values():
+        for key in entity.foreign_keys:
+            assert key.total is True

@@ -206,3 +206,45 @@ def test_filter_applied_when_attribute_stored(hotel):
     lookup = plan.lookup_steps[0]
     assert filters[0].cardinality == pytest.approx(
         lookup.cardinality * 0.1)
+
+
+def _chain_model(total):
+    """A -> B to-one chain; ``total`` controls A's mandatory
+    participation in the relationship."""
+    from repro.model import Entity, IDField, Model, StringField
+    model = Model("chain")
+    first = Entity("A", count=10)
+    first.add_field(IDField("AID"))
+    first.add_field(StringField("AName", cardinality=10))
+    second = Entity("B", count=10)
+    second.add_field(IDField("BID"))
+    second.add_field(StringField("BName", cardinality=10))
+    model.add_entity(first)
+    model.add_entity(second)
+    model.add_relationship("A", "TheB", "B", "As", kind="many_to_one",
+                           forward_total=total)
+    return model.validate()
+
+
+@pytest.mark.parametrize("total", [True, False])
+def test_longer_path_index_requires_total_participation(total):
+    """The §IV "possibly larger column families" rewrite — answering a
+    query from an index over a longer path — is only sound when the
+    trimmed to-one edge is total: under partial participation an A row
+    with no B would silently vanish from the extended join."""
+    from repro.model.paths import KeyPath
+    from repro.workload import parse_statement
+    model = _chain_model(total)
+    query = parse_statement(
+        model, "SELECT A.AName FROM A WHERE A.AName = ?name")
+    first = model.entity("A")
+    second = model.entity("B")
+    index = Index([first["AName"]], [first.id_field, second.id_field],
+                  [], KeyPath(first, [first["TheB"]]))
+    planner = QueryPlanner(model, [index])
+    plans = planner.plans_for(query, require=False)
+    if total:
+        assert plans, "a total to-one edge admits the longer-path index"
+    else:
+        assert not plans, \
+            "a partial edge must not serve the shorter query"

@@ -76,3 +76,43 @@ def test_many_seeds_remain_advisable(seed):
                                seed=seed)
     recommendation = Advisor(model).recommend(workload)
     assert recommendation.total_cost > 0
+
+
+def test_random_models_cover_both_participation_regimes():
+    """Across a few seeds the generator must emit both total and
+    partial relationship directions, so the fuzzer exercises the
+    larger-column-family rewrite and its refusal."""
+    totals = set()
+    for seed in range(6):
+        model = random_model(entities=6, seed=seed)
+        for entity in model.entities.values():
+            for key in entity.foreign_keys:
+                totals.add(key.total)
+    assert totals == {True, False}
+
+
+def test_random_dataset_repairs_total_directions():
+    from repro.randgen import random_dataset
+    model = random_model(entities=6, seed=11)
+    dataset = random_dataset(model, seed=11, rows_per_entity=12,
+                             orphan_rate=0.5)
+    for name, entity in model.entities.items():
+        for key in entity.foreign_keys:
+            if not key.total:
+                continue
+            for source in dataset.rows[name]:
+                assert dataset.related(key, source), \
+                    (name, key.name, source)
+
+
+def test_random_inserts_connect_total_keys():
+    model = random_model(entities=6, seed=13)
+    workload = random_workload(model, queries=2, updates=0, inserts=8,
+                               seed=13)
+    for statement in workload.updates:
+        if not isinstance(statement, Insert):
+            continue
+        connected = {key.name for key, _ in statement.connections}
+        for key in statement.entity.foreign_keys:
+            if key.total:
+                assert key.name in connected

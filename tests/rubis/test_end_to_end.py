@@ -97,3 +97,36 @@ def test_queries_consistent_after_heavy_writes(setup, schema_name):
             assert got <= expected
         else:
             assert got == expected, label
+
+
+def test_execute_transaction_expert_with_shared_reads(setup):
+    """Whole RUBiS transactions through the expert schema with the
+    per-transaction read cache enabled: every read must still match the
+    oracle after all transactions' writes have been applied."""
+    model, workload = setup
+    dataset, engine = _engine(model, workload, "expert")
+    assert engine.share_reads and engine.update_protocol == "expert"
+    generator = RubisParameterGenerator(dataset, seed=23)
+    total = 0.0
+    for transaction in sorted(TRANSACTIONS):
+        elapsed = engine.execute_transaction(
+            generator.requests_for(transaction))
+        assert elapsed >= 0.0
+        total += elapsed
+    assert total > 0.0
+    # the transaction cache must not outlive its transaction
+    assert engine._transaction_cache is None
+    for transaction in sorted(TRANSACTIONS):
+        for label, params in generator.requests_for(transaction):
+            statement = workload.statements[label]
+            if not isinstance(statement, Query):
+                continue
+            rows = engine.execute_query(statement, params)
+            got = {tuple(row[f.id] for f in statement.select)
+                   for row in rows}
+            expected = dataset.evaluate_query(statement, params)
+            if statement.limit is not None:
+                assert got <= expected
+                assert len(rows) <= statement.limit
+            else:
+                assert got == expected, (transaction, label)

@@ -195,3 +195,33 @@ def test_requires_a_source():
     parser = build_parser()
     with pytest.raises(SystemExit):
         parser.parse_args([])
+
+
+def test_verify_hotel_demo(capsys):
+    assert main(["verify", "--demo", "hotel", "--scale", "0.01",
+                 "--rounds", "1", "--protocols", "nose",
+                 "--max-plans", "40"]) == 0
+    output = capsys.readouterr().out
+    assert "== hotel ==" in output
+    assert "verdict: OK" in output
+
+
+def test_verify_fuzz_mode_writes_report(tmp_path, capsys):
+    target = tmp_path / "verify.json"
+    assert main(["verify", "--fuzz", "1", "--seed", "3",
+                 "--entities", "3", "--max-plans", "40",
+                 "--output-json", str(target)]) == 0
+    import json
+    document = json.loads(target.read_text())
+    assert document["ok"] is True
+    trials = document["targets"]["fuzz"]["trials"]
+    assert trials and all(trial["ok"] for trial in trials)
+    output = capsys.readouterr().out
+    assert "trial seed" in output
+
+
+def test_verify_source_flags_are_exclusive():
+    from repro.cli import build_verify_parser
+    with pytest.raises(SystemExit):
+        build_verify_parser().parse_args(["--demo", "hotel",
+                                          "--fuzz", "2"])

@@ -1,0 +1,43 @@
+"""The fuzz driver: seeded random trials through the oracle."""
+
+from repro.backend.executor import ExecutionEngine
+from repro.verify import fuzz_workloads
+
+
+class DroppingEngine(ExecutionEngine):
+    """Broken on purpose: silently loses the first result row."""
+
+    def execute_query(self, query, params, plan=None):
+        rows = super().execute_query(query, params, plan=plan)
+        return rows[1:]
+
+
+SMALL = dict(trials=1, seed=3, entities=3, queries=3, updates=1,
+             inserts=1, requests=12, rows_per_entity=8, max_plans=40)
+
+
+def test_fuzz_trials_pass_and_are_deterministic():
+    first = fuzz_workloads(**SMALL)
+    assert len(first) == 2  # one result per update protocol
+    assert all(trial.ok for trial in first), [
+        trial.as_dict() for trial in first if not trial.ok]
+    assert {trial.protocol for trial in first} == {"nose", "expert"}
+    assert all(trial.checks > 0 for trial in first)
+    second = fuzz_workloads(**SMALL)
+    assert [trial.as_dict() for trial in first] \
+        == [trial.as_dict() for trial in second]
+
+
+def test_fuzz_catches_an_injected_bug_with_a_reproducer():
+    results = fuzz_workloads(engine_factory=DroppingEngine, **SMALL)
+    failing = [trial for trial in results if not trial.ok]
+    assert failing
+    trial = failing[0]
+    assert trial.divergences
+    assert trial.shrunk is not None
+    record = trial.shrunk.as_dict()
+    assert record["requests"]
+    assert record["replays"] > 0
+    # the shrunk dataset is no larger than the one the trial started with
+    assert all(count <= SMALL["rows_per_entity"]
+               for count in record["dataset_rows"].values())

@@ -1,0 +1,115 @@
+"""The reference interpreter: canonical statement semantics.
+
+Cross-checks against :meth:`Dataset.evaluate_query` (the set-level
+oracle the executor tests already use) and pins the ordering, LIMIT,
+and NULL behaviour that set-level comparison cannot see.
+"""
+
+import pytest
+
+from repro.verify import ReferenceInterpreter
+from repro.workload import parse_statement
+
+
+@pytest.fixture()
+def interpreter(small_hotel, small_hotel_data):
+    small_hotel_data.sync_counts()
+    return ReferenceInterpreter(small_hotel, small_hotel_data)
+
+
+def test_matches_set_level_oracle(small_hotel, small_hotel_data,
+                                  interpreter, hotel_full):
+    workload = hotel_full
+    cases = [
+        ("guest_by_id", {"guest": 5}),
+        ("guests_in_city_above_rate", {"city": "city-0", "rate": 200.0}),
+        ("pois_for_guest", {"guest": 7}),
+        ("hotels_by_location", {"city": "city-0", "state": "S0"}),
+    ]
+    for label, params in cases:
+        query = _statement(small_hotel, workload, label)
+        result = interpreter.evaluate_query(query, params)
+        got = {result.key_of(row) for row in result.rows}
+        assert got == small_hotel_data.evaluate_query(query, params)
+
+
+def _statement(model, workload, label):
+    # workload fixtures are built over the session-scoped full model;
+    # re-parse the statement against the small model under test
+    return parse_statement(model, workload.statements[label].text)
+
+
+def test_order_by_is_sorted_and_stable(small_hotel, small_hotel_data,
+                                       interpreter, hotel_full):
+    query = _statement(small_hotel, hotel_full, "hotels_by_location")
+    result = interpreter.evaluate_query(
+        query, {"city": "city-0", "state": "S0"})
+    names = [row["Hotel.HotelName"] for row in result.rows]
+    assert names == sorted(names)
+
+
+def test_limit_truncates_rows_but_not_full_rows(small_hotel,
+                                                interpreter):
+    query = parse_statement(
+        small_hotel,
+        "SELECT Room.RoomID FROM Room "
+        "WHERE Room.Hotel.HotelCity = ?city LIMIT 3")
+    result = interpreter.evaluate_query(query, {"city": "city-0"})
+    assert len(result.rows) == 3
+    assert len(result.full_rows) > 3
+    # the LIMIT cut keeps the sorted/deduplicated prefix
+    assert result.rows == result.full_rows[:3]
+
+
+def test_null_equality_matches_null_rows(small_hotel, small_hotel_data,
+                                         interpreter):
+    small_hotel_data.rows["Guest"][3]["Guest.GuestName"] = None
+    query = parse_statement(
+        small_hotel,
+        "SELECT Guest.GuestID FROM Guest "
+        "WHERE Guest.GuestName = ?name")
+    result = interpreter.evaluate_query(query, {"name": None})
+    assert {row["Guest.GuestID"] for row in result.rows} == {3}
+
+
+def test_null_never_satisfies_ranges(small_hotel, small_hotel_data,
+                                     interpreter):
+    small_hotel_data.rows["Room"][0]["Room.RoomRate"] = None
+    city = small_hotel_data.rows["Hotel"][0]["Hotel.HotelCity"]
+    query = parse_statement(
+        small_hotel,
+        "SELECT Room.RoomID FROM Room "
+        "WHERE Room.Hotel.HotelCity = ?city "
+        "AND Room.RoomRate >= ?rate")
+    result = interpreter.evaluate_query(query,
+                                        {"city": city, "rate": 0.0})
+    assert result.rows
+    assert 0 not in {row["Room.RoomID"] for row in result.rows}
+    # a NULL bound matches nothing at all
+    empty = interpreter.evaluate_query(query,
+                                       {"city": city, "rate": None})
+    assert len(empty.rows) == 0
+
+
+def test_nulls_order_last(small_hotel, small_hotel_data, interpreter):
+    # room 5 belongs to hotel 1 in the generated data
+    small_hotel_data.rows["Room"][5]["Room.RoomRate"] = None
+    query = parse_statement(
+        small_hotel,
+        "SELECT Room.RoomRate, Room.RoomID FROM Room "
+        "WHERE Room.Hotel.HotelID = ?hotel ORDER BY Room.RoomRate")
+    result = interpreter.evaluate_query(query, {"hotel": 1})
+    rates = [row["Room.RoomRate"] for row in result.rows]
+    assert len(rates) > 1
+    assert rates[-1] is None
+    assert all(rate is not None for rate in rates[:-1])
+
+
+def test_write_statements_mutate_the_dataset(small_hotel,
+                                             small_hotel_data,
+                                             interpreter, hotel_full):
+    update = _statement(small_hotel, hotel_full,
+                        "update_poi_description")
+    interpreter.execute(update, {"description": "CHANGED", "poi": 1})
+    assert small_hotel_data.rows["PointOfInterest"][1][
+        "PointOfInterest.POIDescription"] == "CHANGED"

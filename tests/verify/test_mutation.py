@@ -1,0 +1,92 @@
+"""Mutation tests: deliberately broken engines must be caught.
+
+The oracle is only trustworthy if it fails when the executor is wrong;
+these tests inject known-bad engines through ``engine_factory`` and
+assert the divergence is detected and shrunk to a minimal reproducer.
+"""
+
+from repro import Advisor
+from repro.backend.dataset import Dataset
+from repro.backend.executor import ExecutionEngine
+from repro.model import Entity, IDField, Model, StringField
+from repro.verify import verify_recommendation
+from repro.workload import Workload
+
+
+class DroppingEngine(ExecutionEngine):
+    """Broken on purpose: silently loses the first result row."""
+
+    def execute_query(self, query, params, plan=None):
+        rows = super().execute_query(query, params, plan=plan)
+        return rows[1:]
+
+
+class StaleStoreEngine(ExecutionEngine):
+    """Broken on purpose: mutates the dataset but never maintains the
+    recommended column families."""
+
+    def execute_update(self, update, params):
+        self.dataset.apply(update, params)
+        return 0
+
+
+def _tiny_application(with_update=False):
+    model = Model("tiny")
+    entity = Entity("A", count=6)
+    entity.add_field(IDField("AID"))
+    entity.add_field(StringField("AName", cardinality=6))
+    model.add_entity(entity)
+    model.validate()
+    workload = Workload(model)
+    workload.add_statement("SELECT A.AName FROM A WHERE A.AID = ?id",
+                           label="q0")
+    if with_update:
+        workload.add_statement(
+            "UPDATE A SET AName = ?value WHERE A.AID = ?id",
+            weight=1.0, label="u0")
+    dataset = Dataset(model)
+    for identifier in range(6):
+        dataset.add_row("A", {"AID": identifier,
+                              "AName": f"a{identifier}"})
+    dataset.sync_counts()
+    return model, workload, dataset
+
+
+def test_dropped_rows_are_caught_and_shrunk():
+    model, workload, dataset = _tiny_application()
+    recommendation = Advisor(model).recommend(workload)
+    report = verify_recommendation(
+        model, workload, recommendation, dataset, seed=0,
+        protocols=("nose",), engine_factory=DroppingEngine)
+    assert not report["ok"]
+    entry = report["protocols"]["nose"]
+    divergence = entry["divergences"][0]
+    assert divergence["kind"] == "result_mismatch"
+    assert divergence["label"] == "q0"
+    shrunk = entry["shrunk"]
+    # minimal reproducer: one request against a one-row dataset
+    assert len(shrunk["requests"]) == 1
+    assert shrunk["requests"][0]["label"] == "q0"
+    assert sum(shrunk["dataset_rows"].values()) == 1
+    assert shrunk["divergence"]["kind"] == "result_mismatch"
+
+
+def test_skipped_view_maintenance_is_caught():
+    model, workload, dataset = _tiny_application(with_update=True)
+    recommendation = Advisor(model).recommend(workload)
+    report = verify_recommendation(
+        model, workload, recommendation, dataset, seed=0,
+        protocols=("expert",), engine_factory=StaleStoreEngine,
+        shrink=False)
+    assert not report["ok"]
+    kinds = {divergence["kind"] for divergence
+             in report["protocols"]["expert"]["divergences"]}
+    assert "store_inconsistent" in kinds
+
+
+def test_healthy_engine_passes_the_same_checks():
+    model, workload, dataset = _tiny_application(with_update=True)
+    recommendation = Advisor(model).recommend(workload)
+    report = verify_recommendation(
+        model, workload, recommendation, dataset, seed=0)
+    assert report["ok"], report

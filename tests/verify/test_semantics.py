@@ -1,0 +1,66 @@
+"""The canonical NULL comparison and ordering rules.
+
+One shared definition (:mod:`repro.workload.semantics`) governs every
+layer that compares attribute values; these tests pin the rules the
+differential oracle depends on.
+"""
+
+import pytest
+
+from repro.model import StringField
+from repro.workload.conditions import Condition
+from repro.workload.semantics import (
+    matches,
+    ordering_key,
+    row_ordering_key,
+)
+
+
+def test_null_equality():
+    assert matches("=", None, None)
+    assert not matches("=", None, "x")
+    assert not matches("=", "x", None)
+    assert matches("=", "x", "x")
+
+
+@pytest.mark.parametrize("operator", [">", ">=", "<", "<="])
+def test_ranges_never_match_null(operator):
+    assert not matches(operator, None, 5)
+    assert not matches(operator, 5, None)
+    assert not matches(operator, None, None)
+
+
+def test_range_operators_on_values():
+    assert matches(">", 2, 1)
+    assert not matches(">", 1, 1)
+    assert matches(">=", 1, 1)
+    assert matches("<", 1, 2)
+    assert matches("<=", 2, 2)
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError):
+        matches("!=", 1, 2)
+
+
+def test_nulls_sort_last():
+    values = [3, None, 1, None, 2]
+    ordered = sorted(values, key=ordering_key)
+    assert ordered == [1, 2, 3, None, None]
+
+
+def test_row_ordering_key_handles_mixed_nulls():
+    rows = [(1, None), (None, 1), (1, 1)]
+    ordered = sorted(rows, key=row_ordering_key)
+    assert ordered == [(1, 1), (1, None), (None, 1)]
+
+
+def test_condition_matches_uses_the_canonical_rule():
+    field = StringField("Name")
+    equality = Condition(field, "=", "p")
+    assert equality.matches(None, None)
+    assert not equality.matches(None, "x")
+    ranged = Condition(field, ">", "p")
+    assert not ranged.matches(None, "a")
+    assert not ranged.matches("b", None)
+    assert ranged.matches("b", "a")
