@@ -47,10 +47,11 @@ def _timed(function):
 
 
 def _stage_row(timing):
-    row = timing.as_figure13_row()
-    row["enumeration"] = timing.enumeration
-    row["planning"] = timing.planning
-    row["pruning"] = timing.pruning
+    # stage_breakdown's buckets are disjoint and sum to the total —
+    # the earlier as_figure13_row-based row double-counted enumeration,
+    # planning and pruning inside its rolled-up "other" share
+    row = timing.stage_breakdown()
+    row["total"] = timing.total
     row["cache_hits"] = timing.cache_hits
     return row
 

@@ -24,7 +24,7 @@ import time
 import warnings
 from dataclasses import dataclass
 
-from repro import telemetry
+from repro import dominance, telemetry
 from repro.cost import CassandraCostModel
 from repro.enumerator import CandidateEnumerator
 from repro.enumerator.support import modifies
@@ -57,7 +57,7 @@ logger = logging.getLogger("repro.advisor")
 def _signature(plan):
     # cost ties are broken by plan signature for reproducibility; plain
     # stand-in plan objects (as used in tests) may not carry one
-    return getattr(plan, "signature", "")
+    return dominance._signature(plan)
 
 
 def prune_dominated_plans(plans, keep=None, removals=None):
@@ -75,22 +75,7 @@ def prune_dominated_plans(plans, keep=None, removals=None):
     per dropped plan, naming the rule that killed it and the plan that
     dominated it.
     """
-    best = {}
-    for plan in plans:
-        key = frozenset(index.key for index in plan.indexes)
-        current = best.get(key)
-        if current is None or plan.cost < current.cost \
-                or (plan.cost == current.cost
-                    and _signature(plan) < _signature(current)):
-            if current is not None and removals is not None:
-                removals.append(prune_entry(current, "duplicate-cfset",
-                                            dominated_by=plan))
-            best[key] = plan
-        elif removals is not None:
-            removals.append(prune_entry(plan, "duplicate-cfset",
-                                        dominated_by=current))
-    pruned = sorted(best.values(),
-                    key=lambda plan: (plan.cost, _signature(plan)))
+    pruned = dominance.dedupe_cheapest(plans, removals=removals)
     if keep is not None:
         if removals is not None:
             removals.extend(prune_entry(plan, "cap")
@@ -99,7 +84,7 @@ def prune_dominated_plans(plans, keep=None, removals=None):
     return pruned
 
 
-def prune_plan_space(plans, keep=None, removals=None):
+def prune_plan_space(plans, keep=None, removals=None, engine=None):
     """Dominance-prune one statement's plan space for the optimizer.
 
     Applies the per-column-family-set rule of
@@ -113,25 +98,18 @@ def prune_plan_space(plans, keep=None, removals=None):
     ``keep`` caps the result (cheapest first) after both rules.
     ``removals`` collects pruning-ledger entries as in
     :func:`prune_dominated_plans`.
+
+    ``engine`` selects the superset-rule implementation
+    (:func:`repro.dominance.superset_filter`): ``"vector"`` for the
+    bitset-matrix path, ``"scalar"`` for the reference pairwise scan,
+    ``"auto"``/None to pick by space size (overridable via the
+    ``NOSE_VECTORIZE`` environment variable).  Both produce
+    byte-identical plans and ledger entries.
     """
     plans = list(plans)
-    pruned = prune_dominated_plans(plans, removals=removals)
-    kept = []
-    kept_keys = []
-    # ascending (cost, signature): potential dominators come first
-    for plan in pruned:
-        keys = frozenset(index.key for index in plan.indexes)
-        dominator = next((position
-                          for position, existing in enumerate(kept_keys)
-                          if existing < keys), None)
-        if dominator is not None:
-            if removals is not None:
-                removals.append(prune_entry(
-                    plan, "superset-cfset",
-                    dominated_by=kept[dominator]))
-            continue
-        kept.append(plan)
-        kept_keys.append(keys)
+    pruned = dominance.dedupe_cheapest(plans, removals=removals)
+    kept = dominance.superset_filter(pruned, removals=removals,
+                                     engine=engine)
     capped = kept if keep is None else kept[:keep]
     if removals is not None and keep is not None:
         removals.extend(prune_entry(plan, "cap") for plan in kept[keep:])
@@ -190,13 +168,44 @@ class AdvisorTiming:
                  + self.bip_solving)
         return max(self.total - named, 0.0)
 
-    def as_figure13_row(self):
-        """The four series of Fig 13 for one workload size."""
-        return {
+    def stage_breakdown(self):
+        """Disjoint wall-clock buckets that partition ``total``.
+
+        Every named stage appears exactly once, and the residual
+        ``other`` bucket covers only the bookkeeping *between* stages —
+        so the values sum to ``total`` (to float precision) and the row
+        is safe to stack in a chart or to re-aggregate.  Contrast
+        :meth:`as_figure13_row`, whose coarser ``other`` bucket *rolls
+        up* several named stages for the paper's figure.
+        """
+        stages = {
+            "enumeration": self.enumeration,
+            "planning": self.planning,
             "cost_calculation": self.cost_calculation,
+            "pruning": self.pruning,
             "bip_construction": self.bip_construction,
             "bip_solving": self.bip_solving,
-            "other": self.other,
+            "recommendation": self.recommendation,
+        }
+        stages["other"] = max(self.total - sum(stages.values()), 0.0)
+        return stages
+
+    def as_figure13_row(self):
+        """The four series of Fig 13 for one workload size.
+
+        The figure names cost calculation, BIP construction and BIP
+        solving; everything else — enumeration, planning, pruning,
+        result extraction and inter-stage bookkeeping — is its
+        ``other`` share.  The four buckets partition ``total``.
+        """
+        stages = self.stage_breakdown()
+        return {
+            "cost_calculation": stages["cost_calculation"],
+            "bip_construction": stages["bip_construction"],
+            "bip_solving": stages["bip_solving"],
+            "other": (stages["enumeration"] + stages["planning"]
+                      + stages["pruning"] + stages["recommendation"]
+                      + stages["other"]),
             "total": self.total,
         }
 
@@ -329,7 +338,7 @@ class Advisor:
     def __init__(self, model, cost_model=None, enumerator=None,
                  optimizer=None, max_plans=500, prune_to=32,
                  support_prune_to=8, jobs=None, cache_size=8,
-                 artifact_cache_size=4096):
+                 artifact_cache_size=4096, prune_engine=None):
         self.model = model
         self.cost_model = cost_model or CassandraCostModel()
         self.enumerator = enumerator or CandidateEnumerator(model)
@@ -341,6 +350,9 @@ class Advisor:
         self.support_prune_to = support_prune_to
         #: worker threads for per-statement planning/costing (None = serial)
         self.jobs = jobs
+        #: dominance-pruning engine: "vector", "scalar" or "auto"/None
+        #: (see repro.dominance; both engines are byte-identical)
+        self.prune_engine = prune_engine
         #: prepared workloads kept (FIFO-evicted), keyed by structure
         self.cache_size = cache_size
         self._prepared = {}
@@ -351,6 +363,17 @@ class Advisor:
         self.artifacts = ArtifactStore(artifact_cache_size)
 
     # -- main entry point ----------------------------------------------------
+
+    def _effective_jobs(self, jobs=None):
+        """The one resolution path for the worker count.
+
+        Every stage that fans out — planning, costing, pruning — takes
+        its ``jobs`` through here, so a per-call override on
+        :meth:`prepare`, :meth:`recommend` or :meth:`recommend_prepared`
+        is honored everywhere instead of silently reverting to the
+        advisor-wide default mid-pipeline.
+        """
+        return self.jobs if jobs is None else jobs
 
     def recommend(self, workload, space_limit=None, jobs=None,
                   warm_start=None):
@@ -368,7 +391,8 @@ class Advisor:
             prepared = self.prepare(workload, jobs=jobs)
             return self.recommend_prepared(prepared, weights=workload,
                                            space_limit=space_limit,
-                                           warm_start=warm_start)
+                                           warm_start=warm_start,
+                                           jobs=jobs)
 
     # -- stage 1: enumeration + planning -------------------------------------
 
@@ -395,9 +419,9 @@ class Advisor:
         incremental prepares share this one code path — a fresh advisor
         simply starts with an empty store — so incremental results are
         identical to cold ones by construction.  ``jobs`` overrides the
-        advisor-wide thread count for this call.
+        advisor-wide worker count for this call.
         """
-        jobs = self.jobs if jobs is None else jobs
+        jobs = self._effective_jobs(jobs)
         active = telemetry.current()
         key = self._workload_key(workload)
         prepared = self._prepared.get(key)
@@ -481,8 +505,10 @@ class Advisor:
         the artifact key captures exactly that (see
         :meth:`~repro.planner.QueryPlanner.relevant_pool_key`), so a
         cached space is served even when unrelated parts of the pool
-        changed.  Misses are planned in parallel, store order follows
-        the workload.
+        changed.  Misses are planned on a forked process pool (the
+        plan-space DFS is CPU-bound pure Python, which threads cannot
+        speed up) — the workers only plan, the parent owns the artifact
+        store, and store order follows the workload.
         """
         store = self.artifacts
         spaces = {}
@@ -500,7 +526,8 @@ class Advisor:
                 spaces[query] = artifact.space
                 reused += 1
         planned = parallel_map(
-            lambda item: planner.plans_for(item[0]), missing, jobs=jobs)
+            lambda item: planner.plans_for(item[0]), missing, jobs=jobs,
+            backend="process")
         for (query, key), space in zip(missing, planned):
             artifact = PlanArtifact(space)
             store.put(key, artifact)
@@ -517,14 +544,22 @@ class Advisor:
         cap and a fingerprint of the pool subset each support query can
         touch.  An update counts as reused only when every one of its
         pairs was served from the store.
+
+        The parent walks the pool, resolves keys and serves store hits;
+        only the misses — the actual support-query planning — fan out,
+        one (update, column family) pair per work item on the process
+        pool.  Workers never touch the artifact store: the process
+        backend returns pickled copies, so a worker-side ``put`` would
+        populate a store the parent never sees.
         """
         store = self.artifacts
         pool = planner.pool
-
-        def plan_update(update):
+        slots = []     # (update, [artifact | position into missing])
+        stale = set()  # updates with at least one store miss
+        missing = []   # (update, index, supports, key) work items
+        for update in updates:
             signature = statement_signature(update)
             pairs = []
-            fresh = False
             for index in pool:
                 if not modifies(update, index):
                     continue
@@ -537,21 +572,31 @@ class Advisor:
                        fingerprint)
                 artifact = store.get(key)
                 if artifact is None:
-                    fresh = True
-                    plan = update_planner.plan_one(update, index,
-                                                   supports=supports)
-                    artifact = UpdatePlanArtifact(plan)
-                    store.put(key, artifact)
-                pairs.append(artifact)
-            return pairs, fresh
-
-        results = parallel_map(plan_update, updates, jobs=jobs)
+                    stale.add(update)
+                    pairs.append(len(missing))
+                    missing.append((update, index, supports, key))
+                else:
+                    pairs.append(artifact)
+            slots.append((update, pairs))
+        planned = parallel_map(
+            lambda item: update_planner.plan_one(item[0], item[1],
+                                                 supports=item[2]),
+            missing, jobs=jobs, backend="process")
+        fresh = []
+        for (update, index, supports, key), plan in zip(missing,
+                                                        planned):
+            artifact = UpdatePlanArtifact(plan)
+            store.put(key, artifact)
+            fresh.append(artifact)
         update_plans = {}
         reused = 0
-        for update, (pairs, fresh) in zip(updates, results):
-            artifacts[update] = list(pairs)
-            update_plans[update] = [artifact.plan for artifact in pairs]
-            if not fresh:
+        for update, pairs in slots:
+            resolved = [pair if isinstance(pair, UpdatePlanArtifact)
+                        else fresh[pair] for pair in pairs]
+            artifacts[update] = resolved
+            update_plans[update] = [artifact.plan
+                                    for artifact in resolved]
+            if update not in stale:
                 reused += 1
         return update_plans, reused
 
@@ -595,7 +640,8 @@ class Advisor:
         return dict(weights)
 
     def recommend_prepared(self, prepared, weights=None,
-                           space_limit=None, warm_start=None):
+                           space_limit=None, warm_start=None,
+                           jobs=None):
         """Cost, prune and solve a prepared workload.
 
         ``weights`` maps statement labels to weights; a
@@ -615,7 +661,11 @@ class Advisor:
         solver returns, so warm starting is opt-in; leave it unset when
         byte-identical reproducibility across runs matters more than
         solve time.
+
+        ``jobs`` overrides the advisor-wide worker count for this
+        call's costing and pruning stages.
         """
+        jobs = self._effective_jobs(jobs)
         timing = AdvisorTiming()
         started = time.perf_counter()
         weights = self._resolve_weights(prepared, weights)
@@ -635,8 +685,8 @@ class Advisor:
         timing.reused_statements = prepared.reused_statements
         timing.replanned_statements = prepared.replanned_statements
 
-        self._cost_prepared(prepared, timing)
-        self._prune_prepared(prepared, timing)
+        self._cost_prepared(prepared, timing, jobs=jobs)
+        self._prune_prepared(prepared, timing, jobs=jobs)
         recommendation = self._optimize_prepared(prepared, weights,
                                                  space_limit, timing,
                                                  warm_start=warm_start)
@@ -652,15 +702,18 @@ class Advisor:
                         + timing.enumeration + timing.planning)
         return recommendation
 
-    def _cost_prepared(self, prepared, timing):
+    def _cost_prepared(self, prepared, timing, jobs=None):
         """Cost all plans once per cost model (plan costs are
         weight-independent); statements are costed in parallel when
-        ``jobs`` is set — their step objects are disjoint.  Plans whose
-        artifact was already costed by this model (in an earlier
-        prepare sharing the artifact) are skipped — their step costs
-        are already in place."""
+        ``jobs`` is set — their step objects are disjoint.  Costing
+        *mutates* the shared plan objects in place (step costs, the
+        per-plan cost cache), so it must stay on the thread backend.
+        Plans whose artifact was already costed by this model (in an
+        earlier prepare sharing the artifact) are skipped — their step
+        costs are already in place."""
         if prepared._costed_by == id(self.cost_model):
             return
+        jobs = self._effective_jobs(jobs)
         active = telemetry.current()
         model_id = id(self.cost_model)
         with active.span("cost_calculation"):
@@ -692,9 +745,8 @@ class Advisor:
                         update_spaces.append(pending)
                 else:
                     update_spaces.append(plans)
-            parallel_map(cost_space, query_spaces, jobs=self.jobs)
-            parallel_map(cost_update_space, update_spaces,
-                         jobs=self.jobs)
+            parallel_map(cost_space, query_spaces, jobs=jobs)
+            parallel_map(cost_update_space, update_spaces, jobs=jobs)
             for artifact in prepared.plan_artifacts.values():
                 artifact.costed_by = model_id
             for pairs in prepared.update_artifacts.values():
@@ -715,33 +767,64 @@ class Advisor:
         timing.cost_calculation = prepared._cost_seconds
         timing.cache_hits += prepared._cost_cache_hits
 
-    def _prune_prepared(self, prepared, timing):
+    @staticmethod
+    def _pruned_hit(artifact, pruned_key):
+        """True when an artifact already carries pruning results for
+        this (cost model, cap) configuration."""
+        return artifact is not None and artifact.pruned_key == pruned_key
+
+    def _prune_prepared(self, prepared, timing, jobs=None):
         if prepared._pruned_query_plans is not None:
             return
+        jobs = self._effective_jobs(jobs)
         active = telemetry.current()
         with active.span("pruning"):
             stage = time.perf_counter()
             ledger = prepared._prune_ledger
             # pruned results are a pure function of costed plans and
             # the cap, so artifacts costed+pruned under the same model
-            # and cap serve their pruned plans and ledger records as-is
+            # and cap serve their pruned plans and ledger records as-is.
+            # Statements prune independently (each plan belongs to
+            # exactly one space), so misses fan out on threads — the
+            # vector engine's matrix products release the GIL — while
+            # the ledger is filled parent-side in workload order, hits
+            # and misses interleaved exactly as the serial loop would.
             query_key = (id(self.cost_model), self.prune_to)
             reused_prunes = 0
+
+            def prune_query(item):
+                query, plans = item
+                removals = []
+                kept = prune_plan_space(plans, self.prune_to,
+                                        removals=removals,
+                                        engine=self.prune_engine)
+                return kept, prune_record(query, len(plans), len(kept),
+                                          removals)
+
+            # hit/miss is decided once up front: statements can share
+            # an artifact object (structurally identical statements hit
+            # the same store key), and a live re-check after the first
+            # write-back would desynchronize the result iterator
+            query_items = [
+                (query, plans, prepared.plan_artifacts.get(query))
+                for query, plans in prepared.query_plans.items()]
+            query_items = [
+                (query, plans, artifact,
+                 self._pruned_hit(artifact, query_key))
+                for query, plans, artifact in query_items]
+            pending = [(query, plans)
+                       for query, plans, artifact, hit in query_items
+                       if not hit]
+            pruned = iter(parallel_map(prune_query, pending, jobs=jobs))
             pruned_query_plans = {}
-            for query, plans in prepared.query_plans.items():
-                artifact = prepared.plan_artifacts.get(query)
+            for query, plans, artifact, hit in query_items:
                 label = query.label or str(query)
-                if artifact is not None \
-                        and artifact.pruned_key == query_key:
+                if hit:
                     pruned_query_plans[query] = artifact.pruned
                     ledger[label] = artifact.record
                     reused_prunes += 1
                     continue
-                removals = []
-                kept = prune_plan_space(plans, self.prune_to,
-                                        removals=removals)
-                record = prune_record(query, len(plans), len(kept),
-                                      removals)
+                kept, record = next(pruned)
                 pruned_query_plans[query] = kept
                 ledger[label] = record
                 if artifact is not None:
@@ -750,21 +833,38 @@ class Advisor:
                     artifact.pruned_key = query_key
             prepared._pruned_query_plans = pruned_query_plans
             support_key = (id(self.cost_model), self.support_prune_to)
-            pruned_updates = {}
+
+            def prune_update(update_plan):
+                records = {}
+                pruned_plan = self._prune_update_plan(update_plan,
+                                                      records)
+                return pruned_plan, records
+
+            update_items = []
             for update, plans in prepared.update_plans.items():
                 pairs = prepared.update_artifacts.get(update)
-                pruned_plans = []
+                rows = []
                 for position, update_plan in enumerate(plans):
                     artifact = pairs[position] if pairs else None
-                    if artifact is not None \
-                            and artifact.pruned_key == support_key:
+                    rows.append((update_plan, artifact,
+                                 self._pruned_hit(artifact,
+                                                  support_key)))
+                update_items.append((update, rows))
+            pending = [update_plan
+                       for update, rows in update_items
+                       for update_plan, artifact, hit in rows
+                       if not hit]
+            pruned = iter(parallel_map(prune_update, pending, jobs=jobs))
+            pruned_updates = {}
+            for update, rows in update_items:
+                pruned_plans = []
+                for update_plan, artifact, hit in rows:
+                    if hit:
                         pruned_plans.append(artifact.pruned)
                         ledger.update(artifact.records)
                         reused_prunes += 1
                         continue
-                    records = {}
-                    pruned_plan = self._prune_update_plan(update_plan,
-                                                          records)
+                    pruned_plan, records = next(pruned)
                     pruned_plans.append(pruned_plan)
                     ledger.update(records)
                     if artifact is not None:
@@ -789,38 +889,12 @@ class Advisor:
     def _reachable_update_plans(query_plans, update_plans):
         """Drop maintenance plans for unreachable candidates.
 
-        After plan-space pruning, a candidate column family may appear
-        in no retained query plan and in no support plan reachable from
-        one.  Selecting such a candidate can only add maintenance cost
-        and storage (all costs are nonnegative), so some optimal
-        solution — also under a space limit, and for the
-        schema-minimising second solve — never selects it, and its
-        maintenance plans can be dropped from the BIP outright.  The
-        reachable set is closed transitively: a reachable candidate's
-        support plans may themselves look up further candidates.
+        Delegates to :func:`repro.dominance.reachable_update_plans`,
+        which closes the reachable-key set over bit vectors; see there
+        for the dominance argument.
         """
-        reachable = {index.key
-                     for plans in query_plans.values()
-                     for plan in plans
-                     for index in plan.indexes}
-        remaining = [update_plan for plans in update_plans.values()
-                     for update_plan in plans]
-        progress = True
-        while progress:
-            progress = False
-            deferred = []
-            for update_plan in remaining:
-                if update_plan.index.key in reachable:
-                    for plan in update_plan.support_plans:
-                        reachable.update(index.key
-                                         for index in plan.indexes)
-                    progress = True
-                else:
-                    deferred.append(update_plan)
-            remaining = deferred
-        return {update: [update_plan for update_plan in plans
-                         if update_plan.index.key in reachable]
-                for update, plans in update_plans.items()}
+        return dominance.reachable_update_plans(query_plans,
+                                                update_plans)
 
     def _optimize_prepared(self, prepared, weights, space_limit, timing,
                            warm_start=None):
@@ -900,7 +974,8 @@ class Advisor:
         for query, plans in update_plan.support_plans_by_query.items():
             removals = [] if ledger is not None else None
             kept = prune_plan_space(plans, self.support_prune_to,
-                                    removals=removals)
+                                    removals=removals,
+                                    engine=self.prune_engine)
             pruned.extend(kept)
             if ledger is not None:
                 label = query.label or str(query)

@@ -122,6 +122,10 @@ class CostModel:
         for step in plan.steps:
             step.cost = self.cost_step(step)
             total += step.cost
+        # refresh the plan's cached total (stale after re-costing with
+        # different constants or another model)
+        if hasattr(plan, "_cost"):
+            plan._cost = total
         return total
 
     def cost_update_plan(self, update_plan):
@@ -132,6 +136,8 @@ class CostModel:
         for step in update_plan.steps:
             step.cost = self.cost_step(step)
             total += step.cost
+        if hasattr(update_plan, "_update_cost"):
+            update_plan._update_cost = total
         return total
 
     # -- per-step hooks ------------------------------------------------------

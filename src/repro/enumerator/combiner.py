@@ -31,21 +31,42 @@ def combine_candidates(pool, recorder=None):
     every merge is recorded as a ``combiner-merge`` with the two parent
     candidate keys, so its provenance chain resolves through the
     parents back to the source statements.
+
+    Mergeability requires an identical partition key over an identical
+    path, so candidates are bucketed by that pair first and only pairs
+    within a bucket are compared — all cross-bucket pairs (the vast
+    majority on large pools) fail :func:`_mergeable` trivially.  Within
+    a bucket the pairwise order matches the old all-pairs scan, so each
+    merge's provenance is recorded off the same parent pair.
     """
     candidates = sorted(pool, key=lambda index: index.key)
+    if not isinstance(pool, (set, frozenset, dict)):
+        pool = set(candidates)
+    buckets = {}
+    for index in candidates:
+        if index.order_fields:
+            continue
+        bucket_key = (frozenset(f.id for f in index.hash_fields),
+                      index.path.signature)
+        buckets.setdefault(bucket_key, []).append(index)
     merged = set()
-    for i, left in enumerate(candidates):
-        for right in candidates[i + 1:]:
-            if not _mergeable(left, right):
-                continue
-            extras = dict.fromkeys(left.extra_fields)
-            extras.update(dict.fromkeys(right.extra_fields))
-            taken = set(left.hash_fields)
-            extra_fields = tuple(f for f in extras if f not in taken)
-            combined = Index(left.hash_fields, (), extra_fields, left.path)
-            if combined not in pool:
-                merged.add(combined)
-                if recorder is not None:
-                    recorder.record(combined, "combiner-merge",
-                                    parents=(left.key, right.key))
+    for members in buckets.values():
+        extras_of = [frozenset(f.id for f in index.extra_fields)
+                     for index in members]
+        for i, left in enumerate(members):
+            for j in range(i + 1, len(members)):
+                if extras_of[i] == extras_of[j]:
+                    continue
+                right = members[j]
+                extras = dict.fromkeys(left.extra_fields)
+                extras.update(dict.fromkeys(right.extra_fields))
+                taken = set(left.hash_fields)
+                extra_fields = tuple(f for f in extras if f not in taken)
+                combined = Index(left.hash_fields, (), extra_fields,
+                                 left.path)
+                if combined not in pool:
+                    merged.add(combined)
+                    if recorder is not None:
+                        recorder.record(combined, "combiner-merge",
+                                        parents=(left.key, right.key))
     return merged

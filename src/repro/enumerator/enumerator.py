@@ -101,6 +101,11 @@ class CandidateEnumerator:
         self.relax = relax
         self.combine = combine
         self.grouped = grouped
+        #: (entity name, field-id tuple or None) -> fetch index; the
+        #: per-entity point-lookup families are pure functions of the
+        #: (immutable) model, and enumeration requests the same handful
+        #: once per statement
+        self._fetch_index_memo = {}
 
     @property
     def config_key(self):
@@ -256,7 +261,12 @@ class CandidateEnumerator:
         found = set()
         count = 0
         for support in support_queries(update, index):
-            found |= self.enumerate_query(support, recorder=log)
+            # distinct (update, candidate) pairs routinely derive
+            # structurally identical support queries, so the per-query
+            # enumeration underneath is served from the same
+            # signature-keyed artifacts as workload queries
+            found |= self._enumerate_query_cached(support, log, store,
+                                                  config, active)
             count += 1
         store.put(key, EnumerationArtifact(found, log.events, count))
         return found, count
@@ -324,18 +334,29 @@ class CandidateEnumerator:
         fetches = []
         for condition in query.conditions:
             entity = condition.field.parent
-            fetches.append(entity_fetch_index(entity, [condition.field]))
-            fetches.append(entity_fetch_index(entity))
+            fetches.append(self._fetch_index(entity, (condition.field,)))
+            fetches.append(self._fetch_index(entity))
         by_entity = {}
         for field in select:
             by_entity.setdefault(field.parent, []).append(field)
         for entity, fields in by_entity.items():
-            fetches.append(entity_fetch_index(entity, fields))
-            fetches.append(entity_fetch_index(entity))
+            fetches.append(self._fetch_index(entity, tuple(fields)))
+            fetches.append(self._fetch_index(entity))
         for index in fetches:
             record(index, "id-fetch-split")
         candidates.update(fetches)
         return candidates
+
+    def _fetch_index(self, entity, fields=None):
+        """Memoized :func:`entity_fetch_index` (see ``_fetch_index_memo``)."""
+        memo_key = (entity.name,
+                    None if fields is None
+                    else tuple(field.id for field in fields))
+        cached = self._fetch_index_memo.get(memo_key)
+        if cached is None:
+            cached = self._fetch_index_memo[memo_key] = \
+                entity_fetch_index(entity, fields)
+        return cached
 
     # -- candidate construction ---------------------------------------------------
 

@@ -26,7 +26,7 @@ class Index:
     """
 
     __slots__ = ("hash_fields", "order_fields", "extra_fields", "path",
-                 "key")
+                 "key", "_all_fields", "_field_ids", "_entry_size")
 
     def __init__(self, hash_fields, order_fields, extra_fields, path):
         hash_fields = tuple(hash_fields)
@@ -55,6 +55,14 @@ class Index:
         self.extra_fields = extra_fields
         self.path = path
         self.key = self._digest()
+        # field membership is immutable, so the planner's subset checks
+        # (covers, bitset rows) read precomputed structures instead of
+        # rebuilding id sets per call; entity *counts* may change after
+        # construction (Dataset.sync_counts), so count-dependent
+        # statistics below stay dynamic properties
+        self._all_fields = hash_fields + order_fields + extra_fields
+        self._field_ids = frozenset(f.id for f in self._all_fields)
+        self._entry_size = sum(f.size for f in self._all_fields)
 
     def _digest(self):
         # the path signature is orientation-independent and includes the
@@ -90,19 +98,23 @@ class Index:
 
     @property
     def all_fields(self):
-        return self.hash_fields + self.order_fields + self.extra_fields
+        return self._all_fields
 
     def contains_field(self, field):
-        return any(f is field for f in self.all_fields)
+        return field.id in self._field_ids
 
     def covers(self, fields):
         """True if every requested field is stored in this column family."""
-        stored = {f.id for f in self.all_fields}
+        stored = self._field_ids
         return all(f.id in stored for f in fields)
+
+    def covers_ids(self, field_ids):
+        """True if every listed field id is stored in this column family."""
+        return self._field_ids.issuperset(field_ids)
 
     @property
     def all_field_ids(self):
-        return frozenset(f.id for f in self.all_fields)
+        return self._field_ids
 
     # -- path compatibility ---------------------------------------------------
 
@@ -141,7 +153,7 @@ class Index:
     @property
     def entry_size(self):
         """Average encoded size of one row, in bytes."""
-        return sum(f.size for f in self.all_fields)
+        return self._entry_size
 
     @property
     def size(self):

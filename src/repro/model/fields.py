@@ -42,10 +42,23 @@ class Field:
         self.parent = None
 
     @property
+    def parent(self):
+        """Owning entity; assigning it refreshes the cached ``id``."""
+        return self._parent
+
+    @parent.setter
+    def parent(self, entity):
+        # the id string is on the planner's hottest paths (bitset rows,
+        # binding checks), so it is computed once per ownership change
+        # rather than per access
+        self._parent = entity
+        name = entity.name if entity is not None else "?"
+        self._id = f"{name}.{self.name}"
+
+    @property
     def id(self):
         """Globally unique identifier, ``"<Entity>.<field>"``."""
-        parent = self.parent.name if self.parent is not None else "?"
-        return f"{parent}.{self.name}"
+        return self._id
 
     @property
     def cardinality(self):

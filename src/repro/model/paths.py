@@ -22,7 +22,7 @@ class KeyPath:
     has no keys.  Paths are immutable and hashable.
     """
 
-    __slots__ = ("entities", "keys", "_hash")
+    __slots__ = ("entities", "keys", "_hash", "_signature")
 
     def __init__(self, first_entity, keys=()):
         keys = tuple(keys)
@@ -39,6 +39,7 @@ class KeyPath:
         self.keys = keys
         self._hash = hash((tuple(e.name for e in self.entities),
                            tuple(k.id for k in keys)))
+        self._signature = None
 
     # -- basic protocol ----------------------------------------------------
 
@@ -84,7 +85,12 @@ class KeyPath:
         entities over the same relationship edges, in either direction.
         Distinguishes parallel relationships between the same entities
         (e.g. comments *written* vs comments *received* by a user).
+
+        Cached — paths are immutable, and the enumerator and planner
+        consult signatures once per (candidate, segment) combination.
         """
+        if self._signature is not None:
+            return self._signature
         names = tuple(entity.name for entity in self.entities)
         edges = tuple(
             "|".join(sorted((key.id,
@@ -92,7 +98,8 @@ class KeyPath:
             for key in self.keys)
         forward = (names, edges)
         backward = (names[::-1], edges[::-1])
-        return min(forward, backward)
+        self._signature = min(forward, backward)
+        return self._signature
 
     @property
     def first(self):

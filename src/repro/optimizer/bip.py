@@ -89,6 +89,8 @@ class _Program:
         self._entry_arrays = None
         self._integrality = None
         self._unit_bounds = None
+        #: lazily built index arrays for vectorized reweighting
+        self._reweight_arrays = None
         #: wall-clock seconds of the last optimize(), split so the
         #: advisor can attribute solving vs result extraction honestly
         self.solve_seconds = 0.0
@@ -214,27 +216,76 @@ class _Program:
 
     # -- re-costing -----------------------------------------------------------
 
+    def _reweight_cache(self):
+        """Index arrays mapping statements to their cost-vector slots.
+
+        Built once per program: a list of distinct statements, and for
+        each cost contribution (query plan columns, support plan
+        columns, per-column-family maintenance terms) an integer column
+        array, a base-cost array and a statement-position array.  A
+        weight change then reduces to gathers and one scatter-add over
+        these arrays instead of a Python loop over every plan column.
+        Plan base costs are stable for the program's lifetime — the
+        advisor rebuilds programs whenever the cost model re-costs.
+        """
+        if self._reweight_arrays is None:
+            statements = []
+            positions = {}
+
+            def position(statement):
+                slot = positions.get(statement.label)
+                if slot is None:
+                    slot = positions[statement.label] = len(statements)
+                    statements.append(statement)
+                return slot
+
+            plan_data = np.array(
+                [(column, plan.cost, position(query))
+                 for query, plan, column in self.plan_columns],
+                dtype=float).reshape(-1, 3)
+            support_data = np.array(
+                [(column, plan.cost, position(update_plan.update))
+                 for update_plan, _support, plan, column
+                 in self.support_columns],
+                dtype=float).reshape(-1, 3)
+            maintenance_data = np.array(
+                [(self.index_column[update_plan.index.key],
+                  update_plan.update_cost, position(update))
+                 for update, update_plans
+                 in self.problem.update_plans.items()
+                 for update_plan in update_plans],
+                dtype=float).reshape(-1, 3)
+            self._reweight_arrays = (statements, [
+                (data[:, 0].astype(np.intp), data[:, 1],
+                 data[:, 2].astype(np.intp), accumulate)
+                for data, accumulate in ((plan_data, False),
+                                         (support_data, False),
+                                         (maintenance_data, True))])
+        return self._reweight_arrays
+
     def reweight(self, weights):
         """Re-cost the program for new statement weights, in place.
 
         Choose-one rows, support gates, plan links and the space row are
         all weight-independent, so only the cost vector needs rebuilding
-        — the expensive construction work survives a weight change.
+        — the expensive construction work survives a weight change; the
+        rebuild itself is vectorized (see :meth:`_reweight_cache`).
         """
         problem = self.problem
         problem.set_weights(weights)
-        costs = [0.0] * self.columns
-        for query, plan, column in self.plan_columns:
-            costs[column] = problem.weight(query) * plan.cost
-        for update_plan, _support, plan, column in self.support_columns:
-            costs[column] = (problem.weight(update_plan.update)
-                            * plan.cost)
-        for update, update_plans in problem.update_plans.items():
-            weight = problem.weight(update)
-            for update_plan in update_plans:
-                index_column = self.index_column[update_plan.index.key]
-                costs[index_column] += weight * update_plan.update_cost
-        self.costs = costs
+        statements, groups = self._reweight_cache()
+        by_statement = np.array([problem.weight(statement)
+                                 for statement in statements])
+        costs = np.zeros(self.columns)
+        for columns, base_costs, stmt_positions, accumulate in groups:
+            if not len(columns):
+                continue
+            terms = by_statement[stmt_positions] * base_costs
+            if accumulate:
+                np.add.at(costs, columns, terms)
+            else:
+                costs[columns] = terms
+        self.costs = costs.tolist()
 
     # -- solving --------------------------------------------------------------
 
@@ -266,7 +317,8 @@ class _Program:
         return LinearConstraint(matrix, np.asarray(lower),
                                 np.asarray(upper))
 
-    def _solve(self, objective, constraints, options=None, bounds=None):
+    def _solve(self, objective, constraints, options=None, bounds=None,
+               integrality=None):
         # Only the column-family selection variables need integrality:
         # for any 0/1 selection, every plan whose column families are
         # all selected is feasible on its own (the aggregated links
@@ -274,11 +326,13 @@ class _Program:
         # attains its optimum at a pure plan — fractional plan mixes
         # can never beat the cheapest feasible plan.  Declaring the
         # plan variables continuous cuts the binaries from thousands to
-        # the number of candidates.
-        if self._integrality is None:
-            integrality = np.zeros(self.columns)
-            integrality[:len(self.indexes)] = 1
-            self._integrality = integrality
+        # the number of candidates.  ``integrality`` overrides (the LP
+        # gate passes all-zeros for the relaxation).
+        if integrality is None:
+            if self._integrality is None:
+                self._integrality = np.zeros(self.columns)
+                self._integrality[:len(self.indexes)] = 1
+            integrality = self._integrality
         if bounds is None:
             if self._unit_bounds is None:
                 self._unit_bounds = Bounds(0, 1)
@@ -286,7 +340,7 @@ class _Program:
         result = milp(
             c=np.asarray(objective),
             constraints=constraints,
-            integrality=self._integrality,
+            integrality=integrality,
             bounds=bounds,
             options=options or {},
         )
@@ -347,20 +401,16 @@ class _Program:
         upper[fixed] = 0.0
         return Bounds(0, upper)
 
-    def _warm_bound(self, warm_start):
-        """Incumbent cost bound from a previous solution, or None.
+    def _warm_bound(self, keys):
+        """Incumbent cost bound from a previous schema's keys, or None.
 
-        ``warm_start`` is a schema — a recommendation, indexes, or
-        index keys.  Evaluating it as a full solution of *this* program
+        Evaluating the schema as a full solution of *this* program
         yields a feasible objective value; solutions costing more can
         be cut off without losing any optimum.  scipy's ``milp`` has no
         MIP-start API, so this incumbent-bound cut is how a previous
         solution warm-starts the solve.  None (no cut) when the warm
         schema is infeasible for the current problem.
         """
-        if hasattr(warm_start, "indexes"):
-            warm_start = warm_start.indexes
-        keys = {getattr(index, "key", index) for index in warm_start}
         incumbent = self.problem.evaluate_schema(keys)
         active = telemetry.current()
         if incumbent is None:
@@ -374,8 +424,75 @@ class _Program:
         # satisfies cost <= incumbent < incumbent + slack
         return incumbent + 1e-7 * (1.0 + abs(incumbent))
 
+    def _cost_cut(self, bound):
+        """The base constraints plus ``cost @ x <= bound`` as one row."""
+        row = len(self._lower)
+        cut = [(row, column, value)
+               for column, value in enumerate(self.costs)
+               if value != 0.0]
+        return self._matrix(extra_entries=cut,
+                            extra_bounds=[(-np.inf, bound)])
+
+    def _solve_gated(self, constraint, options, cost_vector, gate_gap,
+                     warm_keys):
+        """LP-relaxation gate for large programs (lazy activation).
+
+        Solves the LP relaxation first, then a restricted MILP with
+        every column family the relaxation left at zero fixed out
+        (plus the warm-start incumbent's, so its bound stays
+        attainable).  Feasibility is preserved by construction: the
+        aggregated link rows force every LP-supported plan's column
+        families fractionally open, so all plans carrying LP weight
+        survive the restriction and every choose-one row keeps a
+        candidate.  The restricted optimum is accepted when it is
+        within ``gate_gap`` of the LP lower bound — a certificate that
+        no excluded column family can improve the solution by more
+        than the gap — and otherwise the full MILP runs with the
+        restricted solution as an incumbent cost cut.
+        """
+        active = telemetry.current()
+        if active.enabled:
+            active.count("bip.lp_gate_used")
+        binaries = len(self.indexes)
+        relaxed = self._solve(self.costs, [constraint], options,
+                              integrality=np.zeros(self.columns))
+        lp_bound = float(cost_vector @ relaxed.x)
+        support = relaxed.x[:binaries] > 1e-9
+        for key in warm_keys:
+            column = self.index_column.get(key)
+            if column is not None:
+                support[column] = True
+        upper = np.ones(self.columns)
+        upper[:binaries][~support] = 0.0
+        restricted = self._solve(self.costs, [constraint], options,
+                                 bounds=Bounds(0, upper))
+        best_cost = float(cost_vector @ restricted.x)
+        gap = (best_cost - lp_bound) / max(1.0, abs(best_cost))
+        if active.enabled:
+            active.gauge("bip.lp_gate_active_columns",
+                         int(support.sum()))
+            active.gauge("bip.lp_gate_inactive_columns",
+                         int(binaries - support.sum()))
+            active.gauge("bip.lp_bound", lp_bound)
+            active.gauge("bip.lp_gate_gap", gap)
+        if gap <= gate_gap:
+            if active.enabled:
+                active.count("bip.lp_gate_accepted")
+            return restricted, best_cost
+        # the restriction lost too much: full MILP, with the restricted
+        # optimum as an incumbent cost cut (it is a feasible solution
+        # of the full program, so no optimum is cut off)
+        if active.enabled:
+            active.count("bip.lp_gate_fallbacks")
+        slack = 1e-7 * (1.0 + abs(best_cost))
+        result = self._solve(self.costs,
+                             [self._cost_cut(best_cost + slack)],
+                             options)
+        return result, float(cost_vector @ result.x)
+
     def optimize(self, minimize_schema_size=True, mip_rel_gap=1e-4,
-                 time_limit=120.0, warm_start=None):
+                 time_limit=120.0, warm_start=None,
+                 lp_gate_columns=None, lp_gate_gap=0.01):
         """Two-phase solve: min cost, then min #column families.
 
         ``mip_rel_gap`` and ``time_limit`` bound the branch-and-bound
@@ -386,6 +503,13 @@ class _Program:
         for the exact semantics — the optimum is never changed, though
         equal-cost ties may resolve differently than an unassisted
         solve).
+
+        ``lp_gate_columns`` arms the LP-relaxation gate: when the
+        program has at least that many binary columns, the first solve
+        runs as LP relaxation + restricted MILP with a gap certificate
+        (see :meth:`_solve_gated`), falling back to the full MILP when
+        the certificate fails.  The result is then optimal within
+        ``lp_gate_gap`` rather than ``mip_rel_gap``.
         """
         active = telemetry.current()
         solve_started = time.perf_counter()
@@ -393,51 +517,79 @@ class _Program:
             options = {"mip_rel_gap": mip_rel_gap,
                        "time_limit": time_limit}
             cost_vector = np.asarray(self.costs)
-            bound = self._warm_bound(warm_start) \
-                if warm_start is not None else None
+            warm_keys = ()
+            bound = None
+            if warm_start is not None:
+                if hasattr(warm_start, "indexes"):
+                    warm_start = warm_start.indexes
+                warm_keys = {getattr(index, "key", index)
+                             for index in warm_start}
+                bound = self._warm_bound(warm_keys)
             if bound is None:
                 constraint = self._matrix()
             else:
-                row = len(self._lower)
-                cut = [(row, column, value)
-                       for column, value in enumerate(self.costs)
-                       if value != 0.0]
-                constraint = self._matrix(
-                    extra_entries=cut,
-                    extra_bounds=[(-np.inf, bound)])
-            result = self._solve(self.costs, [constraint], options)
-            best_cost = float(cost_vector @ result.x)
+                constraint = self._cost_cut(bound)
+            gated = (lp_gate_columns is not None
+                     and len(self.indexes) >= lp_gate_columns)
+            if gated:
+                result, best_cost = self._solve_gated(
+                    constraint, options, cost_vector, lp_gate_gap,
+                    warm_keys)
+            else:
+                result = self._solve(self.costs, [constraint], options)
+                best_cost = float(cost_vector @ result.x)
             if minimize_schema_size:
+                phase1_seconds = time.perf_counter() - solve_started
                 # pin the cost at the incumbent — slack proportional to
                 # the MIP gap, so the second solve is never knife-edge —
                 # and minimise the number of selected column families
-                row = len(self._lower)
                 tolerance = (mip_rel_gap * abs(best_cost)
                              + 1e-7 * (1.0 + abs(best_cost)))
-                cost_row = [(row, column, value)
-                            for column, value in enumerate(self.costs)
-                            if value != 0.0]
+                binaries = len(self.indexes)
+                # the phase-1 selection is feasible for phase 2 at its
+                # own cardinality, so a sum(d) <= |phase-1 schema| cut
+                # is sound and substantially narrows the search
+                cardinality = float(
+                    (result.x[:binaries] > 0.5).sum())
+                row = len(self._lower)
+                entries = [(row, column, value)
+                           for column, value in enumerate(self.costs)
+                           if value != 0.0]
+                entries.extend((row + 1, column, 1.0)
+                               for column in range(binaries))
                 constraint = self._matrix(
-                    extra_entries=cost_row,
-                    extra_bounds=[(-np.inf, best_cost + tolerance)])
+                    extra_entries=entries,
+                    extra_bounds=[(-np.inf, best_cost + tolerance),
+                                  (-np.inf, cardinality)])
                 objective = [0.0] * self.columns
-                for column in range(len(self.indexes)):
+                for column in range(binaries):
                     objective[column] = 1.0
                 # the second solve only shrinks the schema at equal
-                # cost, so it gets a bounded budget and a loose gap (its
-                # objective is a small integer count); on failure the
+                # cost — it must never dominate the runtime, so its
+                # budget matches the phase-1 solve (floor 1s, cap 30s;
+                # the old fixed 30s wall routinely timed out having
+                # improved nothing) and its gap is loose (the objective
+                # is a small integer count); on failure or timeout the
                 # phase-1 solution is kept and _extract prunes unused
                 # column families
                 phase2_options = {
                     "mip_rel_gap": max(mip_rel_gap, 0.02),
-                    "time_limit": min(time_limit, 30.0),
+                    "time_limit": min(
+                        time_limit, 30.0,
+                        max(1.0, phase1_seconds)),
                 }
                 bounds = self._phase2_bounds(best_cost, tolerance)
+                phase2_started = time.perf_counter()
                 try:
                     result = self._solve(objective, [constraint],
                                          phase2_options, bounds=bounds)
                 except OptimizationError:
                     pass
+                if active.enabled:
+                    active.gauge("bip.phase2_time_limit",
+                                 phase2_options["time_limit"])
+                    active.gauge("bip.phase2_seconds",
+                                 time.perf_counter() - phase2_started)
             extract_started = time.perf_counter()
             self.solve_seconds = extract_started - solve_started
         with active.span("recommendation"):
@@ -565,10 +717,18 @@ class BIPOptimizer:
     supports_incremental_prepare = True
 
     def __init__(self, minimize_schema_size=True, mip_rel_gap=1e-4,
-                 time_limit=120.0):
+                 time_limit=120.0, lp_gate_columns=2048,
+                 lp_gate_gap=0.01):
         self.minimize_schema_size = minimize_schema_size
         self.mip_rel_gap = mip_rel_gap
         self.time_limit = time_limit
+        #: binary-column count from which the first solve runs as an
+        #: LP relaxation + restricted MILP with a gap certificate
+        #: (None disables the gate); the default is far above every
+        #: demo workload, so small programs keep the exact path
+        self.lp_gate_columns = lp_gate_columns
+        #: accepted optimality gap versus the LP lower bound
+        self.lp_gate_gap = lp_gate_gap
 
     def prepare(self, problem, previous=None):
         """Construct the program (the 'BIP construction' stage).
@@ -601,7 +761,9 @@ class BIPOptimizer:
         return program.optimize(self.minimize_schema_size,
                                 mip_rel_gap=self.mip_rel_gap,
                                 time_limit=self.time_limit,
-                                warm_start=warm_start)
+                                warm_start=warm_start,
+                                lp_gate_columns=self.lp_gate_columns,
+                                lp_gate_gap=self.lp_gate_gap)
 
     def solve(self, problem, warm_start=None):
         """Construct and solve in one call."""

@@ -33,15 +33,23 @@ class QueryPlan:
     def __init__(self, query, steps):
         self.query = query
         self.steps = tuple(steps)
+        #: total cost stamped by the last cost-model pass (the steps are
+        #: immutable, so dominance pruning and BIP construction read the
+        #: cached scalar instead of re-summing step costs per access)
+        self._cost = None
+        self._indexes = None
+        self._signature = None
 
     @property
     def indexes(self):
         """Distinct column families used, in first-use order."""
-        seen = {}
-        for step in self.steps:
-            if isinstance(step, IndexLookupStep):
-                seen.setdefault(step.index.key, step.index)
-        return tuple(seen.values())
+        if self._indexes is None:
+            seen = {}
+            for step in self.steps:
+                if isinstance(step, IndexLookupStep):
+                    seen.setdefault(step.index.key, step.index)
+            self._indexes = tuple(seen.values())
+        return self._indexes
 
     @property
     def lookup_steps(self):
@@ -51,12 +59,15 @@ class QueryPlan:
     @property
     def cost(self):
         """Total plan cost; requires a prior cost-model pass."""
+        if self._cost is not None:
+            return self._cost
         total = 0.0
         for step in self.steps:
             if step.cost is None:
                 raise ValueError(
                     f"step {step!r} has no cost; run a cost model first")
             total += step.cost
+        self._cost = total
         return total
 
     @property
@@ -67,13 +78,15 @@ class QueryPlan:
     @property
     def signature(self):
         """Stable identity for de-duplication within a plan space."""
-        parts = []
-        for step in self.steps:
-            if isinstance(step, IndexLookupStep):
-                parts.append(f"L:{step.index.key}")
-            else:
-                parts.append(type(step).__name__[0])
-        return "|".join(parts)
+        if self._signature is None:
+            parts = []
+            for step in self.steps:
+                if isinstance(step, IndexLookupStep):
+                    parts.append(f"L:{step.index.key}")
+                else:
+                    parts.append(type(step).__name__[0])
+            self._signature = "|".join(parts)
+        return self._signature
 
     def describe(self):
         lines = [f"Plan for {self.query.label or self.query}:"]
@@ -102,6 +115,9 @@ class UpdatePlan:
         self.steps = tuple(steps)
         #: support queries whose plan spaces hit the planner cap
         self.truncated_support = tuple(truncated_support)
+        #: update-step cost stamped by the last cost-model pass
+        self._update_cost = None
+        self._by_query = None
 
     @property
     def update_steps(self):
@@ -111,12 +127,15 @@ class UpdatePlan:
     @property
     def update_cost(self):
         """Cost of the put/delete work alone (C'_mn in the paper's BIP)."""
+        if self._update_cost is not None:
+            return self._update_cost
         total = 0.0
         for step in self.steps:
             if step.cost is None:
                 raise ValueError(
                     f"step {step!r} has no cost; run a cost model first")
             total += step.cost
+        self._update_cost = total
         return total
 
     @property
@@ -133,11 +152,17 @@ class UpdatePlan:
 
     @property
     def support_plans_by_query(self):
-        """Support-query plan spaces, grouped per support query."""
-        grouped = {}
-        for plan in self.support_plans:
-            grouped.setdefault(plan.query, []).append(plan)
-        return grouped
+        """Support-query plan spaces, grouped per support query.
+
+        Cached — the plan tuple is immutable and the grouping is read
+        repeatedly by the BIP builder and the explain renderers.
+        """
+        if self._by_query is None:
+            grouped = {}
+            for plan in self.support_plans:
+                grouped.setdefault(plan.query, []).append(plan)
+            self._by_query = grouped
+        return self._by_query
 
     def describe(self):
         label = self.update.label or str(self.update)

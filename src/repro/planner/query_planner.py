@@ -22,6 +22,8 @@ from __future__ import annotations
 import hashlib
 import itertools
 
+import numpy as np
+
 from repro import telemetry
 from repro.exceptions import PlanningError
 from repro.parallel import parallel_map
@@ -74,6 +76,34 @@ class QueryPlanner:
                         and index.hash_fields == (single.id_field,):
                     self._fetches.setdefault(single.name,
                                              []).append(index)
+        # -- pool bitset layout (vectorized membership checks) ---------
+        # one row per candidate, columns ordered by candidate key; a
+        # path-segment membership mask per registered segment signature
+        # lets relevant_pool_key() union pool subsets as boolean ORs
+        # instead of Python set unions, and the per-entity fetch
+        # matrices below answer "which point-lookup candidates cover
+        # these fields" as one vectorized row scan
+        keys = sorted(index.key for index in self.pool)
+        self._sorted_keys = keys
+        position = {key: column for column, key in enumerate(keys)}
+        self._segment_masks = {}
+        for signature, members in self._segments.items():
+            mask = np.zeros(len(keys), dtype=bool)
+            for index in members:
+                mask[position[index.key]] = True
+            self._segment_masks[signature] = mask
+        #: entity name -> (options, field-id columns, bool matrix); one
+        #: row per fetch candidate, one column per stored field id
+        self._fetch_matrices = {}
+        #: (entity name, frozenset of field ids) -> covering candidates
+        self._fetch_memo = {}
+        #: reversed-path signature -> relevant-pool fingerprint; the
+        #: relevant subset is a function of the path alone
+        self._pool_key_memo = {}
+        #: candidate key -> expected entries, stable for this planner's
+        #: lifetime (one prepare); entity counts only change between
+        #: prepares (Dataset.sync_counts), never inside one
+        self._entries_memo = {}
 
     # -- public API ---------------------------------------------------------
 
@@ -129,6 +159,20 @@ class QueryPlanner:
         """Pool indexes defined over exactly this path segment."""
         return self._segments.get(segment.signature, [])
 
+    def entries_of(self, index):
+        """``index.entries``, memoized for this planner's lifetime.
+
+        The expected row count walks the index path's cardinalities on
+        every access; the planner reads it once per (candidate,
+        predicate) binding attempt, so the walk is done once per
+        candidate instead.
+        """
+        try:
+            return self._entries_memo[index.key]
+        except KeyError:
+            entries = self._entries_memo[index.key] = index.entries
+            return entries
+
     def relevant_pool_key(self, query):
         """Fingerprint of the pool subset that can serve ``query``.
 
@@ -140,24 +184,75 @@ class QueryPlanner:
         with the same fingerprint for a query therefore yield identical
         plan spaces, which is what lets the advisor reuse per-statement
         plan artifacts across pool changes elsewhere in the workload.
+
+        The subset depends on the query's *path* only, so fingerprints
+        are memoized per reversed-path signature, and the subset union
+        is a boolean OR over the precomputed segment membership masks
+        (one row per candidate) rather than a Python set union.
         """
         rpath = query.key_path.reverse() if len(query.key_path) > 1 \
             else query.key_path
+        memo_key = rpath.signature
+        cached = self._pool_key_memo.get(memo_key)
+        if cached is not None:
+            return cached
         length = len(rpath)
         signatures = set()
         for start in range(length):
             for end in range(start, length):
                 signatures.add(rpath[start:end + 1].signature)
-        keys = sorted({index.key
-                       for signature in signatures
-                       for index in self._segments.get(signature, ())})
+        mask = np.zeros(len(self._sorted_keys), dtype=bool)
+        for signature in signatures:
+            member = self._segment_masks.get(signature)
+            if member is not None:
+                mask |= member
+        keys = [key for key, hit in zip(self._sorted_keys, mask) if hit]
         payload = "\n".join(keys).encode("utf-8")
-        return hashlib.sha256(payload).hexdigest()[:16]
+        fingerprint = hashlib.sha256(payload).hexdigest()[:16]
+        self._pool_key_memo[memo_key] = fingerprint
+        return fingerprint
 
     def fetch_indexes(self, entity, fields):
-        """Point-lookup indexes ``[E.id][][...]`` covering ``fields``."""
-        options = self._fetches.get(entity.name, [])
-        return [index for index in options if index.covers(fields)]
+        """Point-lookup indexes ``[E.id][][...]`` covering ``fields``.
+
+        Coverage is answered from a per-entity bitset matrix — one row
+        per fetch candidate, one column per stored field id — and
+        memoized per (entity, field-id set): support planning asks the
+        same questions for every (update, column family) pair, millions
+        of times on large pools.
+        """
+        ids = frozenset(f.id for f in fields)
+        memo_key = (entity.name, ids)
+        cached = self._fetch_memo.get(memo_key)
+        if cached is not None:
+            return cached
+        entry = self._fetch_matrices.get(entity.name)
+        if entry is None:
+            options = self._fetches.get(entity.name, [])
+            columns = {}
+            for option in options:
+                for field_id in option.all_field_ids:
+                    columns.setdefault(field_id, len(columns))
+            matrix = np.zeros((len(options), len(columns)), dtype=bool)
+            for row, option in enumerate(options):
+                for field_id in option.all_field_ids:
+                    matrix[row, columns[field_id]] = True
+            entry = (options, columns, matrix)
+            self._fetch_matrices[entity.name] = entry
+        options, columns, matrix = entry
+        try:
+            wanted = [columns[field_id] for field_id in ids]
+        except KeyError:
+            # some requested field is stored by no fetch candidate
+            self._fetch_memo[memo_key] = []
+            return []
+        if options:
+            hits = matrix[:, wanted].all(axis=1)
+            result = [option for option, hit in zip(options, hits) if hit]
+        else:
+            result = []
+        self._fetch_memo[memo_key] = result
+        return result
 
 
 def _servable_segments(index):
@@ -242,6 +337,12 @@ class _PlannerState:
                          end + 1)
             segment_conditions = self._conditions_in(span, consumed)
             for index in self.planner.segment_indexes(segment):
+                # once the cap is hit no plan can ever be added again, so
+                # stop iterating instead of binding candidates that only
+                # bounce off the cap while the recursion unwinds
+                if len(self.plans) >= self.max_plans:
+                    self.truncated = True
+                    return
                 binding = self._bind(index, segment_conditions, pivot)
                 if binding is None:
                     continue
@@ -261,7 +362,7 @@ class _PlannerState:
         by_field = {c.field.id: c for c in conditions}
         served = []
         eq_fields = []
-        per_binding_raw = index.entries
+        per_binding_raw = self.planner.entries_of(index)
         for field in index.hash_fields:
             if pivot is not None and field is pivot:
                 eq_fields.append(field)
@@ -346,6 +447,9 @@ class _PlannerState:
         if fetch_groups is None:
             return
         for fetch_combo in fetch_groups:
+            if len(self.plans) >= self.max_plans:
+                self.truncated = True
+                return
             combo_steps = list(new_steps)
             combo_out = out
             combo_consumed = set(new_consumed)
@@ -418,21 +522,39 @@ class _PlannerState:
                 per_entity.append(options)
             variants = [tuple(combo)
                         for combo in itertools.product(*per_entity)]
+        # compute each variant's signature from the step skeleton and skip
+        # duplicates before building any step or plan objects — distinct
+        # DFS branches converge on the same plan far more often than not,
+        # so most variants never get past this string check
+        prefix_parts = []
+        for step in steps:
+            if isinstance(step, IndexLookupStep):
+                prefix_parts.append(f"L:{step.index.key}")
+            else:
+                prefix_parts.append(type(step).__name__[0])
+        needs_sort = bool(self.order_by) and not order_served
+        limit = getattr(self.query, "limit", None)
+        suffix_parts = ([SortStep.__name__[0]] if needs_sort else []) \
+            + ([LimitStep.__name__[0]] if limit is not None else [])
         last_variant = len(variants) - 1
         for variant, fetch_indexes in enumerate(variants):
-            final_steps = list(steps)
-            out = cardinality
-            for fetch_index in fetch_indexes:
-                final_steps.append(IndexLookupStep(
-                    fetch_index, out, out, out,
-                    eq_fields=fetch_index.hash_fields, is_fetch=True))
-            if self.order_by and not order_served:
-                final_steps.append(SortStep(self.order_by, out))
-            limit = getattr(self.query, "limit", None)
-            if limit is not None:
-                final_steps.append(LimitStep(limit, out))
-            plan = QueryPlan(self.query, final_steps)
-            self.plans.setdefault(plan.signature, plan)
+            parts = list(prefix_parts)
+            parts.extend(f"L:{fetch_index.key}"
+                         for fetch_index in fetch_indexes)
+            parts.extend(suffix_parts)
+            signature = "|".join(parts)
+            if signature not in self.plans:
+                final_steps = list(steps)
+                out = cardinality
+                for fetch_index in fetch_indexes:
+                    final_steps.append(IndexLookupStep(
+                        fetch_index, out, out, out,
+                        eq_fields=fetch_index.hash_fields, is_fetch=True))
+                if needs_sort:
+                    final_steps.append(SortStep(self.order_by, out))
+                if limit is not None:
+                    final_steps.append(LimitStep(limit, out))
+                self.plans[signature] = QueryPlan(self.query, final_steps)
             if len(self.plans) >= self.max_plans:
                 if variant < last_variant:
                     self.truncated = True

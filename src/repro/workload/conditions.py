@@ -24,7 +24,7 @@ class Condition:
     the statement's path.  Conditions are immutable value objects.
     """
 
-    __slots__ = ("field", "operator", "parameter")
+    __slots__ = ("field", "operator", "parameter", "_selectivity")
 
     def __init__(self, field, operator, parameter=None):
         if operator not in OPERATORS:
@@ -33,6 +33,7 @@ class Condition:
         self.operator = operator
         #: name of the placeholder supplying the comparison value
         self.parameter = parameter if parameter else field.name
+        self._selectivity = None
 
     @property
     def is_equality(self):
@@ -44,10 +45,19 @@ class Condition:
 
     @property
     def selectivity(self):
-        """Fraction of rows expected to satisfy this predicate."""
-        if self.is_equality:
-            return 1.0 / max(self.field.cardinality, 1)
-        return RANGE_SELECTIVITY
+        """Fraction of rows expected to satisfy this predicate.
+
+        Cached on first access — the planner consults it once per
+        (candidate, predicate) binding attempt, millions of times on
+        large pools, and field cardinalities are fixed while a
+        statement is being planned.
+        """
+        if self._selectivity is None:
+            if self.is_equality:
+                self._selectivity = 1.0 / max(self.field.cardinality, 1)
+            else:
+                self._selectivity = RANGE_SELECTIVITY
+        return self._selectivity
 
     def matches(self, value, bound):
         """Evaluate the predicate for a concrete row/parameter value.

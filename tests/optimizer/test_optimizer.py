@@ -90,6 +90,49 @@ def test_bip_matches_brute_force_write_heavy(hotel, pool, statements):
     assert bip.total_cost == pytest.approx(brute.total_cost, rel=1e-6)
 
 
+def test_lp_gate_matches_exact_solve(hotel, pool, statements):
+    """Forcing the LP-relaxation gate must not change the outcome on a
+    brute-forceable instance (accept path or full-MILP fallback)."""
+    from repro import telemetry
+
+    problem = _problem(hotel, pool, statements)
+    exact = BIPOptimizer(lp_gate_columns=None).solve(problem)
+    with telemetry.activate() as sink:
+        gated = BIPOptimizer(lp_gate_columns=1).solve(
+            _problem(hotel, pool, statements))
+    counters = sink.report().metrics["counters"]
+    assert counters["bip.lp_gate_used"] == 1
+    assert counters.get("bip.lp_gate_accepted", 0) \
+        + counters.get("bip.lp_gate_fallbacks", 0) == 1
+    assert gated.total_cost == pytest.approx(exact.total_cost,
+                                             rel=1e-6)
+    assert {i.key for i in gated.indexes} \
+        == {i.key for i in exact.indexes}
+
+
+def test_lp_gate_write_heavy_matches_brute_force(hotel, pool,
+                                                 statements):
+    problem = _problem(hotel, pool, statements,
+                       weights=(1.0, 1.0, 500.0))
+    brute = BruteForceOptimizer().solve(problem)
+    gated = BIPOptimizer(lp_gate_columns=1, lp_gate_gap=0.0).solve(
+        _problem(hotel, pool, statements, weights=(1.0, 1.0, 500.0)))
+    assert gated.total_cost == pytest.approx(brute.total_cost,
+                                             rel=1e-6)
+
+
+def test_reweight_matches_fresh_build(hotel, pool, statements):
+    """The vectorized reweight must equal a from-scratch cost vector."""
+    optimizer = BIPOptimizer()
+    program = optimizer.prepare(_problem(hotel, pool, statements))
+    new_weights = {"rooms_in_city": 3.0, "room_number": 0.25,
+                   "set_rate": 7.5}
+    optimizer.reweight(program, new_weights)
+    fresh = optimizer.prepare(_problem(hotel, pool, statements,
+                                       weights=(3.0, 0.25, 7.5)))
+    assert program.costs == pytest.approx(fresh.costs)
+
+
 def test_write_pressure_reduces_denormalization(hotel, pool, statements):
     """Heavier updates must never enlarge the schema's update exposure."""
     read_heavy = BIPOptimizer().solve(
@@ -152,6 +195,22 @@ def test_two_phase_minimizes_schema_size(hotel, pool, statements):
     assert minimal.total_cost == pytest.approx(greedy.total_cost,
                                                rel=1e-3)
     assert len(minimal.indexes) <= len(greedy.indexes)
+
+
+def test_phase2_budget_proportional_to_phase1(hotel, pool, statements):
+    """The schema-minimization solve gets a budget proportional to the
+    phase-1 solve (never the fixed 30s wall the scaling bench exposed),
+    and reports how long it actually ran."""
+    from repro import telemetry
+
+    problem = _problem(hotel, pool, statements)
+    with telemetry.activate() as sink:
+        BIPOptimizer(minimize_schema_size=True).solve(problem)
+    gauges = sink.report().metrics["gauges"]
+    assert 1.0 <= gauges["bip.phase2_time_limit"] <= 30.0
+    # a sub-second phase 1 must clamp phase 2 to the 1s floor
+    assert gauges["bip.phase2_time_limit"] == pytest.approx(1.0)
+    assert gauges["bip.phase2_seconds"] < 1.5
 
 
 def test_brute_force_size_guard(hotel, pool, statements):

@@ -1,10 +1,11 @@
 """Tests for the ordered parallel map and its failure annotation."""
 
+import os
 import sys
 
 import pytest
 
-from repro import telemetry
+from repro import parallel, telemetry
 from repro.parallel import describe_item, parallel_map
 
 
@@ -59,7 +60,8 @@ def test_worker_spans_adopt_caller_span():
             def work(item):
                 with telemetry.current().span(f"item-{item}"):
                     return item
-            assert parallel_map(work, [1, 2, 3], jobs=3) == [1, 2, 3]
+            assert parallel_map(work, [1, 2, 3], jobs=3,
+                                force=True) == [1, 2, 3]
     report = sink.report()
     stage_record, = report.spans
     assert stage_record["name"] == "stage"
@@ -74,4 +76,91 @@ def test_worker_spans_adopt_caller_span():
 def test_serial_path_records_no_pool_metrics():
     with telemetry.activate() as sink:
         parallel_map(lambda n: n, [1, 2, 3], jobs=1)
+    assert "parallel.batches" not in sink.report().metrics["counters"]
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown parallel backend"):
+        parallel_map(lambda n: n, [1, 2], jobs=2, backend="rayon")
+
+
+def test_process_backend_preserves_input_order():
+    items = list(range(50))
+    assert parallel_map(lambda n: n * 3, items, jobs=4,
+                        backend="process", force=True) \
+        == [n * 3 for n in items]
+
+
+def test_process_backend_first_exception_in_input_order():
+    # two failures land in different chunks; the one earliest in the
+    # *input* wins, exactly as the serial loop would raise it
+    def explode(item):
+        if item.label.startswith("bad"):
+            raise ValueError(item.label)
+        return item.label
+
+    items = [_Labelled(f"ok{i}") for i in range(12)]
+    items[3] = _Labelled("bad-early")
+    items[11] = _Labelled("bad-late")
+    with pytest.raises(ValueError, match="bad-early") as exc_info:
+        parallel_map(explode, items, jobs=4, backend="process",
+                     force=True)
+    error = exc_info.value
+    assert error.parallel_item == "while processing bad-early"
+    if sys.version_info >= (3, 11):
+        assert "while processing bad-early" \
+            in getattr(error, "__notes__", [])
+
+
+def test_process_backend_killed_worker_raises_not_hangs():
+    from concurrent.futures.process import BrokenProcessPool
+
+    def die(n):
+        os._exit(13)
+
+    with pytest.raises(BrokenProcessPool):
+        parallel_map(die, list(range(8)), jobs=2, backend="process",
+                     force=True)
+
+
+def test_small_work_falls_back_serially_with_counter():
+    with telemetry.activate() as sink:
+        result = parallel_map(lambda n: n, list(range(5)), jobs=4,
+                              cost_hint=1e-6)
+    counters = sink.report().metrics["counters"]
+    assert result == list(range(5))
+    assert counters["parallel.fallback_serial"] == 1
+    assert counters["parallel.fallback_serial.small-work"] == 1
+    assert "parallel.batches" not in counters
+
+
+def test_measured_fallback_skips_pool_for_fast_items():
+    # no cost hint: the first item is timed and trivially fast work
+    # never reaches a pool
+    with telemetry.activate() as sink:
+        result = parallel_map(lambda n: n + 1, list(range(4)), jobs=4)
+    counters = sink.report().metrics["counters"]
+    assert result == [1, 2, 3, 4]
+    assert counters["parallel.fallback_serial"] == 1
+    assert "parallel.batches" not in counters
+
+
+def test_single_cpu_host_falls_back_serially(monkeypatch):
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 1)
+    with telemetry.activate() as sink:
+        result = parallel_map(lambda n: n * 2, [1, 2, 3], jobs=4,
+                              backend="process")
+    counters = sink.report().metrics["counters"]
+    assert result == [2, 4, 6]
+    assert counters["parallel.fallback_serial.single-cpu"] == 1
+
+
+def test_nested_process_fanout_runs_serial(monkeypatch):
+    # a forked worker inherits a non-None _WORK and must not fork
+    # grandchildren
+    monkeypatch.setattr(parallel, "_WORK", (None, None))
+    with telemetry.activate() as sink:
+        result = parallel_map(lambda n: n * 2, [1, 2], jobs=4,
+                              backend="process", force=True)
+    assert result == [2, 4]
     assert "parallel.batches" not in sink.report().metrics["counters"]

@@ -50,6 +50,31 @@ def test_recommend_equals_prepared_cold(hotel_setup):
     assert staged.timing.planning > 0
 
 
+def test_process_planned_prepare_matches_serial(hotel_setup,
+                                                monkeypatch):
+    """jobs=N planning on the forked process pool is byte-identical to
+    the serial path: worker results are pickled copies, and everything
+    downstream matches plans and column families by key, not identity.
+    """
+    import json
+
+    from repro import parallel
+    from repro.explain import explain_document
+
+    model, workload = hotel_setup
+    serial = json.dumps(
+        explain_document(Advisor(model).recommend(workload)),
+        sort_keys=True)
+    # defeat the pays-for-itself heuristics so the pool really runs,
+    # even on a single-CPU host
+    monkeypatch.setattr(parallel.os, "cpu_count", lambda: 2)
+    monkeypatch.setattr(parallel, "MIN_PARALLEL_SECONDS", 0.0)
+    forked = json.dumps(
+        explain_document(Advisor(model, jobs=2).recommend(workload)),
+        sort_keys=True)
+    assert forked == serial
+
+
 def test_recommend_equals_prepared_warm(hotel_setup):
     model, workload = hotel_setup
     advisor = Advisor(model)
@@ -227,6 +252,28 @@ def test_timing_other_covers_unnamed_stages(hotel_setup):
     named = (row["cost_calculation"] + row["bip_construction"]
              + row["bip_solving"])
     assert row["other"] == pytest.approx(row["total"] - named)
+
+
+def test_stage_breakdown_partitions_total(hotel_setup):
+    """The fine-grained buckets are disjoint and sum to the total —
+    the invariant that makes benchmark stage rows safe to stack.
+    as_figure13_row's coarse "other" must equal the rolled-up unnamed
+    buckets, not re-include any named one."""
+    model, _workload = hotel_setup
+    timing = Advisor(model).recommend(hotel_workload(model)).timing
+    breakdown = timing.stage_breakdown()
+    assert set(breakdown) == {
+        "enumeration", "planning", "cost_calculation", "pruning",
+        "bip_construction", "bip_solving", "recommendation", "other"}
+    assert all(seconds >= 0.0 for seconds in breakdown.values())
+    assert sum(breakdown.values()) == pytest.approx(timing.total)
+    fig13 = timing.as_figure13_row()
+    assert sum(value for key, value in fig13.items()
+               if key != "total") == pytest.approx(timing.total)
+    assert fig13["other"] == pytest.approx(
+        breakdown["enumeration"] + breakdown["planning"]
+        + breakdown["pruning"] + breakdown["recommendation"]
+        + breakdown["other"])
 
 
 def test_timing_counters_survive_prepared_round_trip(hotel_setup):
