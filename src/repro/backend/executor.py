@@ -14,6 +14,7 @@ discussion of the 100x write mix), which NoSE plans do not assume.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.backend.dataset import materialize_rows
 from repro.backend.store import Store
 from repro.exceptions import ExecutionError
@@ -31,7 +32,8 @@ class ExecutionEngine:
     """Executes one schema recommendation's plans over a store."""
 
     def __init__(self, model, recommendation, dataset, store=None,
-                 share_reads=False, update_protocol="nose"):
+                 share_reads=False, update_protocol="nose",
+                 recorder=None):
         if update_protocol not in ("nose", "expert"):
             raise ExecutionError(
                 f"unknown update protocol {update_protocol!r}")
@@ -40,6 +42,13 @@ class ExecutionEngine:
         self.dataset = dataset
         self.store = store or Store()
         self.share_reads = share_reads
+        #: optional flight recorder (see :mod:`repro.profile`)
+        #: receiving per-statement store-metric deltas; also wired into
+        #: the store for per-operation latency observations
+        self.recorder = recorder
+        if recorder is not None:
+            self.store.recorder = recorder
+        self._observe_depth = 0
         #: "nose" follows the paper's §VI-B protocol — delete the records
         #: for the old data, then insert records for the new data;
         #: "expert" upserts only the rows that actually changed (the
@@ -110,10 +119,73 @@ class ExecutionEngine:
             self._transaction_cache = None
         return self.store.metrics.simulated_ms - started
 
+    # -- observation ---------------------------------------------------------
+
+    def _observed(self, kind, label, run, *args):
+        """Run one statement under the flight-recorder/telemetry hooks.
+
+        Measures the store-metric deltas (rows scanned, partitions
+        touched, bytes transferred, maintenance puts/deletes) and the
+        simulated-clock delta the statement causes, and publishes them
+        per statement — to the attached recorder and, when telemetry is
+        active, to the process-wide sink as an ``exec.*`` span plus
+        counters and latency histograms.  Support queries executed
+        inside an update are charged to the update, never double-counted
+        under their own label (``_observe_depth`` suppresses nesting).
+        """
+        active = telemetry.current()
+        metrics = self.store.metrics
+        before = metrics.snapshot()
+        self._observe_depth += 1
+        try:
+            if active.enabled:
+                with active.span(f"exec.{kind}", label=label):
+                    result = run(*args)
+            else:
+                result = run(*args)
+        finally:
+            self._observe_depth -= 1
+        after = metrics.snapshot()
+        delta = {name: after[name] - before[name] for name in after}
+        if self.recorder is not None:
+            self.recorder.record_statement(label, kind, delta)
+        if active.enabled:
+            elapsed = delta["simulated_ms"]
+            buckets = telemetry.LATENCY_BUCKETS_MS
+            active.count("exec.requests")
+            active.observe("exec.latency_ms", elapsed, buckets=buckets)
+            active.observe(f"exec.latency_ms.{label}", elapsed,
+                           buckets=buckets)
+            for name in ("rows_read", "rows_scanned", "bytes_read",
+                         "partitions_touched"):
+                if delta[name]:
+                    active.count(f"store.{name}", delta[name])
+            if kind == "update":
+                for name in ("puts", "deletes", "rows_written",
+                             "rows_deleted"):
+                    if delta[name]:
+                        active.count(f"exec.maintenance_{name}",
+                                     delta[name])
+        return result
+
     # -- queries ------------------------------------------------------------------
 
     def execute_query(self, query, params, plan=None):
-        """Run a query plan; returns distinct selected rows as dicts."""
+        """Run a query plan; returns distinct selected rows as dicts.
+
+        When a flight recorder is attached or telemetry is active, the
+        execution is observed per statement (store-metric deltas,
+        simulated latency); otherwise this is a plain dispatch.
+        """
+        if self._observe_depth == 0 and (
+                self.recorder is not None
+                or telemetry.current().enabled):
+            return self._observed("query", query.label or str(query),
+                                  self._execute_query, query, params,
+                                  plan)
+        return self._execute_query(query, params, plan)
+
+    def _execute_query(self, query, params, plan=None):
         if plan is None:
             plan = self._query_plans.get(query.label)
         if plan is None:
@@ -221,7 +293,17 @@ class ExecutionEngine:
         """Run an update: support queries, dataset mutation, and row-level
         maintenance of every recommended column family it modifies.
 
-        Returns the number of store rows written plus deleted."""
+        Returns the number of store rows written plus deleted.  Observed
+        per statement (support queries included) when a flight recorder
+        is attached or telemetry is active."""
+        if self._observe_depth == 0 and (
+                self.recorder is not None
+                or telemetry.current().enabled):
+            return self._observed("update", update.label or str(update),
+                                  self._execute_update, update, params)
+        return self._execute_update(update, params)
+
+    def _execute_update(self, update, params):
         plans = self._update_plans.get(update.label, [])
         for update_plan in plans:
             for support_plans in \

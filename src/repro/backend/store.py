@@ -29,7 +29,7 @@ class StoreMetrics:
 
     __slots__ = ("gets", "puts", "deletes", "rows_read", "rows_scanned",
                  "rows_written", "rows_deleted", "bytes_read",
-                 "simulated_ms")
+                 "partitions_touched", "simulated_ms")
 
     def __init__(self):
         self.reset()
@@ -43,6 +43,7 @@ class StoreMetrics:
         self.rows_written = 0
         self.rows_deleted = 0
         self.bytes_read = 0
+        self.partitions_touched = 0
         self.simulated_ms = 0.0
 
     def snapshot(self):
@@ -62,11 +63,15 @@ class ColumnFamily:
     columns from them.
     """
 
-    def __init__(self, index, latency, metrics):
+    def __init__(self, index, latency, metrics, store=None):
         self.index = index
         self.name = index.key
         self._latency = latency
         self._metrics = metrics
+        #: owning store, consulted for the optional per-op flight
+        #: recorder (one attribute read per charged operation when
+        #: nothing is recording)
+        self._store = store
         self._hash_ids = tuple(f.id for f in index.hash_fields)
         self._order_ids = tuple(f.id for f in index.order_fields)
         self._extra_ids = tuple(f.id for f in index.extra_fields)
@@ -101,8 +106,12 @@ class ColumnFamily:
 
     # -- operations --------------------------------------------------------------
 
+    def _recorder(self):
+        return self._store.recorder if self._store is not None else None
+
     def put(self, row, charge=True):
-        """Upsert one record (Cassandra put semantics)."""
+        """Upsert one record (Cassandra put semantics).  Returns the
+        record's partition tuple (for batch partition accounting)."""
         partition, clustering = self._keys_of(row)
         bucket = self._partitions.setdefault(partition, [])
         position = bisect_left(bucket, _clustering_key(clustering),
@@ -118,18 +127,36 @@ class ColumnFamily:
         if charge:
             self._metrics.puts += 1
             self._metrics.rows_written += 1
-            self._metrics.simulated_ms += self._latency.put_time(1)
+            self._metrics.partitions_touched += 1
+            elapsed = self._latency.put_time(1)
+            self._metrics.simulated_ms += elapsed
+            recorder = self._recorder()
+            if recorder is not None:
+                recorder.observe_op(self.name, "put", rows=1,
+                                    row_bytes=self._row_bytes,
+                                    time_ms=elapsed)
+        return partition
 
     def put_many(self, rows, charge=True):
         """Batch upsert, charged as a single request."""
         count = 0
+        partitions = set()
         for row in rows:
-            self.put(row, charge=False)
+            partition = self.put(row, charge=False)
             count += 1
+            if charge:
+                partitions.add(partition)
         if charge and count:
             self._metrics.puts += 1
             self._metrics.rows_written += count
-            self._metrics.simulated_ms += self._latency.put_time(count)
+            self._metrics.partitions_touched += len(partitions)
+            elapsed = self._latency.put_time(count)
+            self._metrics.simulated_ms += elapsed
+            recorder = self._recorder()
+            if recorder is not None:
+                recorder.observe_op(self.name, "put", rows=count,
+                                    row_bytes=self._row_bytes,
+                                    time_ms=elapsed)
         return count
 
     def get(self, partition, prefix=(), range_filter=None, limit=None,
@@ -172,10 +199,18 @@ class ColumnFamily:
             self._metrics.gets += 1
             self._metrics.rows_read += len(rows)
             self._metrics.rows_scanned += scanned
+            self._metrics.partitions_touched += 1
             returned_bytes = len(rows) * self._row_bytes
             self._metrics.bytes_read += returned_bytes
-            self._metrics.simulated_ms += self._latency.get_time(
-                scanned, returned_bytes)
+            elapsed = self._latency.get_time(scanned, returned_bytes)
+            self._metrics.simulated_ms += elapsed
+            recorder = self._recorder()
+            if recorder is not None:
+                recorder.observe_op(self.name, "get", rows=scanned,
+                                    returned=len(rows),
+                                    row_bytes=self._row_bytes,
+                                    bytes_read=returned_bytes,
+                                    time_ms=elapsed)
         return rows
 
     def delete_row(self, row, charge=True):
@@ -196,20 +231,36 @@ class ColumnFamily:
         if charge:
             self._metrics.deletes += 1
             self._metrics.rows_deleted += 1 if removed else 0
-            self._metrics.simulated_ms += self._latency.delete_time(1)
+            self._metrics.partitions_touched += 1
+            elapsed = self._latency.delete_time(1)
+            self._metrics.simulated_ms += elapsed
+            recorder = self._recorder()
+            if recorder is not None:
+                recorder.observe_op(self.name, "delete", rows=1,
+                                    row_bytes=self._row_bytes,
+                                    time_ms=elapsed)
         return removed
 
     def delete_many(self, rows, charge=True):
         """Batch delete, charged as a single request."""
         removed = 0
         rows = list(rows)
+        partitions = set()
         for row in rows:
             removed += self.delete_row(row, charge=False)
+            if charge:
+                partitions.add(self._keys_of(row)[0])
         if charge and rows:
             self._metrics.deletes += 1
             self._metrics.rows_deleted += removed
-            self._metrics.simulated_ms += self._latency.delete_time(
-                len(rows))
+            self._metrics.partitions_touched += len(partitions)
+            elapsed = self._latency.delete_time(len(rows))
+            self._metrics.simulated_ms += elapsed
+            recorder = self._recorder()
+            if recorder is not None:
+                recorder.observe_op(self.name, "delete", rows=len(rows),
+                                    row_bytes=self._row_bytes,
+                                    time_ms=elapsed)
         return removed
 
     # -- introspection ---------------------------------------------------------------
@@ -264,12 +315,15 @@ class Store:
         self.latency = latency or LatencyModel()
         self.metrics = StoreMetrics()
         self.column_families = {}
+        #: optional flight recorder receiving one ``observe_op`` call
+        #: per charged operation (see :mod:`repro.profile`)
+        self.recorder = None
 
     def create(self, index):
         """Create (or return) the column family backing an index."""
         if index.key not in self.column_families:
             self.column_families[index.key] = ColumnFamily(
-                index, self.latency, self.metrics)
+                index, self.latency, self.metrics, store=self)
         return self.column_families[index.key]
 
     def drop(self, index):

@@ -10,6 +10,8 @@ Usage::
     nose-advisor verify --seed 0
     nose-advisor verify --demo rubis --mix bidding --output-json report.json
     nose-advisor verify --fuzz 5 --seed 42
+    nose-advisor profile --demo hotel --requests 400
+    nose-advisor profile --demo rubis --mix bidding --output-json profile.json
 
 With ``--model``, the given Python file must define ``build()``
 returning a ``(model, workload)`` pair; this mirrors how the original
@@ -19,6 +21,9 @@ exits nonzero when the total cost regresses past the given threshold.
 The ``verify`` subcommand runs the differential execution oracle: it
 executes a recommendation through the in-memory engine and a reference
 interpreter side by side and exits with status 2 on any divergence.
+The ``profile`` subcommand replays a recommendation with the execution
+flight recorder attached and reports how well predicted costs track
+measured latencies (see :mod:`repro.profile`).
 """
 
 from __future__ import annotations
@@ -342,6 +347,137 @@ def run_verify(argv):
     return 0
 
 
+def build_profile_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor profile",
+        description="Replay a recommendation through the in-memory "
+                    "execution engine with a flight recorder attached "
+                    "and report measured-vs-predicted cost accuracy "
+                    "(a nose-profile/1 document).")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--demo", choices=["hotel", "rubis"],
+                        default="hotel",
+                        help="profile a bundled demo (default: hotel)")
+    source.add_argument("--model", metavar="FILE",
+                        help="Python file defining build() -> "
+                             "(model, workload)")
+    source.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="JSON application document (see repro.io)")
+    parser.add_argument("--mix", help="workload mix to profile under")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="seed for datasets and parameter bindings "
+                             "(default 0)")
+    parser.add_argument("--requests", type=int, default=200,
+                        help="statements to replay, apportioned by "
+                             "workload weight (default 200)")
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="demo dataset scale factor (default 0.02)")
+    parser.add_argument("--protocol", choices=["nose", "expert"],
+                        default="nose",
+                        help="update maintenance protocol to replay "
+                             "under (default nose)")
+    parser.add_argument("--max-plans", type=int, default=200,
+                        help="cap on enumerated plans per statement")
+    parser.add_argument("--output-json", metavar="FILE",
+                        help="write the nose-profile/1 accuracy report "
+                             "as JSON")
+    return parser
+
+
+def _profile_demo(name, arguments):
+    """Build (model, workload, dataset, requests_factory) for a demo."""
+    requests_factory = None
+    if name == "hotel":
+        from repro.demo import hotel_model, hotel_workload
+        from repro.demo.hotel import hotel_dataset
+        model = hotel_model(scale=arguments.scale)
+        workload = hotel_workload(model, include_updates=True)
+        dataset = hotel_dataset(model, seed=arguments.seed)
+    else:
+        from repro.rubis import rubis_model, rubis_workload
+        from repro.rubis.datagen import (
+            RubisParameterGenerator,
+            generate_dataset,
+        )
+        from repro.rubis.transactions import (
+            TRANSACTIONS,
+            transaction_weights,
+        )
+        mix = arguments.mix or "bidding"
+        users = max(int(20_000 * arguments.scale), 100)
+        model = rubis_model(users=users)
+        workload = rubis_workload(model, mix=mix)
+        dataset = generate_dataset(model, seed=arguments.seed + 7)
+        weights = transaction_weights(mix)
+
+        def requests_factory(count, seed):
+            # a transaction schedule proportional to the mix, replayed
+            # with coherent per-transaction parameters drawn from the
+            # live data — the way the benchmark harness issues requests
+            generator = RubisParameterGenerator(dataset, seed=seed + 11)
+            schedule = []
+            for transaction in sorted(weights):
+                repeats = max(1, round(count * weights[transaction]
+                                       / len(TRANSACTIONS[transaction])))
+                schedule.append((transaction, repeats))
+            out = []
+            remaining = dict(schedule)
+            while remaining:
+                for transaction, _repeats in schedule:
+                    left = remaining.get(transaction)
+                    if left is None:
+                        continue
+                    out.extend(generator.requests_for(transaction))
+                    if left <= 1:
+                        del remaining[transaction]
+                    else:
+                        remaining[transaction] = left - 1
+            return out
+    return model, workload, dataset, requests_factory
+
+
+def run_profile(argv):
+    arguments = build_profile_parser().parse_args(argv)
+    from repro.profile import profile_recommendation
+    from repro.reporting import profile_report
+    try:
+        if arguments.model or arguments.json_file:
+            if arguments.json_file:
+                from repro.io import load_application
+                model, workload = load_application(arguments.json_file)
+                if arguments.mix:
+                    workload = workload.with_mix(arguments.mix)
+            else:
+                model, workload = _load_module(arguments.model,
+                                               arguments.mix)
+            from repro.randgen import random_dataset
+            dataset = random_dataset(model, seed=arguments.seed)
+            requests_factory = None
+            source = arguments.json_file or arguments.model
+        else:
+            source = arguments.demo
+            model, workload, dataset, requests_factory = \
+                _profile_demo(arguments.demo, arguments)
+        dataset.sync_counts()
+        recommendation = Advisor(model, max_plans=arguments.max_plans) \
+            .recommend(workload)
+        document, _recorder = profile_recommendation(
+            model, workload, recommendation, dataset,
+            seed=arguments.seed, requests=arguments.requests,
+            protocol=arguments.protocol,
+            requests_factory=requests_factory,
+            meta={"source": source, "mix": workload.active_mix})
+    except NoseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(profile_report(document))
+    if arguments.output_json:
+        from repro.io import dump_profile
+        dump_profile(document, arguments.output_json)
+        print(f"\nprofile written to {arguments.output_json}")
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -349,6 +485,8 @@ def main(argv=None):
         return run_diff(argv[1:])
     if argv and argv[0] == "verify":
         return run_verify(argv[1:])
+    if argv and argv[0] == "profile":
+        return run_profile(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     report = None

@@ -10,9 +10,11 @@ format.
 from repro.io.serialize import (
     dump_application,
     dump_explain,
+    dump_profile,
     dump_run_report,
     load_application,
     load_explain,
+    load_profile,
     load_run_report,
     model_from_dict,
     model_to_dict,
@@ -25,9 +27,11 @@ from repro.io.serialize import (
 __all__ = [
     "dump_application",
     "dump_explain",
+    "dump_profile",
     "dump_run_report",
     "load_application",
     "load_explain",
+    "load_profile",
     "load_run_report",
     "model_from_dict",
     "model_to_dict",

@@ -241,6 +241,29 @@ def load_explain(path):
     return document
 
 
+# -- profile documents ----------------------------------------------------------
+
+
+def dump_profile(document, path):
+    """Write a "nose-profile/1" accuracy report as stable JSON.
+
+    Keys are sorted for diffability, matching :func:`dump_explain`.
+    """
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_profile(path):
+    """Load a profile document from a JSON file."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ParseError(f"{path} is not a profile document")
+    return document
+
+
 # -- telemetry run reports ------------------------------------------------------
 
 

@@ -16,8 +16,11 @@ them out when ``jobs > 1``.  Two backends are available:
   compact ``(start, stop)`` chunk spans go to the workers and only
   results come back.  Results are therefore *copies*: callers must not
   rely on output identity with their inputs, and must do any shared
-  bookkeeping (artifact stores, telemetry) parent-side.  Where ``fork``
-  is unavailable the thread backend is used instead.
+  bookkeeping (artifact stores) parent-side.  Telemetry is the
+  exception: each chunk runs under a fresh worker-local sink whose
+  metrics and spans are shipped back with the results and merged into
+  the parent registry, so counter totals match the serial run exactly.
+  Where ``fork`` is unavailable the thread backend is used instead.
 
 Fanning out costs real time (pool start-up, result pickling), so
 ``parallel_map`` falls back to serial execution when the work cannot
@@ -42,6 +45,7 @@ rather than a hang.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import pickle
 import time
@@ -95,28 +99,49 @@ def _annotate(error, item):
 
 
 def _run_chunk(span):
-    """Worker-side chunk runner: ``[(position, ok, value-or-error)]``.
+    """Worker-side chunk runner: ``(results, telemetry snapshot)``.
 
-    Stops at the chunk's first failure (matching the serial loop, which
-    never runs anything after an exception).  Errors that cannot be
-    pickled back are replaced by a picklable stand-in carrying their
-    repr.
+    ``results`` is ``[(position, ok, value-or-error)]``, stopping at
+    the chunk's first failure (matching the serial loop, which never
+    runs anything after an exception).  Errors that cannot be pickled
+    back are replaced by a picklable stand-in carrying their repr.
+
+    The forked worker inherits a *copy* of the parent's telemetry sink,
+    so anything recorded into it would be silently lost with the
+    process.  When telemetry is active, the chunk instead runs under a
+    fresh worker-local sink and its metrics and spans are shipped back
+    with the results for the parent to merge — serial and ``jobs=N``
+    runs therefore report identical counter totals.
     """
     function, items = _WORK
     start, stop = span
+    local = None
+    scope = contextlib.nullcontext(None)
+    if telemetry.current().enabled:
+        scope = telemetry.activate(telemetry.Telemetry("chunk"))
     results = []
-    for position in range(start, stop):
-        try:
-            results.append((position, True, function(items[position])))
-        except Exception as error:
+    with scope as local:
+        for position in range(start, stop):
             try:
-                pickle.dumps(error)
-            except Exception:
-                error = RuntimeError(
-                    f"unpicklable worker exception: {error!r}")
-            results.append((position, False, error))
-            break
-    return results
+                results.append((position, True,
+                                function(items[position])))
+            except Exception as error:
+                try:
+                    pickle.dumps(error)
+                except Exception:
+                    error = RuntimeError(
+                        f"unpicklable worker exception: {error!r}")
+                results.append((position, False, error))
+                break
+    snapshot = None
+    if local is not None:
+        local.tracer.finish()
+        snapshot = {
+            "metrics": local.metrics.as_dict(),
+            "spans": [child.as_dict()
+                      for child in local.tracer.root.children],
+        }
+    return results, snapshot
 
 
 def _fallback_serial(run, items, active, reason):
@@ -231,7 +256,11 @@ def _process_map(function, items, jobs, context, active):
         _WORK = None
     results = [None] * count
     failure = None
-    for chunk_results in chunked:
+    for chunk_results, snapshot in chunked:
+        if snapshot is not None and active.enabled:
+            # worker-side telemetry came back with the chunk; merging
+            # in span order keeps gauge last-write-wins deterministic
+            active.merge_snapshot(snapshot)
         for position, ok, value in chunk_results:
             if ok:
                 results[position] = value

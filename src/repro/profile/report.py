@@ -1,0 +1,166 @@
+"""The accuracy report: measured replay latency vs. predicted cost.
+
+Joins a :class:`~repro.profile.recorder.FlightRecorder`'s measured
+per-statement latencies against the predicted per-statement costs (and
+per-step cost-model terms) of an explain document, producing the
+"nose-profile/1" JSON artifact.
+
+The advisor's cost model and the simulator's latency model use
+deliberately different constants, so absolute measured/predicted ratios
+are not expected to be 1.0 — what the advisor needs is *relative*
+fidelity: statements the model calls expensive should measure
+expensive.  The report therefore carries both the raw ratios and the
+median-normalized ratios, a Spearman rank correlation of the two
+statement orderings (predicted cost rank vs. measured latency rank),
+and the worst-divergence statements — the ones whose normalized ratio
+strays farthest from 1.0, i.e. where the model's relative judgement is
+least trustworthy.
+"""
+
+from __future__ import annotations
+
+import math
+
+PROFILE_FORMAT = "nose-profile/1"
+
+#: worst-divergence statements listed in the workload section
+MAX_DIVERGENCES = 3
+
+
+def _average_ranks(values):
+    """Fractional ranks (1-based, ties averaged) of a value sequence."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    position = 0
+    while position < len(order):
+        tied = position
+        while (tied + 1 < len(order)
+               and values[order[tied + 1]] == values[order[position]]):
+            tied += 1
+        # ranks position+1 .. tied+1 share one averaged rank
+        rank = (position + tied + 2) / 2.0
+        for index in order[position:tied + 1]:
+            ranks[index] = rank
+        position = tied + 1
+    return ranks
+
+
+def spearman(xs, ys):
+    """Spearman rank correlation of two paired sequences.
+
+    Computed as the Pearson correlation of average ranks (exact under
+    ties).  Returns None for fewer than two pairs or when either side
+    is constant (correlation is undefined there).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("spearman needs paired sequences of equal "
+                         f"length, got {len(xs)} and {len(ys)}")
+    count = len(xs)
+    if count < 2:
+        return None
+    rank_x = _average_ranks(list(xs))
+    rank_y = _average_ranks(list(ys))
+    mean_x = sum(rank_x) / count
+    mean_y = sum(rank_y) / count
+    covariance = sum((a - mean_x) * (b - mean_y)
+                     for a, b in zip(rank_x, rank_y))
+    variance_x = sum((a - mean_x) ** 2 for a in rank_x)
+    variance_y = sum((b - mean_y) ** 2 for b in rank_y)
+    if variance_x == 0.0 or variance_y == 0.0:
+        return None
+    return covariance / math.sqrt(variance_x * variance_y)
+
+
+def _aggregate_terms(record):
+    """Sum the per-step cost-model terms of one explain statement."""
+    terms = {}
+
+    def absorb(steps):
+        for step in steps:
+            for name, value in step.get("terms", {}).items():
+                terms[name] = terms.get(name, 0.0) + value
+
+    plan = record.get("plan")
+    if plan is not None:
+        absorb(plan.get("steps", ()))
+    for entry in record.get("maintenance", ()):
+        absorb(entry.get("steps", ()))
+        for support in entry.get("support_plans", ()):
+            absorb(support.get("steps", ()))
+    return {name: round(terms[name], 6) for name in sorted(terms)}
+
+
+def _round(value, digits=6):
+    return None if value is None else round(value, digits)
+
+
+def accuracy_report(recorder, explain, meta=None):
+    """Join measured replay data with an explain document's predictions.
+
+    ``recorder`` is a populated :class:`FlightRecorder`, ``explain`` an
+    explain document (``nose-explain/1`` dict).  Returns the
+    "nose-profile/1" document.
+    """
+    predicted = explain.get("statements", {})
+    statements = {}
+    joined = []
+    for label in sorted(recorder.statements):
+        profile = recorder.statements[label]
+        measured = profile.as_dict()
+        prediction = predicted.get(label)
+        record = {"kind": profile.kind, "measured": measured}
+        if prediction is not None:
+            mean = measured["mean_ms"]
+            cost = prediction.get("cost")
+            record["predicted"] = {
+                "cost": cost,
+                "weight": prediction.get("weight"),
+                "weighted_cost": prediction.get("weighted_cost"),
+                "terms": _aggregate_terms(prediction),
+            }
+            if cost and mean is not None:
+                ratio = mean / cost
+                record["measured_over_predicted"] = _round(ratio)
+                joined.append((label, cost, mean, ratio))
+        statements[label] = record
+
+    ratios = sorted(ratio for _label, _cost, _mean, ratio in joined)
+    median_ratio = None
+    if ratios:
+        middle = len(ratios) // 2
+        median_ratio = (ratios[middle] if len(ratios) % 2
+                        else (ratios[middle - 1] + ratios[middle]) / 2.0)
+    divergences = []
+    for label, cost, mean, ratio in joined:
+        normalized = ratio / median_ratio if median_ratio else None
+        statements[label]["normalized_ratio"] = _round(normalized)
+        if normalized and normalized > 0.0:
+            divergences.append((abs(math.log10(normalized)), label,
+                                normalized, cost, mean))
+    divergences.sort(key=lambda entry: (-entry[0], entry[1]))
+
+    workload = {
+        "statements_measured": len(recorder.statements),
+        "statements_joined": len(joined),
+        "requests": recorder.total_requests(),
+        "rank_correlation": _round(spearman(
+            [cost for _l, cost, _m, _r in joined],
+            [mean for _l, _c, mean, _r in joined])),
+        "median_measured_over_predicted": _round(median_ratio),
+        "worst_divergences": [
+            {"label": label, "normalized_ratio": _round(normalized),
+             "predicted_cost": cost, "measured_mean_ms": _round(mean),
+             "log10_divergence": _round(magnitude)}
+            for magnitude, label, normalized, cost, mean
+            in divergences[:MAX_DIVERGENCES]],
+    }
+
+    document = {
+        "format": PROFILE_FORMAT,
+        "meta": dict(meta or {}),
+        "workload": workload,
+        "statements": statements,
+        "column_families": recorder.column_families_dict(),
+        "calibration": recorder.samples_dict(),
+    }
+    return document

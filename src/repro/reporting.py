@@ -173,8 +173,13 @@ def metrics_summary(metrics, top=5):
     for name in sorted(ranked):
         histogram = histograms[name]
         lines.append("")
+        quantiles = "".join(
+            f", {key}={histogram[key]:g}" for key in ("p50", "p95",
+                                                      "p99")
+            if histogram.get(key) is not None)
         lines.append(f"{name} (count={histogram['count']}, "
-                     f"min={histogram['min']}, max={histogram['max']})")
+                     f"min={histogram['min']}, max={histogram['max']}"
+                     f"{quantiles})")
         labels = [f"<= {bound}" for bound in histogram["boundaries"]]
         labels.append(f"> {histogram['boundaries'][-1]}"
                       if histogram["boundaries"] else "all")
@@ -377,4 +382,87 @@ def verify_report(report):
                          f"{divergence.get('message')}")
     lines.append("verdict: " + ("OK" if report.get("ok")
                                 else "DIVERGED"))
+    return "\n".join(lines)
+
+
+def profile_report(document):
+    """Plain-text rendering of a "nose-profile/1" accuracy report
+    (``repro.profile.accuracy_report``): the workload-level summary,
+    a per-statement measured-vs-predicted table, per-column-family
+    operation totals, and the calibration-capture summary.
+    """
+    workload = document.get("workload", {})
+    meta = document.get("meta", {})
+    lines = ["execution profile"]
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]}")
+    lines.append(
+        f"  requests: {workload.get('requests', 0)}, statements "
+        f"measured: {workload.get('statements_measured', 0)}, joined "
+        f"with predictions: {workload.get('statements_joined', 0)}")
+    correlation = workload.get("rank_correlation")
+    median = workload.get("median_measured_over_predicted")
+    lines.append(f"  rank correlation (predicted cost vs measured "
+                 f"latency): {_fmt(correlation)}")
+    lines.append(f"  median measured/predicted ratio: {_fmt(median)}")
+
+    statements = document.get("statements", {})
+    if statements:
+        def cell(value, width=8):
+            return f"{_fmt(value):>{width}}"
+
+        label_width = max(len(label) for label in statements)
+        lines.append("")
+        lines.append(f"{'statement':<{label_width}}  {'n':>5} "
+                     f"{'mean ms':>9} {'p50':>8} {'p95':>8} {'p99':>8} "
+                     f"{'predicted':>10} {'ratio':>8} {'norm':>7}")
+        for label in sorted(statements):
+            record = statements[label]
+            measured = record.get("measured", {})
+            predicted = record.get("predicted", {})
+            lines.append(
+                f"{label:<{label_width}}  "
+                f"{measured.get('requests', 0):>5} "
+                f"{cell(measured.get('mean_ms'), 9)} "
+                f"{cell(measured.get('p50_ms'))} "
+                f"{cell(measured.get('p95_ms'))} "
+                f"{cell(measured.get('p99_ms'))} "
+                f"{cell(predicted.get('cost'), 10)} "
+                f"{cell(record.get('measured_over_predicted'))} "
+                f"{cell(record.get('normalized_ratio'), 7)}")
+
+    worst = workload.get("worst_divergences", [])
+    if worst:
+        lines.append("")
+        lines.append("worst divergences (normalized ratio farthest "
+                     "from 1.0):")
+        for entry in worst:
+            lines.append(
+                f"  {entry.get('label')}: normalized ratio "
+                f"{_fmt(entry.get('normalized_ratio'))} "
+                f"(predicted {_fmt(entry.get('predicted_cost'))}, "
+                f"measured mean "
+                f"{_fmt(entry.get('measured_mean_ms'))} ms)")
+
+    column_families = document.get("column_families", {})
+    if column_families:
+        lines.append("")
+        lines.append("column families:")
+        for name in sorted(column_families):
+            for kind in sorted(column_families[name]):
+                record = column_families[name][kind]
+                lines.append(
+                    f"  {name} {kind}: {record.get('requests', 0)} "
+                    f"request(s), {record.get('rows', 0)} row(s), "
+                    f"p50 {_fmt(record.get('p50_ms'))} ms, "
+                    f"p95 {_fmt(record.get('p95_ms'))} ms, "
+                    f"p99 {_fmt(record.get('p99_ms'))} ms")
+
+    calibration = document.get("calibration", {})
+    if calibration:
+        lines.append("")
+        lines.append(
+            f"calibration samples captured: "
+            f"{calibration.get('captured', 0)} "
+            f"(dropped {calibration.get('dropped', 0)})")
     return "\n".join(lines)

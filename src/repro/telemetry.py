@@ -43,6 +43,7 @@ from contextlib import contextmanager
 __all__ = [
     "COUNT_BUCKETS",
     "Histogram",
+    "LATENCY_BUCKETS_MS",
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
@@ -54,6 +55,7 @@ __all__ = [
     "activate",
     "current",
     "env_enabled",
+    "span_from_record",
     "traced",
 ]
 
@@ -66,6 +68,11 @@ COUNT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
 #: default boundaries for histograms over durations in seconds
 TIME_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
                 60.0)
+
+#: default boundaries for histograms over simulated request latency in
+#: milliseconds (the execution engine's per-statement service times)
+LATENCY_BUCKETS_MS = (0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0,
+                      100.0, 200.0, 500.0, 1000.0)
 
 
 def env_enabled():
@@ -198,6 +205,27 @@ class Tracer:
             self.root.ended = time.perf_counter()
 
 
+def span_from_record(record):
+    """Rebuild a :class:`Span` tree from its ``as_dict`` record.
+
+    Durations are preserved (``started`` is rebased to zero), absolute
+    timestamps are not — the rebuilt span only makes sense grafted into
+    another tracer's tree, which is exactly what cross-process
+    telemetry does with worker-side spans.
+    """
+    span = Span(record["name"], record.get("attributes"))
+    span.started = 0.0
+    span.ended = record.get("total_seconds", 0.0)
+    span.children = [span_from_record(child)
+                     for child in record.get("children", ())]
+    return span
+
+
+def _span_tree_size(records):
+    return sum(1 + _span_tree_size(record.get("children", ()))
+               for record in records)
+
+
 # -- metrics -----------------------------------------------------------------
 
 
@@ -225,13 +253,80 @@ class Histogram:
         if self.maximum is None or value > self.maximum:
             self.maximum = value
 
+    def quantile(self, q):
+        """Estimate the ``q``-quantile (``0 <= q <= 1``).
+
+        Linear interpolation within the bucket holding the target rank:
+        the bucket's observations are assumed uniformly spread between
+        its lower and upper boundary.  The first bucket's lower edge and
+        the overflow bucket's upper edge are the observed minimum and
+        maximum, so single-bucket histograms still interpolate sensibly.
+        Returns ``None`` when nothing was observed.
+        """
+        if self.count == 0:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for position, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= target:
+                if position == 0:
+                    lower = self.minimum
+                else:
+                    lower = self.boundaries[position - 1]
+                if position < len(self.boundaries):
+                    upper = self.boundaries[position]
+                else:
+                    upper = self.maximum
+                lower = max(lower, self.minimum)
+                upper = min(upper, self.maximum)
+                if upper <= lower:
+                    return lower
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.maximum
+
+    def merge_dict(self, record):
+        """Fold a serialized histogram (``as_dict`` shape) into this one.
+
+        The parent-side half of cross-process telemetry: worker
+        processes ship their histograms back as documents and the
+        parent accumulates them here.  Boundaries must match.
+        """
+        if tuple(record["boundaries"]) != self.boundaries:
+            raise ValueError(
+                f"histogram boundaries differ: {self.boundaries} vs "
+                f"{tuple(record['boundaries'])}")
+        self.counts = [mine + theirs for mine, theirs
+                       in zip(self.counts, record["counts"])]
+        self.count += record["count"]
+        self.total += record["sum"]
+        for name, pick in (("min", min), ("max", max)):
+            value = record.get(name)
+            if value is None:
+                continue
+            mine = self.minimum if name == "min" else self.maximum
+            merged = value if mine is None else pick(mine, value)
+            if name == "min":
+                self.minimum = merged
+            else:
+                self.maximum = merged
+
     def as_dict(self):
+        def rounded(value):
+            return None if value is None else round(value, 6)
+
         return {
             "boundaries": list(self.boundaries),
             "count": self.count,
             "counts": list(self.counts),
             "max": self.maximum,
             "min": self.minimum,
+            "p50": rounded(self.quantile(0.50)),
+            "p95": rounded(self.quantile(0.95)),
+            "p99": rounded(self.quantile(0.99)),
             "sum": round(self.total, 6),
         }
 
@@ -271,6 +366,28 @@ class MetricsRegistry:
                 histogram = self.histograms[name] = Histogram(
                     buckets if buckets is not None else COUNT_BUCKETS)
             histogram.observe(value)
+            self.ops += 1
+
+    def merge(self, snapshot):
+        """Fold a serialized registry snapshot (``as_dict`` shape) in.
+
+        Counters and histogram buckets accumulate; gauges keep
+        last-write-wins semantics (the merged snapshot counts as the
+        later write).  Used to recover metrics recorded inside
+        ``repro.parallel`` process workers, whose forked registries
+        never share memory with the parent.
+        """
+        with self._lock:
+            for name, amount in snapshot.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + amount
+            for name, value in snapshot.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, record in snapshot.get("histograms", {}).items():
+                histogram = self.histograms.get(name)
+                if histogram is None:
+                    histogram = self.histograms[name] = Histogram(
+                        record["boundaries"])
+                histogram.merge_dict(record)
             self.ops += 1
 
     def as_dict(self):
@@ -324,6 +441,26 @@ class Telemetry:
     def observe(self, name, value, buckets=None):
         self.metrics.observe(name, value, buckets)
 
+    def merge_snapshot(self, snapshot):
+        """Merge a worker process's serialized telemetry into this sink.
+
+        ``snapshot`` is ``{"metrics": registry.as_dict(), "spans":
+        [span.as_dict(), ...]}`` as assembled by
+        :mod:`repro.parallel`'s chunk runner.  Metrics accumulate into
+        the registry; spans are grafted (durations only) under the
+        calling thread's current span, so worker-side work nests where
+        the fan-out happened — the same place :meth:`adopt` would have
+        put it for a thread worker.
+        """
+        self.metrics.merge(snapshot.get("metrics", {}))
+        spans = snapshot.get("spans", ())
+        if spans:
+            parent = self.tracer.current_span()
+            rebuilt = [span_from_record(record) for record in spans]
+            with self.tracer._lock:
+                parent.children.extend(rebuilt)
+                self.tracer.span_count += _span_tree_size(spans)
+
     def report(self, meta=None):
         """Aggregate spans + metrics into a :class:`RunReport`.
 
@@ -376,6 +513,9 @@ class NullTelemetry:
         pass
 
     def observe(self, name, value, buckets=None):
+        pass
+
+    def merge_snapshot(self, snapshot):
         pass
 
     def report(self, meta=None):

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import traceback
 
+from repro import telemetry
 from repro.backend.dataset import materialize_rows
 from repro.backend.executor import ExecutionEngine
 from repro.exceptions import NoseError
@@ -116,6 +117,9 @@ class DifferentialRunner:
         """Check one statement; returns the divergences it produced."""
         before = len(self.divergences)
         self.checks += 1
+        active = telemetry.current()
+        if active.enabled:
+            active.count("verify.checks")
         try:
             if isinstance(statement, Query):
                 self._check_query(statement, params)
@@ -236,6 +240,10 @@ class DifferentialRunner:
 
     def _diverge(self, kind, label, params, message, index=None,
                  expected=None, actual=None):
+        active = telemetry.current()
+        if active.enabled:
+            active.count("verify.divergences")
+            active.count(f"verify.divergences.{kind}")
         self.divergences.append(Divergence(
             kind, label, params, message, index=index,
             expected=expected, actual=actual))

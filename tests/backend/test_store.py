@@ -138,6 +138,50 @@ def test_metrics_and_latency_accumulate(rooms_cf, store):
     assert snapshot["gets"] == 1
 
 
+def test_partitions_touched_counts_distinct_partitions(hotel, store,
+                                                       rooms_cf):
+    metrics = store.metrics
+    metrics.reset()
+    rooms_cf.get(("boston",))
+    assert metrics.partitions_touched == 1
+    # a batch spanning two partitions touches two, charged once
+    rows = [{"Hotel.HotelCity": city, "Room.RoomRate": 50.0,
+             "Room.RoomID": 200 + i}
+            for i, city in enumerate(["miami", "miami", "austin"])]
+    rooms_cf.put_many(rows)
+    assert metrics.partitions_touched == 3
+    rooms_cf.delete_many(rows)
+    assert metrics.partitions_touched == 5
+
+
+class _RecordingStore:
+    """Captures observe_op calls the way a flight recorder would."""
+
+    def __init__(self):
+        self.calls = []
+
+    def observe_op(self, name, kind, **details):
+        self.calls.append((name, kind, details))
+
+
+def test_store_recorder_sees_every_charged_operation(rooms_cf, store):
+    recorder = _RecordingStore()
+    store.recorder = recorder
+    rooms_cf.get(("boston",))
+    row = {"Hotel.HotelCity": "boston", "Room.RoomRate": 99.0,
+           "Room.RoomID": 77}
+    rooms_cf.put(row)
+    rooms_cf.delete_row(row)
+    rooms_cf.get(("boston",), charge=False)  # uncharged: not observed
+    kinds = [(kind, details["rows"])
+             for _name, kind, details in recorder.calls]
+    assert kinds == [("get", 4), ("put", 1), ("delete", 1)]
+    get_details = recorder.calls[0][2]
+    assert get_details["returned"] == 4
+    assert get_details["bytes_read"] > 0
+    assert get_details["time_ms"] > 0
+
+
 def test_uncharged_operations_do_not_meter(rooms_cf, store):
     store.reset_metrics()
     rooms_cf.get(("boston",), charge=False)

@@ -1,0 +1,63 @@
+"""Calibration from replay traffic: ``fit_cost_model`` consuming the
+flight recorder's captured samples must recover the simulator's latency
+constants — closing the paper's calibrate-from-measurements loop with
+real workload traffic instead of synthetic probes."""
+
+import pytest
+
+from repro import Advisor
+from repro.backend import LatencyModel
+from repro.cost import fit_cost_model
+from repro.demo import hotel_dataset, hotel_model, hotel_workload
+from repro.profile import profile_recommendation
+
+
+@pytest.fixture(scope="module")
+def replay_samples():
+    model = hotel_model(scale=0.02)
+    workload = hotel_workload(model, include_updates=True)
+    dataset = hotel_dataset(model, seed=42)
+    dataset.sync_counts()
+    recommendation = Advisor(model).recommend(workload)
+    _document, recorder = profile_recommendation(
+        model, workload, recommendation, dataset, seed=1, requests=300)
+    return recorder.calibration_samples()
+
+
+def test_replay_captures_all_operation_kinds(replay_samples):
+    kinds = {sample.kind for sample in replay_samples}
+    assert kinds == {"get", "put", "delete"}
+    assert all(sample.time_ms > 0 for sample in replay_samples)
+
+
+def test_fit_from_replay_recovers_latency_constants(replay_samples):
+    # the simulator is linear, so least squares over the replay's
+    # (shape -> latency) samples must reproduce its constants; the
+    # shape diversity comes from the workload itself (point gets,
+    # multi-row scans, batched maintenance writes across column
+    # families of different entry sizes)
+    latency = LatencyModel()
+    fitted = fit_cost_model(replay_samples)
+    assert fitted.request_cost + fitted.partition_cost \
+        == pytest.approx(latency.get_base, rel=0.01)
+    assert fitted.row_cost == pytest.approx(latency.row_scan, rel=0.01)
+    assert fitted.row_byte_cost \
+        == pytest.approx(latency.byte_transfer, rel=0.01)
+    assert fitted.put_cost == pytest.approx(latency.put_row, rel=0.01)
+    assert fitted.delete_row_cost \
+        == pytest.approx(latency.delete_row, rel=0.01)
+
+
+def test_fitted_model_predicts_replay_latency(replay_samples):
+    # cross-check: the fitted constants reproduce each get sample's
+    # measured latency (the design is exact, so residuals vanish)
+    fitted = fit_cost_model(replay_samples)
+    overhead = fitted.request_cost + fitted.partition_cost
+    for sample in replay_samples:
+        if sample.kind != "get":
+            continue
+        predicted = (overhead * sample.requests
+                     + fitted.row_cost * sample.rows
+                     + fitted.row_byte_cost
+                     * sample.rows * sample.row_bytes)
+        assert predicted == pytest.approx(sample.time_ms, rel=0.01)

@@ -225,3 +225,35 @@ def test_verify_source_flags_are_exclusive():
     with pytest.raises(SystemExit):
         build_verify_parser().parse_args(["--demo", "hotel",
                                           "--fuzz", "2"])
+
+
+def test_profile_hotel_demo_writes_document(tmp_path, capsys):
+    target = tmp_path / "profile.json"
+    assert main(["profile", "--demo", "hotel", "--scale", "0.01",
+                 "--requests", "60", "--max-plans", "60",
+                 "--output-json", str(target)]) == 0
+    output = capsys.readouterr().out
+    assert "execution profile" in output
+    assert "rank correlation" in output
+    import json
+    document = json.loads(target.read_text())
+    assert document["format"] == "nose-profile/1"
+    assert document["workload"]["requests"] >= 60
+    assert document["workload"]["rank_correlation"] is not None
+    for record in document["statements"].values():
+        measured = record["measured"]
+        assert measured["p50_ms"] is not None
+        assert "rows_scanned" in measured
+        assert "partitions_touched" in measured
+    # stable, diffable JSON: dumping the loaded document reproduces
+    # the file byte for byte
+    from repro.io import dump_profile, load_profile
+    again = tmp_path / "again.json"
+    dump_profile(load_profile(target), again)
+    assert target.read_text() == again.read_text()
+
+
+def test_profile_rejects_bad_protocol():
+    from repro.cli import build_profile_parser
+    with pytest.raises(SystemExit):
+        build_profile_parser().parse_args(["--protocol", "bogus"])

@@ -155,6 +155,60 @@ def test_single_cpu_host_falls_back_serially(monkeypatch):
     assert counters["parallel.fallback_serial.single-cpu"] == 1
 
 
+def _metered(n):
+    active = telemetry.current()
+    active.count("work.items")
+    active.count("work.value", n)
+    active.observe("work.size", n, buckets=(2, 5, 10))
+    with active.span("work.step"):
+        return n * n
+
+
+def _work_metrics(sink):
+    """The work.*-prefixed subset of a sink's metrics, as stable JSON.
+
+    Parent-only bookkeeping (parallel.batches etc.) is legitimately
+    absent from the serial run, so only worker-recorded metrics are
+    compared.
+    """
+    import json
+    metrics = sink.report().metrics
+    subset = {
+        section: {name: record
+                  for name, record in metrics.get(section, {}).items()
+                  if name.startswith("work.")}
+        for section in ("counters", "gauges", "histograms")
+    }
+    return json.dumps(subset, sort_keys=True)
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_worker_telemetry_matches_serial_run(backend):
+    # the PR 6 fork pool silently dropped everything workers recorded
+    # (their registries are copy-on-write copies); chunk snapshots must
+    # ship the deltas back so counter totals match the serial run
+    items = list(range(17))
+    with telemetry.activate() as serial_sink:
+        serial = parallel_map(_metered, items, jobs=None)
+    with telemetry.activate() as pooled_sink:
+        pooled = parallel_map(_metered, items, jobs=4, backend=backend,
+                              force=True)
+    assert pooled == serial
+    assert _work_metrics(pooled_sink) == _work_metrics(serial_sink)
+
+
+def test_process_worker_spans_survive_the_fork():
+    items = list(range(6))
+    with telemetry.activate() as sink:
+        with sink.span("stage"):
+            parallel_map(_metered, items, jobs=2, backend="process",
+                         force=True)
+    stage, = sink.report().spans
+    worker_spans = [span for span in stage.get("children", ())
+                    if span["name"] == "work.step"]
+    assert len(worker_spans) == len(items)
+
+
 def test_nested_process_fanout_runs_serial(monkeypatch):
     # a forked worker inherits a non-None _WORK and must not fork
     # grandchildren

@@ -9,6 +9,7 @@ from repro.reporting import (
     explain_report,
     grouped_bar_chart,
     metrics_summary,
+    profile_report,
     render_run_report,
     span_tree,
     stacked_series,
@@ -196,6 +197,73 @@ def test_metrics_summary_lists_scalars_and_top_histograms():
     assert "big" in summary  # largest histogram kept
     assert "small" not in summary  # beyond top=1
     assert "<= 1" in summary
+
+
+def test_metrics_summary_shows_percentiles_when_present():
+    metrics = {
+        "counters": {}, "gauges": {},
+        "histograms": {
+            "lat": {"boundaries": [1, 10], "counts": [2, 1, 0],
+                    "count": 3, "min": 0.2, "max": 5, "sum": 7,
+                    "p50": 0.75, "p95": 4.1, "p99": 4.8},
+        },
+    }
+    summary = metrics_summary(metrics, top=1)
+    assert "p50=0.75" in summary
+    assert "p95=4.1" in summary
+    assert "p99=4.8" in summary
+
+
+def test_profile_report_renders_all_sections():
+    document = {
+        "format": "nose-profile/1",
+        "meta": {"source": "hotel", "seed": 0},
+        "workload": {
+            "requests": 10, "statements_measured": 2,
+            "statements_joined": 2, "rank_correlation": 0.9,
+            "median_measured_over_predicted": 1.2,
+            "worst_divergences": [
+                {"label": "q1", "normalized_ratio": 3.0,
+                 "predicted_cost": 1.0, "measured_mean_ms": 3.6,
+                 "log10_divergence": 0.477}],
+        },
+        "statements": {
+            "q1": {"kind": "query",
+                   "measured": {"requests": 6, "mean_ms": 3.6,
+                                "p50_ms": 3.5, "p95_ms": 4.0,
+                                "p99_ms": 4.1},
+                   "predicted": {"cost": 1.0},
+                   "measured_over_predicted": 3.6,
+                   "normalized_ratio": 3.0},
+            "q2": {"kind": "query",
+                   "measured": {"requests": 4, "mean_ms": 1.2,
+                                "p50_ms": 1.1, "p95_ms": 1.4,
+                                "p99_ms": 1.5}},
+        },
+        "column_families": {
+            "i1": {"get": {"requests": 10, "rows": 40, "bytes": 640,
+                           "total_ms": 5.0, "mean_ms": 0.5,
+                           "p50_ms": 0.5, "p95_ms": 0.6,
+                           "p99_ms": 0.7}},
+        },
+        "calibration": {"captured": 10, "dropped": 0, "listed": 10,
+                        "truncated": False, "samples": []},
+    }
+    rendered = profile_report(document)
+    assert rendered.startswith("execution profile")
+    assert "source: hotel" in rendered
+    assert "rank correlation" in rendered and "0.9" in rendered
+    assert "q1" in rendered and "q2" in rendered
+    assert "worst divergences" in rendered
+    assert "i1 get" in rendered
+    assert "calibration samples captured: 10" in rendered
+
+
+def test_profile_report_minimal_document():
+    rendered = profile_report({"workload": {}, "statements": {},
+                               "column_families": {}})
+    assert "execution profile" in rendered
+    assert "rank correlation" in rendered
 
 
 def test_render_run_report_combines_sections():

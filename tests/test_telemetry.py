@@ -117,6 +117,105 @@ def test_histogram_bucket_placement():
     assert histogram.as_dict()["sum"] == 1066
 
 
+def test_histogram_quantiles_interpolate_within_buckets():
+    histogram = Histogram(boundaries=(10, 20, 30))
+    for value in range(1, 21):  # uniform over (0, 20]
+        histogram.observe(value)
+    # exact quantiles of the uniform sample, up to the linear
+    # interpolation the fixed buckets allow
+    assert histogram.quantile(0.5) == pytest.approx(10.0, abs=1.0)
+    assert histogram.quantile(0.25) == pytest.approx(5.0, abs=1.5)
+    assert histogram.quantile(0.95) == pytest.approx(19.0, abs=1.0)
+    # quantiles are clamped to the observed range
+    assert histogram.quantile(0.0) >= histogram.minimum
+    assert histogram.quantile(1.0) <= histogram.maximum
+
+
+def test_histogram_quantile_single_observation():
+    histogram = Histogram(boundaries=(1, 10))
+    histogram.observe(4.2)
+    for q in (0.0, 0.5, 0.99, 1.0):
+        assert histogram.quantile(q) == pytest.approx(4.2)
+
+
+def test_histogram_quantile_overflow_bucket_uses_maximum():
+    histogram = Histogram(boundaries=(1,))
+    histogram.observe(100)
+    histogram.observe(200)
+    value = histogram.quantile(0.99)
+    assert 100 <= value <= 200
+
+
+def test_histogram_quantile_empty_is_none():
+    histogram = Histogram(boundaries=(1, 2))
+    assert histogram.quantile(0.5) is None
+    record = histogram.as_dict()
+    assert record["p50"] is None and record["p99"] is None
+
+
+def test_histogram_as_dict_carries_percentiles():
+    histogram = Histogram(boundaries=(1, 10, 100))
+    for value in (1, 2, 3, 50, 90):
+        histogram.observe(value)
+    record = histogram.as_dict()
+    for key in ("p50", "p95", "p99"):
+        assert isinstance(record[key], float)
+    assert record["p50"] <= record["p95"] <= record["p99"]
+
+
+def test_histogram_merge_dict_accumulates():
+    first = Histogram(boundaries=(1, 10))
+    second = Histogram(boundaries=(1, 10))
+    for value in (0.5, 5):
+        first.observe(value)
+    for value in (7, 20):
+        second.observe(value)
+    first.merge_dict(second.as_dict())
+    assert first.count == 4
+    assert first.minimum == 0.5 and first.maximum == 20
+    assert first.counts == [1, 2, 1]
+
+
+def test_histogram_merge_dict_rejects_mismatched_boundaries():
+    histogram = Histogram(boundaries=(1, 10))
+    other = Histogram(boundaries=(1, 2)).as_dict()
+    with pytest.raises(ValueError):
+        histogram.merge_dict(other)
+
+
+def test_metrics_registry_merge():
+    parent = MetricsRegistry()
+    parent.count("shared", 2)
+    parent.gauge("g", 1)
+    child = MetricsRegistry()
+    child.count("shared", 3)
+    child.count("child_only", 1)
+    child.gauge("g", 9)
+    child.observe("h", 5, buckets=(1, 10))
+    parent.merge(child.as_dict())
+    snapshot = parent.as_dict()
+    assert snapshot["counters"] == {"shared": 5, "child_only": 1}
+    assert snapshot["gauges"] == {"g": 9}
+    assert snapshot["histograms"]["h"]["count"] == 1
+
+
+def test_telemetry_merge_snapshot_grafts_spans():
+    child = Telemetry("child")
+    with child.span("work"):
+        child.count("items", 4)
+    child.tracer.finish()
+    snapshot = {"metrics": child.metrics.as_dict(),
+                "spans": [span.as_dict()
+                          for span in child.tracer.root.children]}
+    with activate() as sink:
+        with sink.span("stage"):
+            sink.merge_snapshot(snapshot)
+    report = sink.report()
+    stage, = report.spans
+    assert [span["name"] for span in stage["children"]] == ["work"]
+    assert report.metrics["counters"]["items"] == 4
+
+
 def test_metrics_registry_operations():
     registry = MetricsRegistry()
     registry.count("a")
