@@ -33,7 +33,7 @@ class ExecutionEngine:
 
     def __init__(self, model, recommendation, dataset, store=None,
                  share_reads=False, update_protocol="nose",
-                 recorder=None):
+                 recorder=None, monitor=None):
         if update_protocol not in ("nose", "expert"):
             raise ExecutionError(
                 f"unknown update protocol {update_protocol!r}")
@@ -48,6 +48,9 @@ class ExecutionEngine:
         self.recorder = recorder
         if recorder is not None:
             self.store.recorder = recorder
+        #: optional workload monitor (see :mod:`repro.monitor`) fed one
+        #: ``observe_execution`` call per top-level statement
+        self.monitor = monitor
         self._observe_depth = 0
         #: "nose" follows the paper's §VI-B protocol — delete the records
         #: for the old data, then insert records for the new data;
@@ -149,6 +152,9 @@ class ExecutionEngine:
         delta = {name: after[name] - before[name] for name in after}
         if self.recorder is not None:
             self.recorder.record_statement(label, kind, delta)
+        if self.monitor is not None:
+            self.monitor.observe_execution(self._statements.get(label),
+                                           label, kind, delta)
         if active.enabled:
             elapsed = delta["simulated_ms"]
             buckets = telemetry.LATENCY_BUCKETS_MS
@@ -179,6 +185,7 @@ class ExecutionEngine:
         """
         if self._observe_depth == 0 and (
                 self.recorder is not None
+                or self.monitor is not None
                 or telemetry.current().enabled):
             return self._observed("query", query.label or str(query),
                                   self._execute_query, query, params,
@@ -298,6 +305,7 @@ class ExecutionEngine:
         is attached or telemetry is active."""
         if self._observe_depth == 0 and (
                 self.recorder is not None
+                or self.monitor is not None
                 or telemetry.current().enabled):
             return self._observed("update", update.label or str(update),
                                   self._execute_update, update, params)

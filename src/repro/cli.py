@@ -12,6 +12,8 @@ Usage::
     nose-advisor verify --fuzz 5 --seed 42
     nose-advisor profile --demo hotel --requests 400
     nose-advisor profile --demo rubis --mix bidding --output-json profile.json
+    nose-advisor monitor --demo drift --output-json monitor.json
+    nose-advisor monitor --trace-in trace.json --model my_model.py
 
 With ``--model``, the given Python file must define ``build()``
 returning a ``(model, workload)`` pair; this mirrors how the original
@@ -24,6 +26,10 @@ interpreter side by side and exits with status 2 on any divergence.
 The ``profile`` subcommand replays a recommendation with the execution
 flight recorder attached and reports how well predicted costs track
 measured latencies (see :mod:`repro.profile`).
+The ``monitor`` subcommand watches live (or recorded) traffic drift
+away from the advised workload and prices the regret of keeping the
+old schema (see :mod:`repro.monitor`); it exits with status 3 when
+drift was detected.
 """
 
 from __future__ import annotations
@@ -478,6 +484,160 @@ def run_profile(argv):
     return 0
 
 
+def build_monitor_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor monitor",
+        description="Watch a workload drift away from the one the "
+                    "schema was advised for: ingest executed "
+                    "statements into decayed weight estimates, detect "
+                    "weight/structural drift against the advised mix, "
+                    "and price the regret of standing still (a "
+                    "nose-monitor/1 document).  Exits 3 when drift "
+                    "was detected.")
+    source = parser.add_mutually_exclusive_group()
+    source.add_argument("--demo", choices=["drift"],
+                        help="run the bundled RUBiS browsing->bidding "
+                             "drift scenario")
+    source.add_argument("--trace-in", metavar="FILE",
+                        help="replay a recorded statement trace (JSON "
+                             "list of {label, time?, count?} events) "
+                             "against the advised workload")
+    parser.add_argument("--model", metavar="FILE",
+                        help="Python file defining build() -> "
+                             "(model, workload) — the advised workload "
+                             "a trace is compared against")
+    parser.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="JSON application document (see repro.io)")
+    parser.add_argument("--mix", help="advised workload mix")
+    parser.add_argument("--half-life", type=float, default=None,
+                        metavar="REQUESTS",
+                        help="decay half-life in requests (default: 60 "
+                             "for the demo, 100 for traces)")
+    parser.add_argument("--weight-threshold", type=float, default=0.1,
+                        help="Jensen-Shannon divergence that raises "
+                             "the weight-drift alert (default 0.1)")
+    parser.add_argument("--structural-threshold", type=int, default=1,
+                        help="added+removed digest count that raises "
+                             "the structural alert (default 1)")
+    parser.add_argument("--checkpoint-every", type=int, default=20,
+                        help="drift check cadence in requests "
+                             "(default 20)")
+    parser.add_argument("--requests", type=int, default=400,
+                        help="demo replay length (default 400)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="demo dataset/binding seed (default 0)")
+    parser.add_argument("--users", type=int, default=2000,
+                        help="demo dataset scale in users "
+                             "(default 2000)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="parallel workers for the regret "
+                             "re-advise")
+    parser.add_argument("--trace", action="store_true",
+                        help="print the telemetry run report (monitor "
+                             "gauges + alert events) after the run")
+    parser.add_argument("--output-json", metavar="FILE",
+                        help="write the nose-monitor/1 document as "
+                             "byte-stable JSON")
+    return parser
+
+
+def _monitor_trace(arguments):
+    """Replay a trace file; returns the monitor document."""
+    import json as json_module
+
+    from repro.monitor import (
+        DriftDetector,
+        WorkloadMonitor,
+        estimate_regret,
+        monitor_document,
+    )
+    if arguments.json_file:
+        from repro.io import load_application
+        model, workload = load_application(arguments.json_file)
+        if arguments.mix:
+            workload = workload.with_mix(arguments.mix)
+        source = arguments.json_file
+    elif arguments.model:
+        model, workload = _load_module(arguments.model, arguments.mix)
+        source = arguments.model
+    else:
+        raise NoseError(
+            "--trace-in needs the advised workload: pass --model or "
+            "--json")
+    with open(arguments.trace_in) as handle:
+        trace = json_module.load(handle)
+    events = trace.get("events", trace) if isinstance(trace, dict) \
+        else trace
+    if not isinstance(events, list):
+        raise NoseError(
+            f"{arguments.trace_in} is not a trace: expected a JSON "
+            "list of events or {'events': [...]}")
+    monitor = WorkloadMonitor(
+        workload, half_life=arguments.half_life or 100.0)
+    detector = DriftDetector(
+        monitor, weight_threshold=arguments.weight_threshold,
+        structural_threshold=arguments.structural_threshold)
+    cadence = max(arguments.checkpoint_every, 1)
+    try:
+        for start in range(0, len(events), cadence):
+            monitor.replay_trace(events[start:start + cadence])
+            detector.check()
+        if len(events) % cadence or not events:
+            detector.check()
+    except ValueError as error:
+        raise NoseError(str(error)) from error
+    advisor = Advisor(model)
+    recommendation = advisor.recommend(workload)
+    regret = estimate_regret(advisor, workload, recommendation,
+                             monitor, jobs=arguments.jobs)
+    meta = {"source": source, "trace": arguments.trace_in,
+            "advised_mix": workload.active_mix,
+            "events": len(events)}
+    return monitor_document(monitor, detector, regret=regret, meta=meta)
+
+
+def run_monitor(argv):
+    arguments = build_monitor_parser().parse_args(argv)
+    from repro.reporting import monitor_report
+    try:
+        if not arguments.demo and not arguments.trace_in:
+            raise NoseError("pass --demo drift or --trace-in FILE")
+        if arguments.trace:
+            scope = telemetry.activate()
+        else:
+            scope = contextlib.nullcontext(None)
+        with scope as sink:
+            if arguments.trace_in:
+                document = _monitor_trace(arguments)
+            else:
+                from repro.monitor import drift_demo
+                document = drift_demo(
+                    half_life=arguments.half_life or 60.0,
+                    requests=arguments.requests,
+                    checkpoint_every=arguments.checkpoint_every,
+                    weight_threshold=arguments.weight_threshold,
+                    structural_threshold=arguments.structural_threshold,
+                    seed=arguments.seed, jobs=arguments.jobs,
+                    users=arguments.users)
+    except NoseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(monitor_report(document))
+    if arguments.trace and sink is not None and sink.enabled:
+        print()
+        print(sink.report(meta={"command": "monitor"}).render())
+    if arguments.output_json:
+        from repro.io import dump_monitor
+        dump_monitor(document, arguments.output_json)
+        print(f"\nmonitor document written to {arguments.output_json}")
+    drift = document.get("drift", {})
+    if drift.get("weight_alert") or drift.get("structural_alert"):
+        print("\ndrift detected: the observed workload has moved away "
+              "from the advised mix", file=sys.stderr)
+        return 3
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -487,6 +647,8 @@ def main(argv=None):
         return run_verify(argv[1:])
     if argv and argv[0] == "profile":
         return run_profile(argv[1:])
+    if argv and argv[0] == "monitor":
+        return run_monitor(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     report = None

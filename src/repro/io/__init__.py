@@ -10,10 +10,12 @@ format.
 from repro.io.serialize import (
     dump_application,
     dump_explain,
+    dump_monitor,
     dump_profile,
     dump_run_report,
     load_application,
     load_explain,
+    load_monitor,
     load_profile,
     load_run_report,
     model_from_dict,
@@ -27,10 +29,12 @@ from repro.io.serialize import (
 __all__ = [
     "dump_application",
     "dump_explain",
+    "dump_monitor",
     "dump_profile",
     "dump_run_report",
     "load_application",
     "load_explain",
+    "load_monitor",
     "load_profile",
     "load_run_report",
     "model_from_dict",

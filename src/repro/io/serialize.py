@@ -213,6 +213,32 @@ def dump_application(model, workload, path):
     return path
 
 
+# -- document version checks -----------------------------------------------
+
+
+def _check_format(document, supported, path, kind, required=False):
+    """Reject documents whose declared version is not ``supported``.
+
+    ``supported`` is the accepted format tag (e.g. "nose-explain/1").
+    A document with no ``format`` field is accepted unless ``required``
+    — explain/profile/run-report files predating the tag still load;
+    the monitor format has carried its tag from day one, so there it is
+    mandatory.
+    """
+    found = document.get("format")
+    if found is None:
+        if required:
+            raise ValueError(
+                f"{path} is not a {kind} document: missing 'format' "
+                f"field (expected {supported!r})")
+        return document
+    if found != supported:
+        raise ValueError(
+            f"{path} declares unsupported {kind} document version "
+            f"{found!r}; supported: {supported!r}")
+    return document
+
+
 # -- explain documents ----------------------------------------------------------
 
 
@@ -238,7 +264,8 @@ def load_explain(path):
         document = json.load(handle)
     if not isinstance(document, dict):
         raise ParseError(f"{path} is not an explain document")
-    return document
+    from repro.explain.document import EXPLAIN_FORMAT
+    return _check_format(document, EXPLAIN_FORMAT, path, "explain")
 
 
 # -- profile documents ----------------------------------------------------------
@@ -261,7 +288,8 @@ def load_profile(path):
         document = json.load(handle)
     if not isinstance(document, dict):
         raise ParseError(f"{path} is not a profile document")
-    return document
+    from repro.profile.report import PROFILE_FORMAT
+    return _check_format(document, PROFILE_FORMAT, path, "profile")
 
 
 # -- telemetry run reports ------------------------------------------------------
@@ -289,4 +317,36 @@ def dump_run_report(report, path):
 def load_run_report(path):
     """Load a telemetry run report from a JSON file."""
     with open(path) as handle:
-        return run_report_from_dict(json.load(handle))
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ParseError(f"{path} is not a run-report document")
+    from repro.telemetry import RUN_REPORT_FORMAT
+    _check_format(document, RUN_REPORT_FORMAT, path, "run-report")
+    return run_report_from_dict(document)
+
+
+# -- monitor documents -----------------------------------------------------------
+
+
+def dump_monitor(document, path):
+    """Write a "nose-monitor/1" drift document as stable JSON.
+
+    Keys are sorted and a trailing newline appended, matching the
+    other document dumpers, so serial and ``jobs=N`` monitored runs of
+    the same traffic produce byte-identical files.
+    """
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_monitor(path):
+    """Load a monitor document from a JSON file (format required)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ParseError(f"{path} is not a monitor document")
+    from repro.monitor.document import MONITOR_FORMAT
+    return _check_format(document, MONITOR_FORMAT, path, "monitor",
+                         required=True)

@@ -1,0 +1,38 @@
+"""Workload drift observatory: see the mix move, price standing still.
+
+NoSE advises for a fixed workload; deployments drift.  This package
+closes the loop from execution back to advising:
+
+* :class:`WorkloadMonitor` ingests executed statements — live through
+  an :class:`~repro.backend.executor.ExecutionEngine` hook or from a
+  recorded trace — into exponentially-decayed per-statement weight
+  estimates keyed by structural digest;
+* :class:`DriftDetector` compares the decayed observed mix against the
+  advised workload (L1 + Jensen–Shannon weight drift, added/removed
+  structural drift) with threshold+hysteresis alerts riding
+  ``monitor.*`` telemetry;
+* :func:`estimate_regret` prices the standing recommendation under the
+  observed mix against a fresh re-advise (a prepared-cache hit, so
+  cheap), quantifying what staying put costs;
+* :func:`monitor_document` rolls all of it into the byte-stable
+  "nose-monitor/1" document behind ``nose-advisor monitor``.
+"""
+
+from repro.monitor.demo import drift_demo, epsilon_floored_workload
+from repro.monitor.document import MONITOR_FORMAT, monitor_document
+from repro.monitor.drift import DriftDetector, js_divergence, l1_distance
+from repro.monitor.monitor import StatementEstimate, WorkloadMonitor
+from repro.monitor.regret import estimate_regret
+
+__all__ = [
+    "DriftDetector",
+    "MONITOR_FORMAT",
+    "StatementEstimate",
+    "WorkloadMonitor",
+    "drift_demo",
+    "epsilon_floored_workload",
+    "estimate_regret",
+    "js_divergence",
+    "l1_distance",
+    "monitor_document",
+]

@@ -1,0 +1,205 @@
+"""Drift detection between the advised workload and live traffic.
+
+A :class:`DriftDetector` periodically compares the monitor's decayed
+observed statement distribution against the advised workload's mix:
+
+* **weight drift** — L1 distance (total variation × 2, range [0, 2])
+  and Jensen–Shannon divergence (base 2, range [0, 1]) between the two
+  digest-keyed distributions;
+* **structural drift** — digests seen live but absent from the advised
+  workload (*added*) and advised digests that have vanished from the
+  live traffic (*removed*).  Removal only counts advised digests whose
+  advised share is at least ``min_advised_share``, so epsilon-weighted
+  statements the advisor planned "just in case" do not trip the alarm
+  while they are legitimately idle.
+
+Alerts use threshold + hysteresis: an alert raises when the metric
+crosses its threshold and clears only when it falls back below
+``threshold * hysteresis``, so a metric oscillating around the
+threshold produces one alert, not a flap storm.  State changes are
+surfaced through :mod:`repro.telemetry` as ``monitor.*`` gauges,
+counters and events, and recorded on the detector for the drift
+timeline in monitor documents.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import telemetry
+
+__all__ = ["DriftDetector", "js_divergence", "l1_distance"]
+
+#: observed share below which an advised digest counts as vanished
+VANISH_SHARE = 1e-6
+
+#: advised share below which a digest is never reported as removed
+MIN_ADVISED_SHARE = 0.005
+
+
+def l1_distance(first, second):
+    """L1 distance between two share mappings (range [0, 2])."""
+    # sorted keys: exact symmetry and run-to-run stable float sums
+    return sum(abs(first.get(key, 0.0) - second.get(key, 0.0))
+               for key in sorted(set(first) | set(second)))
+
+
+def js_divergence(first, second):
+    """Jensen–Shannon divergence, base 2, between two share mappings.
+
+    Symmetric and bounded in [0, 1]; 0 for identical distributions, 1
+    for distributions with disjoint support.  Inputs are treated as
+    already-normalized share maps; missing keys contribute share 0.
+    """
+    divergence = 0.0
+    for key in sorted(set(first) | set(second)):
+        p = first.get(key, 0.0)
+        q = second.get(key, 0.0)
+        mid = (p + q) / 2.0
+        if p > 0.0:
+            divergence += 0.5 * p * math.log2(p / mid)
+        if q > 0.0:
+            divergence += 0.5 * q * math.log2(q / mid)
+    # clamp the tiny negative float noise identical distributions make
+    return min(max(divergence, 0.0), 1.0)
+
+
+class DriftDetector:
+    """Thresholded weight + structural drift checks over a monitor.
+
+    ``weight_threshold`` applies to the Jensen–Shannon divergence
+    (L1 is reported alongside for interpretability);
+    ``structural_threshold`` to the count of added+removed digests.
+    ``min_requests`` observations must have been ingested before any
+    check can alert — an empty monitor is "no signal", not drift.
+    """
+
+    def __init__(self, monitor, weight_threshold=0.1,
+                 structural_threshold=1, hysteresis=0.8,
+                 min_requests=10, min_advised_share=MIN_ADVISED_SHARE):
+        if not 0.0 < hysteresis <= 1.0:
+            raise ValueError(
+                f"hysteresis must be in (0, 1], got {hysteresis!r}")
+        self.monitor = monitor
+        self.weight_threshold = float(weight_threshold)
+        self.structural_threshold = int(structural_threshold)
+        self.hysteresis = float(hysteresis)
+        self.min_requests = int(min_requests)
+        self.min_advised_share = float(min_advised_share)
+        self.weight_alert = False
+        self.structural_alert = False
+        #: every check's record, in check order (the drift timeline)
+        self.history = []
+        #: alert state transitions, in order
+        self.alerts = []
+
+    # -- single check --------------------------------------------------------
+
+    def check(self):
+        """Compare observed vs advised now; update alert state.
+
+        Returns the check record (also appended to :attr:`history`).
+        """
+        monitor = self.monitor
+        advised = monitor.advised_distribution()
+        observed = monitor.observed_distribution()
+        warmed_up = monitor.requests >= self.min_requests and observed
+        if warmed_up:
+            l1 = l1_distance(advised, observed)
+            js = js_divergence(advised, observed)
+            added = sorted(digest for digest, share in observed.items()
+                           if digest not in advised
+                           and share > VANISH_SHARE)
+            removed = sorted(
+                digest for digest, share in advised.items()
+                if share >= self.min_advised_share
+                and observed.get(digest, 0.0) <= VANISH_SHARE)
+        else:
+            l1 = js = 0.0
+            added = removed = []
+        record = {
+            "time": round(monitor.clock, 6),
+            "requests": monitor.requests,
+            "l1": round(l1, 6),
+            "js": round(js, 6),
+            "structural_added": added,
+            "structural_removed": removed,
+        }
+        self._update_alerts(record)
+        record["weight_alert"] = self.weight_alert
+        record["structural_alert"] = self.structural_alert
+        self.history.append(record)
+        self._emit_gauges(record)
+        return record
+
+    def _update_alerts(self, record):
+        sink = telemetry.current()
+        js = record["js"]
+        if not self.weight_alert and js >= self.weight_threshold:
+            self.weight_alert = True
+            self._transition("weight_alert", record,
+                             js=js, l1=record["l1"],
+                             threshold=self.weight_threshold)
+            sink.count("monitor.weight_alerts")
+        elif self.weight_alert \
+                and js < self.weight_threshold * self.hysteresis:
+            self.weight_alert = False
+            self._transition("weight_alert_cleared", record, js=js)
+        structural = (len(record["structural_added"])
+                      + len(record["structural_removed"]))
+        if not self.structural_alert \
+                and structural >= self.structural_threshold:
+            self.structural_alert = True
+            self._transition(
+                "structural_alert", record,
+                added=len(record["structural_added"]),
+                removed=len(record["structural_removed"]),
+                threshold=self.structural_threshold)
+            sink.count("monitor.structural_alerts")
+        elif self.structural_alert and structural == 0:
+            self.structural_alert = False
+            self._transition("structural_alert_cleared", record)
+
+    def _transition(self, name, record, **attributes):
+        entry = {"event": name, "time": record["time"],
+                 "requests": record["requests"]}
+        entry.update({key: attributes[key] for key in sorted(attributes)})
+        self.alerts.append(entry)
+        telemetry.current().event(f"monitor.{name}", time=record["time"],
+                                  requests=record["requests"],
+                                  **attributes)
+
+    def _emit_gauges(self, record):
+        sink = telemetry.current()
+        if not sink.enabled:
+            return
+        sink.count("monitor.checks")
+        sink.gauge("monitor.weight_drift_js", record["js"])
+        sink.gauge("monitor.weight_drift_l1", record["l1"])
+        sink.gauge("monitor.structural_added",
+                   len(record["structural_added"]))
+        sink.gauge("monitor.structural_removed",
+                   len(record["structural_removed"]))
+        sink.gauge("monitor.requests", record["requests"])
+
+    # -- read-out ------------------------------------------------------------
+
+    @property
+    def drifted(self):
+        """True while either alert is raised."""
+        return self.weight_alert or self.structural_alert
+
+    def as_dict(self):
+        """Drift section of the monitor document."""
+        latest = self.history[-1] if self.history else None
+        return {
+            "checks": len(self.history),
+            "weight_threshold": self.weight_threshold,
+            "structural_threshold": self.structural_threshold,
+            "hysteresis": self.hysteresis,
+            "weight_alert": self.weight_alert,
+            "structural_alert": self.structural_alert,
+            "latest": latest,
+            "timeline": list(self.history),
+            "alerts": list(self.alerts),
+        }

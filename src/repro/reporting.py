@@ -61,6 +61,9 @@ def grouped_bar_chart(table, width=30, log_scale=False, unit=""):
     lines = []
     for group, row in table.items():
         lines.append(f"{group}:")
+        if not row:
+            lines.append("  (no data)")
+            continue
         chart = bar_chart(row, width=width, log_scale=log_scale,
                           unit=unit)
         for line in chart.splitlines():
@@ -178,8 +181,8 @@ def metrics_summary(metrics, top=5):
                                                       "p99")
             if histogram.get(key) is not None)
         lines.append(f"{name} (count={histogram['count']}, "
-                     f"min={histogram['min']}, max={histogram['max']}"
-                     f"{quantiles})")
+                     f"min={_fmt(histogram['min'])}, "
+                     f"max={_fmt(histogram['max'])}{quantiles})")
         labels = [f"<= {bound}" for bound in histogram["boundaries"]]
         labels.append(f"> {histogram['boundaries'][-1]}"
                       if histogram["boundaries"] else "all")
@@ -337,6 +340,19 @@ def render_run_report(report, top=5):
            for section in ("counters", "gauges", "histograms")):
         lines.append("")
         lines.append(metrics_summary(report.metrics, top=top))
+    events = getattr(report, "events", None)
+    if events:
+        lines.append("")
+        lines.append(f"events ({len(events)}):")
+        for event in events:
+            attributes = event.get("attributes")
+            suffix = ""
+            if attributes:
+                pairs = ", ".join(f"{key}={attributes[key]}"
+                                  for key in sorted(attributes))
+                suffix = f"  [{pairs}]"
+            lines.append(f"  {event.get('seconds', 0.0):>10.4f}s  "
+                         f"{event.get('name')}{suffix}")
     return "\n".join(lines)
 
 
@@ -465,4 +481,119 @@ def profile_report(document):
             f"calibration samples captured: "
             f"{calibration.get('captured', 0)} "
             f"(dropped {calibration.get('dropped', 0)})")
+    return "\n".join(lines)
+
+
+def monitor_report(document, width=32, top=12):
+    """Plain-text rendering of a "nose-monitor/1" drift document
+    (``repro.monitor.monitor_document``): ingestion summary, the ASCII
+    drift timeline with alert markers, structural changes, the alert
+    log, decayed statement-weight estimates, and the regret section.
+    """
+    meta = document.get("meta", {})
+    ingest = document.get("ingest", {})
+    lines = ["workload drift monitor"]
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]}")
+    lines.append(
+        f"  ingested: {ingest.get('requests', 0)} request(s), "
+        f"{ingest.get('statements_tracked', 0)} statement(s) tracked, "
+        f"half-life {_fmt(ingest.get('half_life'))}, "
+        f"clock {_fmt(ingest.get('clock'))}")
+
+    drift = document.get("drift")
+    if drift:
+        weight_state = "ALERT" if drift.get("weight_alert") else "ok"
+        structural_state = "ALERT" if drift.get("structural_alert") \
+            else "ok"
+        lines.append(
+            f"  drift: {drift.get('checks', 0)} check(s), weight "
+            f"{weight_state} (JS threshold "
+            f"{_fmt(drift.get('weight_threshold'))}), structural "
+            f"{structural_state} (threshold "
+            f"{drift.get('structural_threshold')})")
+        timeline = drift.get("timeline", [])
+        if timeline:
+            threshold = drift.get("weight_threshold") or 0.0
+            peak = max(max(record.get("js", 0.0)
+                           for record in timeline),
+                       threshold * 1.5, 1e-9)
+            mark = int(round(_scale(threshold, peak, width))) \
+                if threshold else None
+            lines.append("")
+            lines.append("drift timeline (JS divergence, '|' = "
+                         "threshold, '*' = alert active):")
+            lines.append(f"{'time':>10} {'requests':>9} {'js':>8} "
+                         f"{'l1':>8}")
+            for record in timeline:
+                js = record.get("js", 0.0)
+                length = int(round(_scale(js, peak, width)))
+                bar = list("█" * length + " " * (width - length))
+                if mark is not None and 0 <= mark < width:
+                    if bar[mark] == " ":
+                        bar[mark] = "|"
+                flag = " *" if record.get("weight_alert") \
+                    or record.get("structural_alert") else ""
+                lines.append(f"{_fmt(record.get('time')):>10} "
+                             f"{record.get('requests', 0):>9} "
+                             f"{js:>8.4f} "
+                             f"{record.get('l1', 0.0):>8.4f}  "
+                             f"{''.join(bar)}{flag}")
+        else:
+            lines.append("  (no drift checks recorded)")
+        structural = drift.get("structural")
+        if structural and (structural.get("added")
+                           or structural.get("removed")):
+            lines.append("")
+            lines.append("structural drift:")
+            for direction, sign in (("added", "+"), ("removed", "-")):
+                for digest in sorted(structural.get(direction, {})):
+                    labels = ", ".join(
+                        structural[direction][digest]) or "?"
+                    lines.append(f"  {sign} {digest}  ({labels})")
+        alerts = drift.get("alerts", [])
+        if alerts:
+            lines.append("")
+            lines.append(f"alerts ({len(alerts)}):")
+            for alert in alerts:
+                detail = ", ".join(
+                    f"{key}={_fmt(alert[key])}" for key in sorted(alert)
+                    if key not in ("event", "time", "requests"))
+                suffix = f"  [{detail}]" if detail else ""
+                lines.append(
+                    f"  [time {_fmt(alert.get('time'))}, request "
+                    f"{alert.get('requests')}] "
+                    f"{alert.get('event')}{suffix}")
+
+    estimates = document.get("estimates", {})
+    if estimates:
+        ranked = sorted(estimates,
+                        key=lambda label: (-estimates[label]["weight"],
+                                           label))[:top]
+        rows = [(label, estimates[label]["weight"]) for label in ranked]
+        lines.append("")
+        lines.append(f"decayed weight estimates (top {len(rows)} of "
+                     f"{len(estimates)}):")
+        for line in bar_chart(rows, width=width).splitlines():
+            lines.append(f"  {line}")
+    else:
+        lines.append("  (no statements observed)")
+
+    regret = document.get("regret")
+    if regret:
+        if regret.get("regret") is None:
+            lines.append("")
+            lines.append("regret: not estimated (no observed traffic)")
+        else:
+            lines.append("")
+            lines.append(
+                f"regret under observed mix: stale cost "
+                f"{_fmt(regret.get('stale_cost'))} vs re-advised "
+                f"{_fmt(regret.get('fresh_cost'))} -> regret "
+                f"{_fmt(regret.get('regret'))} "
+                f"({_fmt(regret.get('regret_pct'))}%)")
+            lines.append(
+                f"  re-advising chooses "
+                f"{regret.get('fresh_indexes')} column families "
+                f"(current schema has {regret.get('stale_indexes')})")
     return "\n".join(lines)

@@ -47,6 +47,7 @@ __all__ = [
     "MetricsRegistry",
     "NULL",
     "NullTelemetry",
+    "RUN_REPORT_FORMAT",
     "RunReport",
     "Span",
     "TIME_BUCKETS",
@@ -61,6 +62,9 @@ __all__ = [
 
 #: environment variable that force-disables telemetry when set to "0"
 KILL_SWITCH = "NOSE_TELEMETRY"
+
+#: document version tag stamped into serialized run reports
+RUN_REPORT_FORMAT = "nose-run-report/1"
 
 #: default boundaries for histograms over counts (plans, candidates)
 COUNT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000)
@@ -86,14 +90,17 @@ def env_enabled():
 class Span:
     """One named wall-clock interval with nested children.
 
-    Times come from ``time.perf_counter`` (monotonic).  ``children``
-    may have been recorded on other threads (see :meth:`Tracer.adopt`)
-    and can therefore overlap each other, so ``self_seconds`` clamps at
-    zero rather than going negative when concurrent children sum past
-    the parent's wall time.
+    Times come from ``time.perf_counter`` (monotonic); ``started_at``
+    additionally records the wall-clock (``time.time``) start so traces
+    can be correlated with external logs.  ``children`` may have been
+    recorded on other threads (see :meth:`Tracer.adopt`) and can
+    therefore overlap each other, so ``self_seconds`` clamps at zero
+    rather than going negative when concurrent children sum past the
+    parent's wall time.
     """
 
-    __slots__ = ("name", "attributes", "children", "started", "ended")
+    __slots__ = ("name", "attributes", "children", "started", "ended",
+                 "started_at")
 
     def __init__(self, name, attributes=None):
         self.name = name
@@ -101,6 +108,8 @@ class Span:
         self.children = []
         self.started = None
         self.ended = None
+        #: wall-clock (epoch seconds) start, None until the span opens
+        self.started_at = None
 
     @property
     def total_seconds(self):
@@ -128,6 +137,8 @@ class Span:
             "total_seconds": round(self.total_seconds, 6),
             "self_seconds": round(self.self_seconds, 6),
         }
+        if self.started_at is not None:
+            record["started_at"] = round(self.started_at, 3)
         if self.attributes:
             record["attributes"] = {key: self.attributes[key]
                                     for key in sorted(self.attributes)}
@@ -153,6 +164,7 @@ class Tracer:
     def __init__(self, name="run"):
         self.root = Span(name)
         self.root.started = time.perf_counter()
+        self.root.started_at = time.time()
         #: spans started over the tracer's lifetime (root excluded)
         self.span_count = 0
         self._lock = threading.Lock()
@@ -178,6 +190,7 @@ class Tracer:
             self.span_count += 1
         stack.append(span)
         span.started = time.perf_counter()
+        span.started_at = time.time()
         try:
             yield span
         finally:
@@ -216,6 +229,7 @@ def span_from_record(record):
     span = Span(record["name"], record.get("attributes"))
     span.started = 0.0
     span.ended = record.get("total_seconds", 0.0)
+    span.started_at = record.get("started_at")
     span.children = [span_from_record(child)
                      for child in record.get("children", ())]
     return span
@@ -417,9 +431,16 @@ class Telemetry:
 
     enabled = True
 
+    #: cap on the append-only event log; older events are dropped with
+    #: a final "telemetry.events_dropped" marker so reports stay honest
+    MAX_EVENTS = 10000
+
     def __init__(self, name="run"):
         self.tracer = Tracer(name)
         self.metrics = MetricsRegistry()
+        self.events = []
+        self._events_dropped = 0
+        self._events_lock = threading.Lock()
 
     # tracing
     def span(self, name, **attributes):
@@ -441,6 +462,33 @@ class Telemetry:
     def observe(self, name, value, buckets=None):
         self.metrics.observe(name, value, buckets)
 
+    # events
+    def event(self, name, **attributes):
+        """Append one named event to the run's event log.
+
+        Events are point-in-time markers (alerts, phase changes) as
+        opposed to intervals (spans) or aggregates (metrics).  Each
+        record carries seconds since the run started (monotonic) plus a
+        wall-clock timestamp, and any JSON-able attributes.  The log is
+        capped at :attr:`MAX_EVENTS`; overflow increments a drop
+        counter surfaced in the run report rather than silently
+        growing without bound.
+        """
+        record = {
+            "name": name,
+            "seconds": round(
+                time.perf_counter() - self.tracer.root.started, 6),
+            "time": round(time.time(), 3),
+        }
+        if attributes:
+            record["attributes"] = {key: attributes[key]
+                                    for key in sorted(attributes)}
+        with self._events_lock:
+            if len(self.events) >= self.MAX_EVENTS:
+                self._events_dropped += 1
+            else:
+                self.events.append(record)
+
     def merge_snapshot(self, snapshot):
         """Merge a worker process's serialized telemetry into this sink.
 
@@ -453,6 +501,12 @@ class Telemetry:
         put it for a thread worker.
         """
         self.metrics.merge(snapshot.get("metrics", {}))
+        events = snapshot.get("events", ())
+        if events:
+            with self._events_lock:
+                room = self.MAX_EVENTS - len(self.events)
+                self.events.extend(events[:room])
+                self._events_dropped += max(len(events) - room, 0)
         spans = snapshot.get("spans", ())
         if spans:
             parent = self.tracer.current_span()
@@ -513,6 +567,9 @@ class NullTelemetry:
         pass
 
     def observe(self, name, value, buckets=None):
+        pass
+
+    def event(self, name, **attributes):
         pass
 
     def merge_snapshot(self, snapshot):
@@ -596,10 +653,11 @@ class RunReport:
     ``load_run_report``.
     """
 
-    def __init__(self, spans, metrics, meta=None):
+    def __init__(self, spans, metrics, meta=None, events=None):
         self.spans = list(spans)
         self.metrics = dict(metrics)
         self.meta = dict(meta or {})
+        self.events = list(events or ())
 
     @classmethod
     def from_telemetry(cls, telemetry, meta=None):
@@ -609,23 +667,31 @@ class RunReport:
             "span_count": telemetry.tracer.span_count,
             "total_seconds": round(root.total_seconds, 6),
         }
+        if telemetry._events_dropped:
+            meta_record["events_dropped"] = telemetry._events_dropped
         meta_record.update(meta or {})
         return cls([child.as_dict() for child in root.children],
-                   telemetry.metrics.as_dict(), meta=meta_record)
+                   telemetry.metrics.as_dict(), meta=meta_record,
+                   events=list(telemetry.events))
 
     @classmethod
     def from_dict(cls, document):
         """Rebuild a report from :meth:`as_dict` output."""
         return cls(document.get("spans", ()),
                    document.get("metrics", {}),
-                   meta=document.get("meta", {}))
+                   meta=document.get("meta", {}),
+                   events=document.get("events", ()))
 
     def as_dict(self):
-        return {
+        record = {
+            "format": RUN_REPORT_FORMAT,
             "meta": {key: self.meta[key] for key in sorted(self.meta)},
             "spans": self.spans,
             "metrics": self.metrics,
         }
+        if self.events:
+            record["events"] = self.events
+        return record
 
     def stage_totals(self):
         """Wall seconds summed per span name across the whole tree.

@@ -1,0 +1,196 @@
+"""Drift detector tests: distances, alerts, hysteresis, telemetry."""
+
+import pytest
+
+from repro import telemetry
+from repro.demo import hotel_model, hotel_workload
+from repro.monitor import (
+    DriftDetector,
+    WorkloadMonitor,
+    js_divergence,
+    l1_distance,
+)
+
+
+@pytest.fixture()
+def workload():
+    model = hotel_model()
+    return hotel_workload(model, include_updates=True)
+
+
+def test_l1_distance_basics():
+    assert l1_distance({"a": 1.0}, {"a": 1.0}) == 0.0
+    # disjoint unit masses are at the maximum distance of 2
+    assert l1_distance({"a": 1.0}, {"b": 1.0}) == pytest.approx(2.0)
+
+
+def test_js_divergence_identical_is_zero():
+    shares = {"a": 0.25, "b": 0.75}
+    assert js_divergence(shares, shares) == pytest.approx(0.0)
+
+
+def test_js_divergence_disjoint_is_one():
+    assert js_divergence({"a": 1.0}, {"b": 1.0}) == pytest.approx(1.0)
+
+
+def test_no_alert_before_min_requests(workload):
+    monitor = WorkloadMonitor(workload)
+    detector = DriftDetector(monitor, min_requests=10)
+    # one wildly unrepresentative observation must not alert
+    monitor.observe(workload.statements["delete_guest"], time=1.0)
+    record = detector.check()
+    assert record["js"] == 0.0
+    assert not record["weight_alert"]
+    assert not record["structural_alert"]
+    assert not detector.drifted
+
+
+def test_empty_monitor_never_alerts(workload):
+    monitor = WorkloadMonitor(workload)
+    detector = DriftDetector(monitor, min_requests=0)
+    record = detector.check()
+    assert record["l1"] == 0.0
+    assert not detector.drifted
+
+
+def _skewed_detector(workload, **kwargs):
+    """All traffic on one statement: maximal observed skew."""
+    monitor = WorkloadMonitor(workload, half_life=1000.0)
+    statement = workload.statements["guest_by_id"]
+    for tick in range(20):
+        monitor.observe(statement, time=float(tick))
+    return DriftDetector(monitor, min_requests=10, **kwargs)
+
+
+def test_weight_alert_fires_on_skew(workload):
+    detector = _skewed_detector(workload, weight_threshold=0.1)
+    record = detector.check()
+    assert record["js"] > 0.1
+    assert record["weight_alert"]
+    assert detector.drifted
+    assert detector.alerts[0]["event"] == "weight_alert"
+
+
+class _StubMonitor:
+    """Monitor stand-in with directly controlled distributions."""
+
+    def __init__(self, advised, observed):
+        self.advised = advised
+        self.observed = observed
+        self.requests = 100
+        self.clock = 100.0
+
+    def advised_distribution(self):
+        return self.advised
+
+    def observed_distribution(self):
+        return self.observed
+
+
+def _mixture(advised, skew):
+    """A distribution ``skew`` of the way from ``advised`` to all-'a'."""
+    shifted = {key: share * (1 - skew)
+               for key, share in advised.items()}
+    shifted["a"] = shifted.get("a", 0.0) + skew
+    return shifted
+
+
+def test_hysteresis_holds_alert_between_thresholds():
+    advised = {"a": 0.5, "b": 0.5}
+    stub = _StubMonitor(advised, dict(advised))
+    detector = DriftDetector(stub, min_requests=10,
+                             weight_threshold=0.1, hysteresis=0.5)
+    # find skews producing js above the raise threshold, between clear
+    # and raise, and below the clear threshold
+    above = between = below = None
+    for step in range(1, 100):
+        skew = step / 100.0
+        js = js_divergence(advised, _mixture(advised, skew))
+        if js >= 0.1 and above is None:
+            above = skew
+        if 0.05 <= js < 0.1:
+            between = skew
+        if js < 0.05:
+            below = skew
+    assert above and between and below
+    stub.observed = _mixture(advised, above)
+    assert detector.check()["weight_alert"]
+    transitions = len(detector.alerts)
+    # between clear and raise: the alert holds, no new transition
+    stub.observed = _mixture(advised, between)
+    assert detector.check()["weight_alert"]
+    assert len(detector.alerts) == transitions
+    # below the clear threshold: the alert releases
+    stub.observed = _mixture(advised, below)
+    assert not detector.check()["weight_alert"]
+    assert detector.alerts[-1]["event"] == "weight_alert_cleared"
+    # climbing back between thresholds does NOT re-raise
+    stub.observed = _mixture(advised, between)
+    assert not detector.check()["weight_alert"]
+
+
+def test_structural_alert_on_vanished_statement(workload):
+    monitor = WorkloadMonitor(workload, half_life=1000.0)
+    # observe every advised statement except one heavyweight query
+    for statement, _weight in workload.weighted_statements:
+        if statement.label == "hotels_by_location":
+            continue
+        monitor.observe(statement)
+    detector = DriftDetector(monitor, min_requests=1,
+                             weight_threshold=2.0,
+                             structural_threshold=1)
+    record = detector.check()
+    assert record["structural_alert"]
+    assert len(record["structural_removed"]) == 1
+    assert not record["weight_alert"]
+
+
+def test_structural_removal_ignores_epsilon_advised(workload):
+    floored = workload.clone()
+    floored.add_statement(
+        "SELECT Hotel.HotelName FROM Hotel WHERE Hotel.HotelID = ?",
+        label="rare_lookup", weight=1e-4)
+    monitor = WorkloadMonitor(floored, half_life=1000.0)
+    for statement, _weight in floored.weighted_statements:
+        if statement.label == "rare_lookup":
+            continue
+        monitor.observe(statement)
+    detector = DriftDetector(monitor, min_requests=1,
+                             weight_threshold=2.0,
+                             min_advised_share=0.005)
+    record = detector.check()
+    # the epsilon statement is advised below min_advised_share, so its
+    # absence from live traffic is expected, not drift
+    assert record["structural_removed"] == []
+    assert not record["structural_alert"]
+
+
+def test_detector_emits_telemetry_gauges_and_events(workload):
+    detector = _skewed_detector(workload, weight_threshold=0.1)
+    with telemetry.activate() as sink:
+        if not sink.enabled:
+            pytest.skip("telemetry kill-switch set")
+        detector.check()
+        metrics = sink.metrics.as_dict()
+        assert metrics["counters"]["monitor.checks"] == 1
+        assert metrics["counters"]["monitor.weight_alerts"] == 1
+        assert metrics["gauges"]["monitor.weight_drift_js"] > 0.1
+        assert "monitor.weight_drift_l1" in metrics["gauges"]
+        names = [event["name"] for event in sink.events]
+        assert "monitor.weight_alert" in names
+
+
+def test_detector_silent_under_kill_switch(workload, monkeypatch):
+    monkeypatch.setenv("NOSE_TELEMETRY", "0")
+    detector = _skewed_detector(workload, weight_threshold=0.1)
+    with telemetry.activate() as sink:
+        record = detector.check()
+        assert not sink.enabled
+        # detection still works; only the telemetry riders are muted
+        assert record["weight_alert"]
+
+
+def test_invalid_hysteresis_rejected(workload):
+    monitor = WorkloadMonitor(workload)
+    with pytest.raises(ValueError, match="hysteresis"):
+        DriftDetector(monitor, hysteresis=0.0)

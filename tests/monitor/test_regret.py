@@ -1,0 +1,83 @@
+"""Regret estimation tests on the hotel workload."""
+
+import pytest
+
+from repro import Advisor
+from repro.demo import hotel_model, hotel_workload
+from repro.monitor import WorkloadMonitor, estimate_regret
+
+
+@pytest.fixture(scope="module")
+def advised():
+    model = hotel_model()
+    workload = hotel_workload(model, include_updates=True)
+    advisor = Advisor(model)
+    recommendation = advisor.recommend(workload)
+    return model, workload, advisor, recommendation
+
+
+def test_regret_nonnegative_under_shifted_mix(advised):
+    _model, workload, advisor, recommendation = advised
+    # all observed traffic on two statements the advised mix spread out
+    observed = {"guest_by_id": 10.0, "delete_guest": 5.0}
+    section = estimate_regret(advisor, workload, recommendation,
+                              observed)
+    assert section["stale_cost"] is not None
+    # the fresh solve optimizes the objective the stale schema is
+    # scored on, so regret is >= 0 up to solver tolerance
+    assert section["regret"] >= -1e-6
+    assert section["fresh_cost"] <= section["stale_cost"] + 1e-6
+    assert section["recommendation"] is not None
+
+
+def test_zero_regret_under_advised_mix(advised):
+    _model, workload, advisor, recommendation = advised
+    observed = {statement.label: weight
+                for statement, weight in workload.weighted_statements}
+    section = estimate_regret(advisor, workload, recommendation,
+                              observed)
+    # observing exactly the advised mix: re-advising finds the same
+    # optimum, so the regret (nearly) vanishes — statement_costs sums
+    # each update's cheapest support plans, which can differ from the
+    # BIP objective by a hair, so allow a small absolute slack
+    assert section["regret"] == pytest.approx(0.0, abs=1e-3)
+    assert abs(section["regret_pct"]) < 0.1
+
+
+def test_regret_accepts_monitor(advised):
+    _model, workload, advisor, recommendation = advised
+    monitor = WorkloadMonitor(workload)
+    monitor.observe(workload.statements["guest_by_id"])
+    monitor.observe(workload.statements["hotels_by_location"])
+    section = estimate_regret(advisor, workload, recommendation,
+                              monitor)
+    assert section["stale_cost"] > 0
+    assert section["fresh_indexes"] > 0
+
+
+def test_regret_without_observations(advised):
+    _model, workload, advisor, recommendation = advised
+    section = estimate_regret(advisor, workload, recommendation, {})
+    assert section["regret"] is None
+    assert section["stale_cost"] is None
+    assert section["recommendation"] is None
+
+
+def test_regret_reports_unknown_labels(advised):
+    _model, workload, advisor, recommendation = advised
+    observed = {"guest_by_id": 5.0, "not_in_workload": 3.0}
+    section = estimate_regret(advisor, workload, recommendation,
+                              observed)
+    assert section["ignored_labels"] == ["not_in_workload"]
+
+
+def test_regret_costs_are_per_request(advised):
+    _model, workload, advisor, recommendation = advised
+    observed = {"guest_by_id": 1.0, "delete_guest": 1.0}
+    scaled = {label: weight * 1000
+              for label, weight in observed.items()}
+    base = estimate_regret(advisor, workload, recommendation, observed)
+    big = estimate_regret(advisor, workload, recommendation, scaled)
+    # weights are normalized, so absolute traffic volume cancels out
+    assert base["stale_cost"] == pytest.approx(big["stale_cost"])
+    assert base["fresh_cost"] == pytest.approx(big["fresh_cost"])

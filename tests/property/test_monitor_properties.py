@@ -1,0 +1,171 @@
+"""Property-based tests for decayed-weight estimation and drift math.
+
+The monitor's invariants: a longer half-life always favours *older*
+traffic relative to newer traffic (monotonicity), digest-keyed
+accumulation sees exactly the structural statement sets
+``Workload.structural_diff`` sees, and the Jensen–Shannon divergence
+behind the weight-drift alert is a symmetric, [0, 1]-bounded metric.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.monitor import WorkloadMonitor, js_divergence, l1_distance
+from repro.monitor.drift import DriftDetector
+from repro.randgen import random_model, random_workload
+from repro.workload import statement_digest
+
+
+def _workload(seed, **kwargs):
+    options = {"queries": 6, "updates": 2, "inserts": 1}
+    options.update(kwargs)
+    return random_workload(random_model(entities=6, seed=seed % 5,
+                                        mean_degree=3),
+                           seed=seed, **options)
+
+
+# -- half-life monotonicity ---------------------------------------------------
+
+
+@given(seed=st.integers(0, 200),
+       old_times=st.lists(st.floats(0.0, 50.0), min_size=1,
+                          max_size=8),
+       new_times=st.lists(st.floats(50.0, 100.0), min_size=1,
+                          max_size=8),
+       half_lives=st.tuples(st.floats(1.0, 50.0),
+                            st.floats(1.0, 50.0)))
+@settings(max_examples=60, deadline=None)
+def test_longer_half_life_favours_older_traffic(seed, old_times,
+                                                new_times, half_lives):
+    """With every 'old' event before every 'new' event, the old/new
+    decayed-weight ratio is non-decreasing in the half-life."""
+    short, long = sorted(half_lives)
+    assume(long > short * 1.001)
+    workload = _workload(seed)
+    labels = sorted(workload.statements)
+    assume(len(labels) >= 2)
+    old_label, new_label = labels[0], labels[1]
+    assume(statement_digest(workload.statements[old_label])
+           != statement_digest(workload.statements[new_label]))
+
+    def ratio(half_life):
+        monitor = WorkloadMonitor(workload, half_life=half_life)
+        for time in sorted(old_times):
+            monitor.observe(workload.statements[old_label],
+                            time=time)
+        for time in sorted(new_times):
+            monitor.observe(workload.statements[new_label],
+                            time=time)
+        weights = monitor.observed_weights(time=100.0)
+        return weights[old_label] / weights[new_label]
+
+    assert ratio(short) <= ratio(long) * (1 + 1e-9)
+
+
+@given(seed=st.integers(0, 100),
+       times=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20),
+       half_life=st.floats(0.5, 200.0))
+@settings(max_examples=60, deadline=None)
+def test_decayed_weight_bounded_by_event_count(seed, times, half_life):
+    """Decay only shrinks: total weight never exceeds the event count
+    and stays positive."""
+    workload = _workload(seed)
+    label = sorted(workload.statements)[0]
+    monitor = WorkloadMonitor(workload, half_life=half_life)
+    for time in sorted(times):
+        monitor.observe(workload.statements[label], time=time)
+    weight = monitor.observed_weights()[label]
+    assert 0.0 < weight <= len(times) + 1e-9
+
+
+# -- digest-keyed accumulation vs structural_diff -----------------------------
+
+
+@given(seed=st.integers(0, 200), other_seed=st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_structural_drift_matches_structural_diff(seed, other_seed):
+    """Observing workload B against advised workload A reports exactly
+    the digest-set difference ``A.structural_diff(B)`` describes."""
+    advised = _workload(seed)
+    live = _workload(other_seed)
+    monitor = WorkloadMonitor(advised)
+    for statement in live.statements.values():
+        monitor.observe(statement, label=statement.label)
+    detector = DriftDetector(monitor, min_requests=1,
+                             weight_threshold=10.0,
+                             min_advised_share=0.0)
+    record = detector.check()
+
+    advised_digests = {statement_digest(statement)
+                       for statement in advised.statements.values()}
+    live_digests = {statement_digest(statement)
+                    for statement in live.statements.values()}
+    assert set(record["structural_added"]) \
+        == live_digests - advised_digests
+    assert set(record["structural_removed"]) \
+        == advised_digests - live_digests
+
+    diff = advised.structural_diff(live)
+    # structural_diff's added/removed statements carry exactly the
+    # digests the detector flagged (multiset -> set projection)
+    assert {statement_digest(s) for s in diff.added} \
+        - advised_digests == set(record["structural_added"])
+    assert {statement_digest(s) for s in diff.removed} \
+        - live_digests == set(record["structural_removed"])
+
+
+@given(seed=st.integers(0, 200))
+@settings(max_examples=40, deadline=None)
+def test_observing_advised_workload_reports_no_structural_drift(seed):
+    advised = _workload(seed)
+    monitor = WorkloadMonitor(advised)
+    for statement in advised.statements.values():
+        monitor.observe(statement, label=statement.label)
+    detector = DriftDetector(monitor, min_requests=1,
+                             weight_threshold=10.0,
+                             min_advised_share=0.0)
+    record = detector.check()
+    assert record["structural_added"] == []
+    assert record["structural_removed"] == []
+
+
+# -- Jensen–Shannon divergence ------------------------------------------------
+
+
+def _distributions(draw_keys, draw_masses):
+    total = sum(draw_masses)
+    return {key: mass / total
+            for key, mass in zip(draw_keys, draw_masses) if mass > 0}
+
+
+shares = st.lists(st.floats(0.001, 10.0), min_size=1, max_size=8)
+
+
+@given(first=shares, second=shares)
+@settings(max_examples=80, deadline=None)
+def test_js_divergence_symmetric_and_bounded(first, second):
+    keys = [f"k{i}" for i in range(max(len(first), len(second)))]
+    p = _distributions(keys, first)
+    q = _distributions(keys, second)
+    forward = js_divergence(p, q)
+    backward = js_divergence(q, p)
+    assert abs(forward - backward) < 1e-12
+    assert 0.0 <= forward <= 1.0
+
+
+@given(masses=shares)
+@settings(max_examples=40, deadline=None)
+def test_js_divergence_identity(masses):
+    keys = [f"k{i}" for i in range(len(masses))]
+    p = _distributions(keys, masses)
+    assert js_divergence(p, p) == 0.0
+
+
+@given(first=shares, second=shares)
+@settings(max_examples=40, deadline=None)
+def test_l1_symmetric_and_bounded(first, second):
+    keys = [f"k{i}" for i in range(max(len(first), len(second)))]
+    p = _distributions(keys, first)
+    q = _distributions(keys, second)
+    assert l1_distance(p, q) == l1_distance(q, p)
+    assert 0.0 <= l1_distance(p, q) <= 2.0 + 1e-12

@@ -277,3 +277,154 @@ def test_render_run_report_combines_sections():
     assert "enabled: True" in rendered
     assert "recommend" in rendered
     assert "n" in rendered
+
+
+# -- degenerate inputs (PR 8 hardening) ---------------------------------------
+
+
+def test_grouped_bar_chart_empty_group_renders_placeholder():
+    chart = grouped_bar_chart({"mix_a": {"q1": 1.0}, "mix_b": {}})
+    lines = chart.splitlines()
+    assert "mix_b:" in lines
+    assert lines[lines.index("mix_b:") + 1] == "  (no data)"
+
+
+def test_grouped_bar_chart_all_groups_empty():
+    chart = grouped_bar_chart({"only": {}})
+    assert "(no data)" in chart
+
+
+def test_bar_chart_all_zero_values():
+    chart = bar_chart({"a": 0.0, "b": 0.0})
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert _BAR not in chart
+
+
+def test_metrics_summary_zero_sample_histogram():
+    metrics = {"counters": {}, "gauges": {},
+               "histograms": {"empty": {
+                   "boundaries": [1, 2], "count": 0,
+                   "counts": [0, 0, 0], "min": None, "max": None,
+                   "p50": None, "p95": None, "p99": None, "sum": 0.0}}}
+    rendered = metrics_summary(metrics)
+    assert "min=n/a" in rendered
+    assert "max=n/a" in rendered
+    assert "(no observations)" in rendered
+
+
+def test_metrics_summary_empty_registry():
+    assert metrics_summary({"counters": {}, "gauges": {},
+                            "histograms": {}}) == ""
+
+
+def test_render_run_report_empty_report():
+    class Report:
+        spans = []
+        metrics = {"counters": {}, "gauges": {}, "histograms": {}}
+        meta = {}
+        events = []
+
+    rendered = render_run_report(Report())
+    assert rendered == "run report"
+
+
+# -- monitor documents --------------------------------------------------------
+
+
+def _monitor_document(**overrides):
+    document = {
+        "format": "nose-monitor/1",
+        "meta": {"source": "test"},
+        "ingest": {"requests": 40, "half_life": 60.0, "clock": 40.0,
+                   "simulated_seconds": 0.5, "statements_tracked": 2,
+                   "recent": []},
+        "drift": {
+            "checks": 2,
+            "weight_threshold": 0.1,
+            "structural_threshold": 1,
+            "hysteresis": 0.8,
+            "weight_alert": True,
+            "structural_alert": False,
+            "latest": {"time": 40.0, "requests": 40, "l1": 0.9,
+                       "js": 0.25, "structural_added": [],
+                       "structural_removed": [],
+                       "weight_alert": True,
+                       "structural_alert": False},
+            "timeline": [
+                {"time": 20.0, "requests": 20, "l1": 0.1, "js": 0.02,
+                 "weight_alert": False, "structural_alert": False},
+                {"time": 40.0, "requests": 40, "l1": 0.9, "js": 0.25,
+                 "weight_alert": True, "structural_alert": False},
+            ],
+            "alerts": [{"event": "weight_alert", "time": 40.0,
+                        "requests": 40, "js": 0.25, "l1": 0.9,
+                        "threshold": 0.1}],
+            "structural": {"added": {"abc123": ["new_query"]},
+                           "removed": {}},
+        },
+        "estimates": {
+            "q_hot": {"digest": "d1", "kind": "query", "requests": 30,
+                      "weight": 12.5},
+            "q_cold": {"digest": "d2", "kind": "query", "requests": 10,
+                       "weight": 1.5},
+        },
+        "regret": {"stale_cost": 1.2, "fresh_cost": 1.0, "regret": 0.2,
+                   "regret_pct": 16.7, "fresh_indexes": 9,
+                   "stale_indexes": 11, "fresh_schema": ["i1"]},
+    }
+    document.update(overrides)
+    return document
+
+
+def test_monitor_report_renders_all_sections():
+    from repro.reporting import monitor_report
+
+    rendered = monitor_report(_monitor_document())
+    assert rendered.startswith("workload drift monitor")
+    assert "drift timeline" in rendered
+    assert "weight ALERT" in rendered
+    # the alerting checkpoint is flagged, the quiet one is not
+    flagged = [line for line in rendered.splitlines()
+               if line.rstrip().endswith("*")]
+    assert len(flagged) == 1 and "0.2500" in flagged[0]
+    assert "+ abc123  (new_query)" in rendered
+    assert "weight_alert" in rendered
+    assert "q_hot" in rendered
+    assert "regret under observed mix" in rendered
+    assert "16.7" in rendered
+
+
+def test_monitor_report_empty_document():
+    from repro.reporting import monitor_report
+
+    rendered = monitor_report({
+        "format": "nose-monitor/1", "meta": {},
+        "ingest": {"requests": 0, "statements_tracked": 0},
+        "estimates": {},
+    })
+    assert "0 request(s)" in rendered
+    assert "(no statements observed)" in rendered
+
+
+def test_monitor_report_no_checks_and_no_regret():
+    from repro.reporting import monitor_report
+
+    document = _monitor_document()
+    document["drift"]["timeline"] = []
+    document["drift"]["checks"] = 0
+    document["regret"] = {"stale_cost": None, "fresh_cost": None,
+                          "regret": None, "regret_pct": None,
+                          "fresh_indexes": None, "stale_indexes": None}
+    rendered = monitor_report(document)
+    assert "(no drift checks recorded)" in rendered
+    assert "regret: not estimated" in rendered
+
+
+def test_monitor_report_zero_threshold_timeline():
+    from repro.reporting import monitor_report
+
+    document = _monitor_document()
+    document["drift"]["weight_threshold"] = 0.0
+    rendered = monitor_report(document)
+    assert "drift timeline" in rendered

@@ -319,7 +319,8 @@ def test_report_json_is_stable_and_diffable():
         sink.count("a")
         sink.gauge("z", 1)
     document = sink.report().as_dict()
-    assert list(document) == ["meta", "spans", "metrics"]
+    assert list(document) == ["format", "meta", "spans", "metrics"]
+    assert document["format"] == "nose-run-report/1"
     assert list(document["metrics"]["counters"]) == ["a", "b"]
     assert list(document["meta"]) == sorted(document["meta"])
 
