@@ -158,31 +158,41 @@ class Dataset:
         anchor_position, anchor_ids = self._best_anchor(
             statement, params, path)
         tuples = self.join_tuples(path, anchor_position, anchor_ids)
-        for condition in statement.conditions:
-            position = path.index_of(condition.field.parent)
-            bound = params[condition.parameter]
-            field_id = condition.field.id
-            tuples = [
-                row for row in tuples
-                if condition.matches(
-                    self.rows[path.entities[position].name]
-                    [row[position]].get(field_id), bound)]
-        return tuples
+        branches = statement.disjuncts
+
+        def satisfies(row, branch):
+            for condition in branch:
+                position = path.index_of(condition.field.parent)
+                value = self.rows[path.entities[position].name][
+                    row[position]].get(condition.field.id)
+                if not condition.matches(value, condition.bind(params)):
+                    return False
+            return True
+
+        return [row for row in tuples
+                if any(satisfies(row, branch) for branch in branches)]
 
     def _best_anchor(self, statement, params, path):
-        """Anchor the join at the most selective equality predicate."""
+        """Anchor the join at the most selective bindable predicate."""
+        if getattr(statement, "is_disjunctive", False):
+            # no single predicate constrains every OR branch
+            return None, None
         best = None
-        for condition in statement.eq_conditions:
+        for condition in statement.bindable_conditions:
             position = path.index_of(condition.field.parent)
             entity = path.entities[position]
-            bound = params[condition.parameter]
-            if condition.field is entity.id_field:
+            bound = condition.bind(params)
+            if condition.field is entity.id_field \
+                    and not condition.is_membership:
                 ids = [bound] if bound in self.rows[entity.name] else []
+            elif condition.field is entity.id_field:
+                ids = [member for member in dict.fromkeys(bound)
+                       if member in self.rows[entity.name]]
             else:
                 field_id = condition.field.id
                 ids = [identifier for identifier, row
                        in self.rows[entity.name].items()
-                       if row.get(field_id) == bound]
+                       if condition.matches(row.get(field_id), bound)]
             if best is None or len(ids) < len(best[1]):
                 best = (position, ids)
         if best is None:

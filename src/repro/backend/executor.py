@@ -14,17 +14,22 @@ discussion of the 100x write mix), which NoSE plans do not assume.
 
 from __future__ import annotations
 
+import itertools
+
 from repro import telemetry
 from repro.backend.dataset import materialize_rows
 from repro.backend.store import Store
 from repro.exceptions import ExecutionError
+from repro.planner.plans import UnionPlan
 from repro.planner.steps import (
+    AggregateStep,
     FilterStep,
     IndexLookupStep,
     LimitStep,
     SortStep,
+    UnionStep,
 )
-from repro.workload.semantics import ordering_key
+from repro.workload.semantics import aggregate_value, ordering_key
 from repro.workload.statements import Query
 
 
@@ -198,19 +203,47 @@ class ExecutionEngine:
         if plan is None:
             raise ExecutionError(
                 f"no recommended plan for query {query.label!r}")
-        bindings = [{}]
-        for step in plan.steps:
+        if isinstance(plan, UnionPlan):
+            # each branch runs with its own branch query so lookups and
+            # filters resolve conditions against that branch's predicate
+            # set; the tail steps see the concatenated streams
+            bindings = []
+            for branch_plan in plan.branch_plans:
+                bindings.extend(self._run_steps(
+                    branch_plan.steps, branch_plan.query, params, [{}]))
+            bindings = self._run_steps(plan.tail_steps, plan.query,
+                                       params, bindings)
+        else:
+            bindings = self._run_steps(plan.steps, plan.query, params,
+                                       [{}])
+        return self._project(plan.query, bindings)
+
+    def _run_steps(self, steps, query, params, bindings):
+        for step in steps:
             if isinstance(step, IndexLookupStep):
-                bindings = self._lookup(step, plan.query, params, bindings)
+                bindings = self._lookup(step, query, params, bindings)
             elif isinstance(step, FilterStep):
                 bindings = self._filter(step, params, bindings)
             elif isinstance(step, SortStep):
                 bindings = self._sort(step, bindings)
+            elif isinstance(step, UnionStep):
+                pass  # branch streams are already concatenated
+            elif isinstance(step, AggregateStep):
+                bindings = self._aggregate(query, step, bindings)
             elif isinstance(step, LimitStep):
                 bindings = bindings[:step.limit]
             else:  # pragma: no cover - queries have no other step types
                 raise ExecutionError(f"unexpected step {step!r}")
-        select = tuple(getattr(plan.query, "select", ()))
+        return bindings
+
+    def _project(self, query, bindings):
+        if getattr(query, "is_aggregate", False):
+            # aggregation already produced one row per group; the
+            # grouping keys make rows distinct by construction
+            ids = query.output_ids
+            return [{field_id: binding.get(field_id) for field_id in ids}
+                    for binding in bindings]
+        select = tuple(getattr(query, "select", ()))
         seen = set()
         results = []
         for binding in bindings:
@@ -218,6 +251,39 @@ class ExecutionEngine:
             if values not in seen:
                 seen.add(values)
                 results.append(dict(zip((f.id for f in select), values)))
+        return results
+
+    def _aggregate(self, query, step, bindings):
+        # fold over *distinct* target rows: the underlying select keeps
+        # the target entity's ID precisely so duplicate join rows (and
+        # duplicate OR-branch rows) collapse before folding
+        select_ids = [field.id for field in query.select]
+        distinct = {}
+        for binding in bindings:
+            key = tuple(binding.get(field_id) for field_id in select_ids)
+            if key not in distinct:
+                distinct[key] = binding
+        group_ids = [field.id for field in step.group_by]
+        groups = {}
+        for binding in distinct.values():
+            key = tuple(binding.get(field_id) for field_id in group_ids)
+            groups.setdefault(key, []).append(binding)
+        if not groups and not group_ids:
+            # a global aggregate over zero rows still yields one row
+            # (COUNT -> 0, other folds -> NULL)
+            groups[()] = []
+        results = []
+        for rows in groups.values():
+            out = ({field_id: rows[0].get(field_id)
+                    for field_id in group_ids} if rows else {})
+            for aggregate in step.aggregates:
+                if aggregate.field is None:  # COUNT(*)
+                    out[aggregate.output_id] = len(rows)
+                else:
+                    values = [row.get(aggregate.field.id) for row in rows]
+                    out[aggregate.output_id] = aggregate_value(
+                        aggregate.func, values)
+            results.append(out)
         return results
 
     def _lookup(self, step, query, params, bindings):
@@ -231,39 +297,52 @@ class ExecutionEngine:
             range_request = (condition.operator,
                              params[condition.parameter])
 
-        def value_of(binding, field):
+        def values_of(binding, field):
+            """Candidate values for one key field of the get request.
+
+            A scalar binding contributes one value; an ``IN`` predicate
+            contributes one value per (distinct) list member, turning
+            the lookup into a multi-get over the cross product.
+            """
             if field.id in binding:
-                return binding[field.id]
+                return (binding[field.id],)
             condition = query.condition_on(field)
             if condition is None:
                 raise ExecutionError(
                     f"no value available for {field.id} in lookup on "
                     f"{index.key}")
-            return params[condition.parameter]
+            bound = condition.bind(params)
+            if condition.is_membership:
+                return tuple(dict.fromkeys(bound))
+            return (bound,)
 
         results = []
         issued = {}
         for binding in bindings:
-            partition = tuple(value_of(binding, field)
-                              for field in index.hash_fields)
-            prefix = tuple(value_of(binding, field)
-                           for field in prefix_fields)
-            request = (index.key, partition, prefix, range_request)
-            if request in issued:
-                rows = issued[request]
-            elif (self._transaction_cache is not None
-                    and request in self._transaction_cache):
-                rows = self._transaction_cache[request]
-            else:
-                rows = column_family.get(partition, prefix,
-                                         range_filter=range_request)
-                issued[request] = rows
-                if self._transaction_cache is not None:
-                    self._transaction_cache[request] = rows
-            for row in rows:
-                merged = dict(binding)
-                merged.update(row)
-                results.append(merged)
+            partition_values = [values_of(binding, field)
+                                for field in index.hash_fields]
+            prefix_values = [values_of(binding, field)
+                             for field in prefix_fields]
+            for partition in itertools.product(*partition_values):
+                for prefix in itertools.product(*prefix_values):
+                    request = (index.key, partition, prefix,
+                               range_request)
+                    if request in issued:
+                        rows = issued[request]
+                    elif (self._transaction_cache is not None
+                            and request in self._transaction_cache):
+                        rows = self._transaction_cache[request]
+                    else:
+                        rows = column_family.get(
+                            partition, prefix,
+                            range_filter=range_request)
+                        issued[request] = rows
+                        if self._transaction_cache is not None:
+                            self._transaction_cache[request] = rows
+                    for row in rows:
+                        merged = dict(binding)
+                        merged.update(row)
+                        results.append(merged)
         return results
 
     def _filter(self, step, params, bindings):
@@ -277,8 +356,7 @@ class ExecutionEngine:
             keep = True
             for condition in step.conditions:
                 value = binding.get(condition.field.id)
-                bound = params[condition.parameter]
-                if not condition.matches(value, bound):
+                if not condition.matches(value, condition.bind(params)):
                     keep = False
                     break
             if keep:

@@ -227,6 +227,11 @@ def build_verify_parser():
     parser.add_argument("--entities", type=int, default=5,
                         help="entity sets per random model "
                              "(--fuzz only)")
+    parser.add_argument("--extended", action="store_true",
+                        help="draw extended statement-language "
+                             "constructs — GROUP BY aggregation, "
+                             "IN-lists, != and OR — into the fuzzed "
+                             "workloads (--fuzz only)")
     parser.add_argument("--no-shrink", action="store_true",
                         help="skip shrinking divergences to minimal "
                              "reproducers")
@@ -305,9 +310,11 @@ def run_verify(argv):
                 trials=arguments.fuzz, seed=arguments.seed,
                 entities=arguments.entities, protocols=protocols,
                 max_plans=arguments.max_plans,
-                shrink=not arguments.no_shrink)
+                shrink=not arguments.no_shrink,
+                extended=arguments.extended)
             reports = {"fuzz": {
                 "seed": arguments.seed,
+                "extended": arguments.extended,
                 "trials": [trial.as_dict() for trial in trials],
                 "ok": all(trial.ok for trial in trials),
             }}

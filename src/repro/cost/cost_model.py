@@ -13,12 +13,14 @@ from __future__ import annotations
 import math
 
 from repro.planner.steps import (
+    AggregateStep,
     DeleteStep,
     FilterStep,
     IndexLookupStep,
     InsertStep,
     LimitStep,
     SortStep,
+    UnionStep,
 )
 
 
@@ -44,6 +46,10 @@ class CostModel:
             return self.sort_cost(step)
         if isinstance(step, LimitStep):
             return self.limit_cost(step)
+        if isinstance(step, AggregateStep):
+            return self.aggregate_cost(step)
+        if isinstance(step, UnionStep):
+            return self.union_cost(step)
         if isinstance(step, InsertStep):
             return self.insert_cost(step)
         if isinstance(step, DeleteStep):
@@ -114,6 +120,11 @@ class CostModel:
             return {"rows_scanned": max(step.input_cardinality, 0.0)}
         if isinstance(step, SortStep):
             return {"rows_sorted": max(step.cardinality, 0.0)}
+        if isinstance(step, AggregateStep):
+            return {"rows_aggregated": max(step.input_cardinality, 0.0),
+                    "groups_produced": max(step.cardinality, 0.0)}
+        if isinstance(step, UnionStep):
+            return {"rows_merged": max(step.input_cardinality, 0.0)}
         return {}
 
     def cost_plan(self, plan):
@@ -153,6 +164,20 @@ class CostModel:
 
     def limit_cost(self, step):
         return 0.0
+
+    def aggregate_cost(self, step):
+        """Client-side grouping: charged like a per-row scan by default.
+
+        Aggregation *shrinks* what crosses back to the application —
+        only ``cardinality`` group rows survive — which is what makes
+        grouped plans cheaper downstream; the fold itself costs one
+        filter-scale pass over the input rows.
+        """
+        return self.filter_cost(step)
+
+    def union_cost(self, step):
+        """Client-side merge of branch streams: a per-row pass."""
+        return self.filter_cost(step)
 
     def insert_cost(self, step):
         raise NotImplementedError

@@ -278,13 +278,27 @@ class CandidateEnumerator:
 
         When a ``recorder`` is given, every candidate is recorded with
         the derivation rule that produced it and ``query`` as its
-        source."""
+        source.  Disjunctive queries enumerate as the union over their
+        conjunctive branches (the plan-space union the planner builds),
+        with every candidate attributed to the parent query; aggregated
+        queries additionally enable the grouped-view layouts, which
+        collapse join duplicates exactly the way grouping wants.
+        """
         if recorder is None:
             def record(index, rule):
                 return None
         else:
             def record(index, rule):
                 recorder.record(index, rule, source=query)
+        grouped = self.grouped or getattr(query, "is_aggregate", False)
+        branches = getattr(query, "branch_queries", None) or (query,)
+        candidates = set()
+        for branch in branches:
+            candidates |= self._enumerate_branch(branch, record, grouped)
+        return candidates
+
+    def _enumerate_branch(self, query, record, grouped):
+        """Candidates for one conjunctive query (a single OR branch)."""
         candidates = set()
         rpath = query.key_path.reverse() if len(query.key_path) > 1 \
             else query.key_path
@@ -301,7 +315,7 @@ class CandidateEnumerator:
             segment_conditions = [c for position in range(end + 1)
                                   for c in conditions_at.get(position, [])]
             eq_entities = _dedupe(c.field.parent for c in segment_conditions
-                                  if c.is_equality)
+                                  if c.is_bindable)
             if not eq_entities:
                 continue
             is_final = end == length - 1
@@ -317,7 +331,8 @@ class CandidateEnumerator:
                                              grouped_target=rpath[end]
                                              if is_final else None,
                                              record=record,
-                                             base_rule=base_rule)
+                                             base_rule=base_rule,
+                                             grouped=grouped)
         # interior join segments
         for start in range(length - 1):
             for end in range(start + 1, length):
@@ -361,7 +376,8 @@ class CandidateEnumerator:
     # -- candidate construction ---------------------------------------------------
 
     def _anchored(self, segment, conditions, hash_entity, select, order_by,
-                  grouped_target=None, record=None, base_rule="materialize"):
+                  grouped_target=None, record=None, base_rule="materialize",
+                  grouped=False):
         """Materialized-view family for one prefix segment and one choice
         of partition-key entity.
 
@@ -369,49 +385,60 @@ class CandidateEnumerator:
         it, reported through ``record`` for candidate provenance;
         ``base_rule`` names the unrelaxed layout (``materialize`` for
         the full path, ``prefix-split`` for a proper prefix).
+        ``grouped`` additionally emits the group-collapse layout (the
+        §VII-A extension), enabled per query when it aggregates or
+        globally via the enumerator's ``grouped`` switch.
         """
         if record is None:
             def record(index, rule):
                 return None
         eq_fields = [c.field for c in conditions
-                     if c.is_equality and c.field.parent is hash_entity]
+                     if c.is_bindable and c.field.parent is hash_entity]
         if not eq_fields:
             return set()
         other_eq = [c.field for c in conditions
-                    if c.is_equality and c.field.parent is not hash_entity]
+                    if c.is_bindable and c.field.parent is not hash_entity]
         range_condition = next((c for c in conditions if c.is_range), None)
+        # inequality (!=) predicates are filter-only: the attribute just
+        # has to reach the client, in the value columns or the key
+        ineq_fields = [c.field for c in conditions if c.is_inequality]
         ids = [entity.id_field for entity in reversed(segment.entities)]
         layouts = []
         range_fields = [range_condition.field] if range_condition else []
-        if self.grouped and grouped_target is not None \
+        if grouped and grouped_target is not None \
                 and all(field.parent is grouped_target
                         for field in select):
             # grouped view (GROUP BY extension): clustering keeps only
             # the target's ID, collapsing duplicate results; every
-            # predicate/order attribute stays in the key so no data is
-            # lost to collisions
+            # predicate/order attribute off the target stays in the key
+            # so no data is lost to collisions
             layouts.append(("group-collapse",
                             other_eq + list(order_by) + range_fields
-                            + [grouped_target.id_field], ()))
+                            + [f for f in ineq_fields
+                               if f.parent is not grouped_target]
+                            + [grouped_target.id_field],
+                            tuple(f for f in ineq_fields
+                                  if f.parent is grouped_target)))
         # served layout: range scanned via the clustering order
         layouts.append((base_rule,
                         other_eq + list(order_by) + range_fields + ids,
-                        ()))
+                        tuple(ineq_fields)))
         relaxed = 0
         if self.relax and range_condition is not None:
             # relaxation (§IV-A2): move the predicate attribute to the
             # value columns (client-side filter) or drop it entirely
             layouts.append(("predicate-relax",
                             other_eq + list(order_by) + ids,
-                            (range_condition.field,)))
+                            (range_condition.field, *ineq_fields)))
             layouts.append(("predicate-relax",
-                            other_eq + list(order_by) + ids, ()))
+                            other_eq + list(order_by) + ids,
+                            tuple(ineq_fields)))
             relaxed += 2
         if self.relax and order_by:
             # order relaxation: sort client-side instead
             layouts.append(("order-relax",
                             other_eq + range_fields + ids,
-                            tuple(order_by)))
+                            (*order_by, *ineq_fields)))
             relaxed += 1
         if relaxed:
             active = telemetry.current()
@@ -448,12 +475,14 @@ class CandidateEnumerator:
         ids = [entity.id_field
                for entity in reversed(segment.entities[1:])]
         eq_fields = [c.field for c in conditions
-                     if c.is_equality and c.field is not pivot]
+                     if c.is_bindable and c.field is not pivot]
         range_condition = next((c for c in conditions if c.is_range), None)
         range_fields = [range_condition.field] if range_condition else []
+        ineq_fields = [c.field for c in conditions
+                       if c.is_inequality and c.field is not pivot]
         layouts = [ids]
-        if eq_fields or range_fields:
-            layouts.append(eq_fields + range_fields + ids)
+        if eq_fields or range_fields or ineq_fields:
+            layouts.append(eq_fields + range_fields + ineq_fields + ids)
         candidates = set()
         for order_fields in layouts:
             order_fields = [f for f in _dedupe(order_fields)

@@ -50,9 +50,11 @@ def _insert_modifies(insert, index):
                  if occupant is entity]
     if not positions:
         return False
-    own_fields = [f for f in index.all_fields if f.parent is entity]
-    if not own_fields:
-        return False
+    # NOTE: the entity may contribute *no* fields to the index and the
+    # insert still modifies it — grouped views key only on predicate
+    # fields plus the target's ID, so a pass-through entity appears on
+    # the path without projected fields, and a new row of it creates
+    # new join rows all the same (found by the differential fuzzer).
     connected = set()
     for key, _parameter in insert.connections:
         connected.add(key)

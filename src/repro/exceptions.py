@@ -23,14 +23,35 @@ class ParseError(NoseError):
     """A workload statement could not be parsed or resolved.
 
     Carries the offending statement text (when available) so callers can
-    report the failing input.
+    report the failing input.  When ``offset`` (a character position into
+    ``text``) is given, the error message pinpoints the failure with its
+    line and column and a caret-annotated snippet of the offending line::
+
+        expected 'FROM', found 'WHERE' at line 1, column 27
+            SELECT Hotel.HotelName WHERE ...
+                                   ^
     """
 
-    def __init__(self, message, text=None):
-        if text is not None:
+    def __init__(self, message, text=None, offset=None):
+        self.text = text
+        self.offset = offset
+        self.line = None
+        self.column = None
+        if text is not None and offset is not None:
+            offset = max(0, min(offset, len(text)))
+            consumed = text[:offset]
+            self.line = consumed.count("\n") + 1
+            start = consumed.rfind("\n") + 1
+            self.column = offset - start + 1
+            end = text.find("\n", start)
+            snippet = text[start:] if end < 0 else text[start:end]
+            caret = " " * (self.column - 1) + "^"
+            message = (f"{message} at line {self.line}, "
+                       f"column {self.column}:\n"
+                       f"    {snippet}\n    {caret}")
+        elif text is not None:
             message = f"{message} (in statement: {text!r})"
         super().__init__(message)
-        self.text = text
 
 
 class WorkloadError(ParseError):

@@ -159,13 +159,21 @@ def model_from_dict(document):
 
 
 def workload_to_dict(workload):
-    """Serialize a workload; statements must carry their source text."""
+    """Serialize a workload.
+
+    Statements keep their source text verbatim when they were parsed
+    from text; programmatically built statements are unparsed from the
+    grammar's canonical rendering, which round-trips through
+    :func:`repro.workload.parser.parse_statement`.
+    """
     statements = []
     for label, statement in workload.statements.items():
-        if not statement.text:
+        try:
+            text = statement.text or statement.unparse()
+        except NotImplementedError:
             raise ParseError(
                 f"statement {label!r} has no source text to serialize")
-        record = {"label": label, "statement": statement.text}
+        record = {"label": label, "statement": text}
         mixes = workload._weights[label]
         if set(mixes) == {Workload.DEFAULT_MIX}:
             record["weight"] = mixes[Workload.DEFAULT_MIX]

@@ -98,6 +98,49 @@ class QueryPlan:
         return f"QueryPlan({self.signature})"
 
 
+class UnionPlan(QueryPlan):
+    """A plan answering a disjunctive query as a union of branch plans.
+
+    One complete :class:`QueryPlan` per OR branch, followed by tail
+    steps that merge the branch streams (and sort/aggregate/limit the
+    merged result).  ``steps`` concatenates every branch's steps with
+    the tail, so cost models, dominance pruning and the BIP see one
+    flat step sequence; the executor instead walks ``branch_plans``
+    (each with its branch query's predicate context) and then
+    ``tail_steps``.
+    """
+
+    def __init__(self, query, branch_plans, tail_steps):
+        self.branch_plans = tuple(branch_plans)
+        self.tail_steps = tuple(tail_steps)
+        steps = [step for plan in self.branch_plans for step in plan.steps]
+        steps.extend(tail_steps)
+        super().__init__(query, steps)
+
+    @property
+    def signature(self):
+        """Branch signatures in parallel, then the tail skeleton."""
+        if self._signature is None:
+            branches = ")U(".join(plan.signature
+                                  for plan in self.branch_plans)
+            parts = [f"({branches})"]
+            parts.extend(type(step).__name__[0]
+                         for step in self.tail_steps)
+            self._signature = "|".join(parts)
+        return self._signature
+
+    def describe(self):
+        lines = [f"Union plan for {self.query.label or self.query}:"]
+        for number, plan in enumerate(self.branch_plans):
+            lines.append(f"  branch {number}:")
+            lines.extend(f"    {step.describe()}" for step in plan.steps)
+        lines.extend(f"  {step.describe()}" for step in self.tail_steps)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return f"UnionPlan({self.signature})"
+
+
 class UpdatePlan:
     """Maintenance of one column family under one update statement (§VI-B).
 

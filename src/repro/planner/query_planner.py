@@ -27,25 +27,32 @@ import numpy as np
 from repro import telemetry
 from repro.exceptions import PlanningError
 from repro.parallel import parallel_map
-from repro.planner.plans import PlanSpace, QueryPlan
+from repro.planner.plans import PlanSpace, QueryPlan, UnionPlan
 from repro.planner.steps import (
+    AggregateStep,
     FilterStep,
     IndexLookupStep,
     LimitStep,
     SortStep,
+    UnionStep,
 )
 
 
 class _Binding:
     """How one column family serves one get in a plan: which predicates
     bind the partition/clustering keys, which become client filters, and
-    which are left pending for a later fetch."""
+    which are left pending for a later fetch.
+
+    ``binding_factor`` multiplies the get-request count: an ``IN``
+    predicate bound to a key column turns one get into a k-way
+    multi-get (one request per list member combination)."""
 
     __slots__ = ("eq_fields", "range_condition", "filters", "pending",
-                 "served", "per_binding_raw", "order_served")
+                 "served", "per_binding_raw", "order_served",
+                 "binding_factor")
 
     def __init__(self, eq_fields, range_condition, filters, pending,
-                 served, per_binding_raw, order_served):
+                 served, per_binding_raw, order_served, binding_factor):
         self.eq_fields = eq_fields
         self.range_condition = range_condition
         self.filters = filters
@@ -53,6 +60,7 @@ class _Binding:
         self.served = served
         self.per_binding_raw = per_binding_raw
         self.order_served = order_served
+        self.binding_factor = binding_factor
 
 
 class QueryPlanner:
@@ -115,7 +123,15 @@ class QueryPlanner:
         overrides the planner-wide cap for this query.  The returned
         :class:`~repro.planner.plans.PlanSpace` records whether the cap
         cut the enumeration short (``.truncated``).
+
+        Disjunctive queries are planned as a plan-space union: every
+        combination of per-branch plans becomes one
+        :class:`~repro.planner.plans.UnionPlan` merging the branch
+        streams client side.
         """
+        if getattr(query, "is_disjunctive", False):
+            return self._union_plans(query, require,
+                                     max_plans or self.max_plans)
         rpath = query.key_path.reverse() if len(query.key_path) > 1 \
             else query.key_path
         plans = {}
@@ -133,6 +149,49 @@ class QueryPlanner:
                 active.count("planner.truncated_spaces")
         return PlanSpace(plans.values(), query=query,
                          truncated=state.truncated)
+
+    def _union_plans(self, query, require, max_plans):
+        """Plan a disjunctive query as a union over its branch spaces.
+
+        Each branch (a conjunctive query) is planned independently;
+        every combination of branch plans yields one
+        :class:`~repro.planner.plans.UnionPlan` whose tail merges the
+        branch streams and applies the query's sort, aggregation and
+        limit client side (a union can never ride a single clustering
+        order, so ORDER BY always sorts the merged rows).
+        """
+        spaces = [self.plans_for(branch, require=require,
+                                 max_plans=max_plans)
+                  for branch in query.branch_queries]
+        truncated = any(space.truncated for space in spaces)
+        if any(not space for space in spaces):
+            return PlanSpace((), query=query, truncated=truncated)
+        plans = {}
+        for combo in itertools.product(*spaces):
+            if len(plans) >= max_plans:
+                truncated = True
+                break
+            plan = self._union_plan(query, combo)
+            plans.setdefault(plan.signature, plan)
+        active = telemetry.current()
+        if active.enabled:
+            active.count("planner.union_plans", len(plans))
+        return PlanSpace(plans.values(), query=query, truncated=truncated)
+
+    def _union_plan(self, query, branch_plans):
+        merged_in = sum(plan.cardinality for plan in branch_plans)
+        out = min(max(merged_in, 0.0), query.matching_join_rows)
+        tail = [UnionStep(merged_in, out)]
+        if query.order_by:
+            tail.append(SortStep(query.order_by, out))
+        if getattr(query, "is_aggregate", False):
+            groups = min(query.group_rows, max(out, 1.0))
+            tail.append(AggregateStep(query.group_by, query.aggregates,
+                                      out, groups))
+            out = groups
+        if query.limit is not None:
+            tail.append(LimitStep(query.limit, out))
+        return UnionPlan(query, branch_plans, tail)
 
     def plan_all(self, queries, require=True, jobs=None):
         """Plan spaces for many queries: ``{query: PlanSpace}``.
@@ -363,28 +422,37 @@ class _PlannerState:
         served = []
         eq_fields = []
         per_binding_raw = self.planner.entries_of(index)
+        # IN predicates bind a key column as a k-way multi-get: each of
+        # the k requests narrows like an equality, and the request count
+        # multiplies by k
+        binding_factor = 1.0
         for field in index.hash_fields:
             if pivot is not None and field is pivot:
                 eq_fields.append(field)
                 per_binding_raw /= max(field.parent.count, 1)
                 continue
             condition = by_field.get(field.id)
-            if condition is None or not condition.is_equality:
+            if condition is None or not condition.is_bindable:
                 return None
             served.append(condition)
             eq_fields.append(field)
-            per_binding_raw *= condition.selectivity
-        # clustering prefix: bind equalities greedily, then one range
+            per_binding_raw *= condition.selectivity \
+                / condition.cardinality
+            binding_factor *= condition.cardinality
+        # clustering prefix: bind equalities (and INs) greedily, then
+        # one range
         position = 0
         order_fields = index.order_fields
         while position < len(order_fields):
             condition = by_field.get(order_fields[position].id)
-            if condition is None or not condition.is_equality \
+            if condition is None or not condition.is_bindable \
                     or condition in served:
                 break
             served.append(condition)
             eq_fields.append(order_fields[position])
-            per_binding_raw *= condition.selectivity
+            per_binding_raw *= condition.selectivity \
+                / condition.cardinality
+            binding_factor *= condition.cardinality
             position += 1
         eq_prefix_end = position
         range_condition = None
@@ -400,8 +468,11 @@ class _PlannerState:
         # rows), so the ordering is served when those columns lead with
         # the query's ORDER BY list
         remaining = tuple(order_fields[eq_prefix_end:])
+        # a multi-get (IN binding) interleaves its requests' rows, so it
+        # cannot serve the ordering even when the clustering order fits
         order_served = bool(self.order_by) \
-            and remaining[:len(self.order_by)] == self.order_by
+            and remaining[:len(self.order_by)] == self.order_by \
+            and binding_factor == 1.0
         filters = []
         pending = []
         for condition in conditions:
@@ -413,12 +484,12 @@ class _PlannerState:
                 pending.append(condition)
         return _Binding(tuple(eq_fields), range_condition, tuple(filters),
                         tuple(pending), tuple(served), per_binding_raw,
-                        order_served)
+                        order_served, binding_factor)
 
     def _emit(self, index, segment, binding, position, end, steps,
               cardinality, consumed, available, order_served):
         """Create the lookup (+ filter/fetch) steps and recurse."""
-        bindings = cardinality
+        bindings = cardinality * binding.binding_factor
         raw_rows = max(bindings * binding.per_binding_raw, 0.0)
         out = raw_rows
         new_steps = list(steps)
@@ -534,7 +605,9 @@ class _PlannerState:
                 prefix_parts.append(type(step).__name__[0])
         needs_sort = bool(self.order_by) and not order_served
         limit = getattr(self.query, "limit", None)
+        aggregated = getattr(self.query, "is_aggregate", False)
         suffix_parts = ([SortStep.__name__[0]] if needs_sort else []) \
+            + ([AggregateStep.__name__[0]] if aggregated else []) \
             + ([LimitStep.__name__[0]] if limit is not None else [])
         last_variant = len(variants) - 1
         for variant, fetch_indexes in enumerate(variants):
@@ -552,6 +625,12 @@ class _PlannerState:
                         eq_fields=fetch_index.hash_fields, is_fetch=True))
                 if needs_sort:
                     final_steps.append(SortStep(self.order_by, out))
+                if aggregated:
+                    groups = min(self.query.group_rows, max(out, 1.0))
+                    final_steps.append(AggregateStep(
+                        self.query.group_by, self.query.aggregates,
+                        out, groups))
+                    out = groups
                 if limit is not None:
                     final_steps.append(LimitStep(limit, out))
                 self.plans[signature] = QueryPlan(self.query, final_steps)

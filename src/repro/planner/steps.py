@@ -87,6 +87,47 @@ class SortStep(PlanStep):
         return f"sort by {names} ({self.cardinality:.3g} rows)"
 
 
+class UnionStep(PlanStep):
+    """Client-side merge of the OR-branch result streams.
+
+    Concatenates the branch outputs; duplicate elimination happens in
+    the application's final projection (the same multiset-dedup every
+    query result goes through), so the step itself just merges.
+    """
+
+    def __init__(self, input_cardinality, cardinality):
+        super().__init__(cardinality)
+        self.input_cardinality = input_cardinality
+
+    def describe(self):
+        return (f"union {self.input_cardinality:.3g} branch rows "
+                f"-> {self.cardinality:.3g} rows")
+
+
+class AggregateStep(PlanStep):
+    """Client-side grouping and aggregate folding.
+
+    Deduplicates to distinct target rows, groups by ``group_by`` (one
+    global group when empty) and folds the ``aggregates``; output
+    cardinality is the expected number of groups.
+    """
+
+    def __init__(self, group_by, aggregates, input_cardinality,
+                 cardinality):
+        super().__init__(cardinality)
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+        self.input_cardinality = input_cardinality
+
+    def describe(self):
+        folds = ", ".join(str(a) for a in self.aggregates)
+        if self.group_by:
+            keys = ", ".join(f.id for f in self.group_by)
+            return (f"aggregate {folds} by [{keys}] "
+                    f"-> {self.cardinality:.3g} groups")
+        return f"aggregate {folds} -> 1 row"
+
+
 class LimitStep(PlanStep):
     """Truncate the result to the query's LIMIT."""
 

@@ -164,8 +164,13 @@ class BindingGenerator:
                 statement.key_path.last)
             return params
         for condition in statement.conditions:
-            params[condition.parameter] = self._sample_value(
-                condition.field)
+            if condition.is_membership:
+                # one independently drawn value per IN-list member
+                for name in condition.parameter:
+                    params[name] = self._sample_value(condition.field)
+            else:
+                params[condition.parameter] = self._sample_value(
+                    condition.field)
         if isinstance(statement, Insert):
             for field, parameter in statement.settings.items():
                 if field is statement.entity.id_field:

@@ -11,10 +11,11 @@ from __future__ import annotations
 
 import random
 
+from repro.model.fields import FloatField, IntegerField
 from repro.model.paths import KeyPath
 from repro.workload import Workload
 from repro.workload.conditions import Condition
-from repro.workload.statements import Insert, Query, Update
+from repro.workload.statements import Aggregate, Insert, Query, Update
 
 
 def _random_walk(model, rng, max_path):
@@ -36,17 +37,28 @@ def _random_walk(model, rng, max_path):
     return keys
 
 
-def _random_conditions(path, rng, count=3):
+def _random_conditions(path, rng, count=3, extended=False, prefix="p"):
     """Up to ``count`` predicates over distinct attributes on the path.
 
     The first predicate is an equality on the far end of the path (the
     natural anchor of a get request); later ones may include one range.
+    In ``extended`` mode the anchor may become an ``IN`` list and later
+    predicates may be ``!=`` — the constructs of the extended statement
+    language.  ``prefix`` keeps parameter names distinct across the
+    branches of a disjunctive query.
     """
     conditions = []
     used = set()
     anchor_fields = [f for f in path.last.attributes]
     anchor = rng.choice(anchor_fields)
-    conditions.append(Condition(anchor, "=", f"p{len(conditions)}"))
+    if extended and rng.random() < 0.35:
+        members = rng.randint(2, 3)
+        names = tuple(f"{prefix}{len(conditions)}_{member}"
+                      for member in range(members))
+        conditions.append(Condition(anchor, "IN", names))
+    else:
+        conditions.append(Condition(anchor, "=",
+                                    f"{prefix}{len(conditions)}"))
     used.add(anchor.id)
     candidates = [field
                   for entity in path.entities
@@ -58,31 +70,62 @@ def _random_conditions(path, rng, count=3):
         if not have_range and rng.random() < 0.4:
             operator = rng.choice([">", ">=", "<", "<="])
             have_range = True
+        elif extended and rng.random() < 0.3:
+            operator = "!="
         else:
             operator = "="
         conditions.append(Condition(field, operator,
-                                    f"p{len(conditions)}"))
+                                    f"{prefix}{len(conditions)}"))
     return conditions
 
 
-def _random_query(model, rng, number, max_path):
-    keys = _random_walk(model, rng, max_path)
-    entity = keys[0].parent if keys else rng.choice(
-        sorted(model.entities.values(), key=lambda e: e.name))
-    path = KeyPath(entity, keys)
-    conditions = _random_conditions(path, rng)
+def _random_select_items(path, rng, extended):
+    """Selected columns; in extended mode, sometimes a GROUP BY query."""
     selectable = path.first.attributes
+    if extended and rng.random() < 0.3:
+        group_by = rng.sample(selectable,
+                              rng.randint(1, min(2, len(selectable))))
+        items = list(group_by)
+        items.append(Aggregate("COUNT"))
+        numeric = [field for field in selectable
+                   if isinstance(field, (IntegerField, FloatField))
+                   and field not in group_by]
+        folds = [field for field in selectable
+                 if field not in group_by]
+        if numeric and rng.random() < 0.6:
+            items.append(Aggregate(rng.choice(("SUM", "AVG")),
+                                   rng.choice(numeric)))
+        if folds and rng.random() < 0.5:
+            items.append(Aggregate(rng.choice(("MIN", "MAX")),
+                                   rng.choice(folds)))
+        return items, tuple(group_by)
     take = rng.randint(1, len(selectable))
-    select = rng.sample(selectable, take)
-    return Query(path, select, conditions, label=f"q{number}")
+    return rng.sample(selectable, take), ()
 
 
-def _random_update(model, rng, number, max_path):
+def _random_query(model, rng, number, max_path, extended=False):
     keys = _random_walk(model, rng, max_path)
     entity = keys[0].parent if keys else rng.choice(
         sorted(model.entities.values(), key=lambda e: e.name))
     path = KeyPath(entity, keys)
-    conditions = _random_conditions(path, rng, count=2)
+    conditions = _random_conditions(path, rng, extended=extended)
+    select, group_by = _random_select_items(path, rng, extended)
+    if extended and rng.random() < 0.25:
+        other = _random_conditions(path, rng, count=2,
+                                   extended=extended, prefix="o")
+        return Query(path, select, disjuncts=(conditions, other),
+                     group_by=group_by, label=f"q{number}")
+    return Query(path, select, conditions, group_by=group_by,
+                 label=f"q{number}")
+
+
+def _random_update(model, rng, number, max_path, extended=False):
+    keys = _random_walk(model, rng, max_path)
+    entity = keys[0].parent if keys else rng.choice(
+        sorted(model.entities.values(), key=lambda e: e.name))
+    path = KeyPath(entity, keys)
+    conditions = _random_conditions(path, rng, count=2,
+                                    extended=extended)
     settable = [field for field in path.first.data_fields]
     if not settable:
         return None
@@ -105,18 +148,26 @@ def _random_insert(model, rng, number):
 
 
 def random_workload(model, queries=10, updates=3, inserts=2, seed=0,
-                    max_path=4):
-    """A random weighted workload over ``model`` (Fig 13 methodology)."""
+                    max_path=4, extended=False):
+    """A random weighted workload over ``model`` (Fig 13 methodology).
+
+    ``extended`` additionally draws the extended statement-language
+    constructs — IN-lists, ``!=`` predicates, OR disjunctions and
+    GROUP BY aggregation; the default leaves the draw sequence exactly
+    as before, so existing seeds reproduce byte-identical workloads.
+    """
     rng = random.Random(seed)
     workload = Workload(model)
     for number in range(queries):
-        statement = _random_query(model, rng, number, max_path)
+        statement = _random_query(model, rng, number, max_path,
+                                  extended=extended)
         workload.add_statement(statement,
                                weight=round(rng.uniform(0.1, 10.0), 2))
     made = 0
     attempt = 0
     while made < updates and attempt < updates * 5:
-        statement = _random_update(model, rng, made, max_path)
+        statement = _random_update(model, rng, made, max_path,
+                                   extended=extended)
         attempt += 1
         if statement is not None:
             workload.add_statement(statement,

@@ -49,12 +49,14 @@ class FuzzTrial:
 def fuzz_workloads(trials=3, seed=0, entities=5, queries=5, updates=2,
                    inserts=1, requests=40, rows_per_entity=16,
                    protocols=("nose", "expert"), max_plans=100,
-                   engine_factory=None, shrink=True):
+                   engine_factory=None, shrink=True, extended=False):
     """Run ``trials`` random differential-verification rounds.
 
     Returns a list of :class:`FuzzTrial`, one per (trial, protocol);
     failures carry their divergences and a shrunk minimal reproducer.
-    Fully deterministic under ``seed``.
+    Fully deterministic under ``seed``.  ``extended`` draws workloads
+    mixing the extended statement-language constructs (aggregation,
+    IN-lists, ``!=``, OR) into the trials.
     """
     results = []
     for trial in range(trials):
@@ -62,7 +64,7 @@ def fuzz_workloads(trials=3, seed=0, entities=5, queries=5, updates=2,
         model = random_model(entities=entities, seed=trial_seed)
         workload = random_workload(model, queries=queries,
                                    updates=updates, inserts=inserts,
-                                   seed=trial_seed)
+                                   seed=trial_seed, extended=extended)
         dataset = random_dataset(model, seed=trial_seed,
                                  rows_per_entity=rows_per_entity)
         dataset.sync_counts()

@@ -15,7 +15,7 @@ target IDs.
 from __future__ import annotations
 
 from repro.exceptions import ExecutionError
-from repro.workload.semantics import row_ordering_key
+from repro.workload.semantics import aggregate_value, row_ordering_key
 from repro.workload.statements import Query
 
 
@@ -38,8 +38,16 @@ class ReferenceResult:
         self.order_keys = order_keys
 
     def key_of(self, row):
-        """The distinct-row identity of one result row."""
-        return tuple(row.get(field.id) for field in self.query.select)
+        """The distinct-row identity of one result row.
+
+        Keyed by the query's output columns — select-field ids for plain
+        queries, group keys plus aggregate output ids for aggregated
+        ones.
+        """
+        ids = getattr(self.query, "output_ids", None)
+        if ids is None:
+            ids = tuple(field.id for field in self.query.select)
+        return tuple(row.get(field_id) for field_id in ids)
 
     @property
     def full_keys(self):
@@ -79,6 +87,8 @@ class ReferenceInterpreter:
             join_rows.sort(key=lambda ids: row_ordering_key(
                 self._value(path, position, ids, field)
                 for field, position in zip(query.order_by, positions)))
+        if getattr(query, "is_aggregate", False):
+            return self._evaluate_aggregate(query, join_rows)
         select_positions = [self._position(path, field)
                             for field in query.select]
 
@@ -107,21 +117,79 @@ class ReferenceInterpreter:
             rows = full_rows[:query.limit]
         return ReferenceResult(query, rows, full_rows, order_keys)
 
+    def _evaluate_aggregate(self, query, join_rows):
+        """Group and fold: the reference semantics of GROUP BY.
+
+        Mirrors the executor's AggregateStep exactly: project the
+        underlying select (which includes the target entity's ID),
+        deduplicate to distinct target rows keeping first occurrence,
+        group by the GROUP BY keys in first-seen order (the join rows
+        arrive sorted when the query has an ORDER BY, and ORDER BY is
+        restricted to grouping keys), then fold each aggregate with
+        :func:`repro.workload.semantics.aggregate_value`.
+        """
+        path = query.key_path
+        select_positions = [self._position(path, field)
+                            for field in query.select]
+        distinct = []
+        seen = set()
+        for ids in join_rows:
+            row = {field.id: self._value(path, position, ids, field)
+                   for field, position in zip(query.select,
+                                              select_positions)}
+            key = tuple(row[field.id] for field in query.select)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(row)
+        group_ids = [field.id for field in query.group_by]
+        groups = {}
+        for row in distinct:
+            key = tuple(row.get(field_id) for field_id in group_ids)
+            groups.setdefault(key, []).append(row)
+        if not groups and not group_ids:
+            # a global aggregate over zero rows still yields one row
+            groups[()] = []
+        full_rows = []
+        order_keys = {}
+        for members in groups.values():
+            out = ({field_id: members[0].get(field_id)
+                    for field_id in group_ids} if members else {})
+            for aggregate in query.aggregates:
+                if aggregate.field is None:  # COUNT(*)
+                    out[aggregate.output_id] = len(members)
+                else:
+                    values = [row.get(aggregate.field.id)
+                              for row in members]
+                    out[aggregate.output_id] = aggregate_value(
+                        aggregate.func, values)
+            full_rows.append(out)
+            if query.order_by:
+                key = tuple(out.get(field_id)
+                            for field_id in query.output_ids)
+                order_keys[key] = row_ordering_key(
+                    out.get(field.id) for field in query.order_by)
+        rows = full_rows
+        if query.limit is not None:
+            rows = full_rows[:query.limit]
+        return ReferenceResult(query, rows, full_rows, order_keys)
+
     def _join_rows(self, query, params):
-        """All full-path join ID tuples satisfying the predicates."""
+        """All full-path join ID tuples satisfying any OR branch."""
         path = query.key_path
         tuples = self.dataset.join_tuples(path)
-        for condition in query.conditions:
-            position = self._position(path, condition.field)
-            bound = params[condition.parameter]
-            field_id = condition.field.id
-            kept = []
-            for ids in tuples:
-                value = self._row(path, position, ids).get(field_id)
-                if condition.matches(value, bound):
-                    kept.append(ids)
-            tuples = kept
-        return tuples
+
+        def satisfies(ids, branch):
+            for condition in branch:
+                position = self._position(path, condition.field)
+                value = self._row(path, position, ids).get(
+                    condition.field.id)
+                if not condition.matches(value, condition.bind(params)):
+                    return False
+            return True
+
+        return [ids for ids in tuples
+                if any(satisfies(ids, branch)
+                       for branch in query.disjuncts)]
 
     def _position(self, path, field):
         position = path.index_of(field.parent)

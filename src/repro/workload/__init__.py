@@ -11,6 +11,7 @@ from repro.workload.conditions import Condition
 from repro.workload.digest import StructuralDiff, statement_digest
 from repro.workload.parser import parse_statement
 from repro.workload.statements import (
+    Aggregate,
     Connect,
     Delete,
     Disconnect,
@@ -23,6 +24,7 @@ from repro.workload.statements import (
 from repro.workload.workload import Workload
 
 __all__ = [
+    "Aggregate",
     "Condition",
     "Connect",
     "Delete",

@@ -1,16 +1,24 @@
 """Predicates appearing in WHERE clauses.
 
-NoSE statements support equality and single-sided range predicates over
-attributes of entities along the statement's path.  Values are left as
-named parameters (``?city``) at design time and bound at execution time.
+NoSE statements support equality, inequality, single-sided range, and
+``IN``-list predicates over attributes of entities along the statement's
+path.  Values are left as named parameters (``?city``) at design time
+and bound at execution time; an ``IN`` predicate carries one parameter
+name per list member.
 """
 
 from __future__ import annotations
 
 from repro.workload import semantics
 
-#: supported comparison operators, in the paper's query language
-OPERATORS = ("=", ">", ">=", "<", "<=")
+#: supported comparison operators, in the paper's query language plus
+#: the inequality and membership extensions (``<>`` is normalized to
+#: ``!=`` by the parser)
+OPERATORS = ("=", "!=", ">", ">=", "<", "<=", "IN")
+
+#: operators that can bind a column-family hash or clustering column via
+#: (multi-)get requests — equality, and IN as a k-way equality
+BINDABLE_OPERATORS = ("=", "IN")
 
 #: default selectivity assumed for a range predicate when no histogram
 #: information is available (the tech-report cost model does the same)
@@ -21,7 +29,9 @@ class Condition:
     """A single predicate ``field op ?parameter``.
 
     ``field`` is a :class:`~repro.model.fields.Field` on an entity along
-    the statement's path.  Conditions are immutable value objects.
+    the statement's path.  Conditions are immutable value objects.  For
+    ``IN`` predicates ``parameter`` is a tuple of parameter names, one
+    per list member; for every other operator it is a single name.
     """
 
     __slots__ = ("field", "operator", "parameter", "_selectivity")
@@ -31,8 +41,13 @@ class Condition:
             raise ValueError(f"unsupported operator {operator!r}")
         self.field = field
         self.operator = operator
-        #: name of the placeholder supplying the comparison value
-        self.parameter = parameter if parameter else field.name
+        #: name(s) of the placeholder(s) supplying the comparison value
+        if operator == "IN":
+            if not parameter:
+                raise ValueError("IN condition requires parameter names")
+            self.parameter = tuple(parameter)
+        else:
+            self.parameter = parameter if parameter else field.name
         self._selectivity = None
 
     @property
@@ -40,8 +55,35 @@ class Condition:
         return self.operator == "="
 
     @property
+    def is_membership(self):
+        """True for ``IN``-list predicates."""
+        return self.operator == "IN"
+
+    @property
+    def is_inequality(self):
+        """True for ``!=`` predicates."""
+        return self.operator == "!="
+
+    @property
+    def is_bindable(self):
+        """True when the predicate can bind a hash/clustering column.
+
+        Equality binds a column to one value; membership binds it to a
+        k-way multi-get.  Inequality and ranges cannot seed a get.
+        """
+        return self.operator in BINDABLE_OPERATORS
+
+    @property
     def is_range(self):
-        return self.operator != "="
+        """True for single-sided range predicates (``> >= < <=``)."""
+        return self.operator in (">", ">=", "<", "<=")
+
+    @property
+    def cardinality(self):
+        """Number of distinct values the predicate binds (1, or k for IN)."""
+        if self.is_membership:
+            return len(self.parameter)
+        return 1
 
     @property
     def selectivity(self):
@@ -53,11 +95,26 @@ class Condition:
         statement is being planned.
         """
         if self._selectivity is None:
+            distinct = max(self.field.cardinality, 1)
             if self.is_equality:
-                self._selectivity = 1.0 / max(self.field.cardinality, 1)
+                self._selectivity = 1.0 / distinct
+            elif self.is_membership:
+                self._selectivity = min(1.0, len(self.parameter) / distinct)
+            elif self.is_inequality:
+                self._selectivity = 1.0 - 1.0 / distinct
             else:
                 self._selectivity = RANGE_SELECTIVITY
         return self._selectivity
+
+    def bind(self, params):
+        """Resolve this predicate's bound value(s) from a parameter map.
+
+        Returns a single value for scalar operators and a tuple of
+        values (one per list member) for ``IN``.
+        """
+        if self.is_membership:
+            return tuple(params[name] for name in self.parameter)
+        return params[self.parameter]
 
     def matches(self, value, bound):
         """Evaluate the predicate for a concrete row/parameter value.
@@ -78,7 +135,10 @@ class Condition:
         return hash((id(self.field), self.operator, self.parameter))
 
     def __repr__(self):
-        return f"Condition({self.field.id} {self.operator} ?{self.parameter})"
+        return f"Condition({self})"
 
     def __str__(self):
+        if self.is_membership:
+            members = ", ".join(f"?{name}" for name in self.parameter)
+            return f"{self.field.id} IN ({members})"
         return f"{self.field.id} {self.operator} ?{self.parameter}"

@@ -21,14 +21,45 @@ import hashlib
 from dataclasses import dataclass, field
 
 
+def _condition_key(condition):
+    """Structural identity of one predicate: field and operator.
+
+    Parameter names are excluded, which makes IN digests invariant to
+    the order of the value list for free — only the list *length* is
+    structural (it feeds selectivity), so it rides along with the
+    operator.
+    """
+    operator = condition.operator
+    if condition.is_membership:
+        operator = f"IN[{condition.cardinality}]"
+    return (condition.field.id, operator)
+
+
+def _canonical_conditions(statement):
+    """Canonical predicate part: order-invariant within and across branches.
+
+    Single-branch statements keep the original flat sorted-tuple format
+    so every pre-existing digest is byte-identical; disjunctive WHERE
+    clauses become a sorted tuple of sorted per-branch tuples, invariant
+    to both predicate order within a branch and branch order.
+    """
+    disjuncts = getattr(statement, "disjuncts",
+                        (statement.conditions,))
+    if len(disjuncts) <= 1:
+        return tuple(sorted(_condition_key(condition)
+                            for condition in statement.conditions))
+    return tuple(sorted(tuple(sorted(_condition_key(condition)
+                                     for condition in branch))
+                        for branch in disjuncts))
+
+
 def _canonical_parts(statement):
     parts = [
         type(statement).__name__,
         statement.key_path.signature,
         # predicate order never changes which plans exist, only the
         # order they are discovered in; canonicalize it away
-        tuple(sorted((condition.field.id, condition.operator)
-                     for condition in statement.conditions)),
+        _canonical_conditions(statement),
     ]
     select = getattr(statement, "select", None)
     if select is not None:
@@ -39,6 +70,12 @@ def _canonical_parts(statement):
                            for field in getattr(statement, "order_by",
                                                 ())))
         parts.append(getattr(statement, "limit", None))
+    if getattr(statement, "aggregates", ()):
+        # appended only for aggregated queries so plain-query digests
+        # keep their pre-aggregation byte layout
+        parts.append(tuple(field.id for field in statement.group_by))
+        parts.append(tuple(aggregate.output_id
+                           for aggregate in statement.aggregates))
     settings = getattr(statement, "settings", None)
     if settings is not None:
         parts.append(tuple(sorted(field.id for field in settings)))
@@ -80,9 +117,16 @@ def statement_signature(statement):
     :func:`statement_digest` alone stays order-invariant for workload
     diffing.
     """
-    return (statement_digest(statement),
-            tuple((condition.field.id, condition.operator)
-                  for condition in statement.conditions))
+    disjuncts = getattr(statement, "disjuncts",
+                        (statement.conditions,))
+    if len(disjuncts) <= 1:
+        ordered = tuple(_condition_key(condition)
+                        for condition in statement.conditions)
+    else:
+        ordered = tuple(tuple(_condition_key(condition)
+                              for condition in branch)
+                        for branch in disjuncts)
+    return (statement_digest(statement), ordered)
 
 
 @dataclass

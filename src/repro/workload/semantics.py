@@ -8,14 +8,24 @@ interpreter.  A single rule is what makes differential testing
 meaningful: the executor and the oracle can only be compared if they
 agree on what a missing value means.
 
-The rules, restricted to NoSE's operator set (``= > >= < <=``):
+The rules, restricted to NoSE's operator set (``= != > >= < <= IN``):
 
 * A missing attribute behaves as NULL (``None``).
 * Equality: ``NULL = NULL`` holds, ``NULL = v`` fails for every other
   value.  (Parameters bound to ``None`` follow the same rule.)
+* Inequality is the exact complement of equality: ``NULL != NULL``
+  fails, ``NULL != v`` holds for every other value.
+* ``IN`` matches when the value equals any member of the bound list,
+  member-wise under the equality rule (so ``NULL IN (.., NULL, ..)``
+  holds).
 * Range operators never match when either side is NULL.
 * Ordering: NULL sorts after every non-NULL value (NULLS LAST), and
   sorts are stable.
+
+Aggregation folds (:func:`aggregate_value`) live here for the same
+reason: the executor's AggregateStep and the reference interpreter must
+produce bit-identical results, so both fold values in the same
+canonical order.
 """
 
 from __future__ import annotations
@@ -38,9 +48,18 @@ def row_ordering_key(values):
 
 
 def matches(operator, value, bound):
-    """Evaluate ``value operator bound`` under the canonical NULL rule."""
+    """Evaluate ``value operator bound`` under the canonical NULL rule.
+
+    For ``IN``, ``bound`` is a sequence of candidate values and the
+    predicate holds when ``value`` equals any member (equality rule
+    applied member-wise).
+    """
     if operator == "=":
         return value == bound
+    if operator == "!=":
+        return value != bound
+    if operator == "IN":
+        return any(value == member for member in bound)
     if value is None or bound is None:
         return False
     if operator == ">":
@@ -52,3 +71,41 @@ def matches(operator, value, bound):
     if operator == "<=":
         return value <= bound
     raise ValueError(f"unsupported operator {operator!r}")
+
+
+#: aggregate function names accepted by the statement language
+AGGREGATE_FUNCTIONS = ("COUNT", "SUM", "AVG", "MIN", "MAX")
+
+
+def aggregate_value(func, values):
+    """Fold ``values`` (one per row of a group) with aggregate ``func``.
+
+    NULLs are ignored by every function except ``COUNT(*)``, which the
+    caller expresses by passing the row count via ``values`` of all-1
+    markers — here ``COUNT`` simply counts non-NULL members.  SUM/AVG
+    fold in canonical :func:`ordering_key` order so floating-point
+    summation is deterministic across the executor and the reference
+    interpreter.  Empty input yields ``None`` (SQL semantics) for every
+    function but COUNT, which yields 0.
+    """
+    present = [value for value in values if value is not None]
+    if func == "COUNT":
+        return len(present)
+    if not present:
+        return None
+    present.sort(key=ordering_key)
+    if func == "MIN":
+        return present[0]
+    if func == "MAX":
+        return present[-1]
+    if func == "SUM":
+        total = present[0]
+        for value in present[1:]:
+            total = total + value
+        return total
+    if func == "AVG":
+        total = present[0]
+        for value in present[1:]:
+            total = total + value
+        return total / len(present)
+    raise ValueError(f"unsupported aggregate function {func!r}")

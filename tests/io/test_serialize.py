@@ -85,9 +85,12 @@ def test_workload_document_errors():
         workload_from_dict(model, {"statements": [{"weight": 1.0}]})
 
 
-def test_unparsed_statement_cannot_serialize():
+def test_programmatic_statement_serializes_via_unparse():
+    # a statement built from the IR has no source text; serialization
+    # falls back to the grammar's unparse and must round-trip
     from repro import Workload
     from repro.workload.conditions import Condition
+    from repro.workload.digest import statement_digest
     from repro.workload.statements import Query
     model = hotel_model()
     workload = Workload(model)
@@ -95,8 +98,10 @@ def test_unparsed_statement_cannot_serialize():
     query = Query(model.path(["Guest"]), [guest["GuestName"]],
                   [Condition(guest["GuestID"], "=")])
     workload.add_statement(query, label="programmatic")
-    with pytest.raises(ParseError):
-        workload_to_dict(workload)
+    document = workload_to_dict(workload)
+    rebuilt = workload_from_dict(model, document)
+    assert statement_digest(rebuilt.statements["programmatic"]) \
+        == statement_digest(query)
 
 
 def test_cli_json_loading(tmp_path, capsys):

@@ -1,0 +1,112 @@
+"""Planning the extended constructs: unions, aggregation, multi-gets."""
+
+import pytest
+
+from repro.cost import CassandraCostModel, SimpleCostModel
+from repro.enumerator import CandidateEnumerator
+from repro.planner import QueryPlanner
+from repro.planner.plans import UnionPlan
+from repro.planner.steps import (
+    AggregateStep,
+    FilterStep,
+    IndexLookupStep,
+    SortStep,
+    UnionStep,
+)
+from repro.workload.parser import parse_statement
+
+
+def _plans(model, text, **kwargs):
+    query = parse_statement(model, text)
+    enumerator = CandidateEnumerator(model)
+    candidates = enumerator.enumerate_query(query)
+    planner = QueryPlanner(model, candidates, **kwargs)
+    return query, planner.plans_for(query)
+
+
+def test_disjunctive_query_plans_as_a_union(hotel):
+    query, space = _plans(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID = ?a OR Guest.GuestName = ?b "
+        "ORDER BY Guest.GuestName")
+    assert space
+    for plan in space:
+        assert isinstance(plan, UnionPlan)
+        assert len(plan.branch_plans) == 2
+        kinds = [type(step) for step in plan.tail_steps]
+        assert kinds[0] is UnionStep
+        # a union's merged stream is never in index order: the sort is
+        # always client-side
+        assert SortStep in kinds
+        # flattened steps expose every branch step to cost/dominance
+        assert len(plan.steps) == sum(
+            len(branch.steps) for branch in plan.branch_plans) + len(
+                plan.tail_steps)
+    signatures = [plan.signature for plan in space]
+    assert len(set(signatures)) == len(signatures)
+    assert all(")U(" in signature for signature in signatures)
+
+
+def test_aggregate_query_plans_with_a_fold_step(hotel):
+    query, space = _plans(
+        hotel,
+        "SELECT Room.RoomNumber, COUNT(*) FROM Room.Hotel "
+        "WHERE Hotel.HotelCity = ?city GROUP BY Room.RoomNumber")
+    assert space
+    for plan in space:
+        folds = [step for step in plan.steps
+                 if isinstance(step, AggregateStep)]
+        assert len(folds) == 1
+        # groups cannot exceed the estimated group count
+        assert folds[0].cardinality <= query.group_rows
+        assert plan.steps[-1] is folds[0]
+
+
+def test_in_list_multiplies_get_requests(hotel):
+    _, eq_space = _plans(hotel,
+                         "SELECT Guest.GuestName FROM Guest "
+                         "WHERE Guest.GuestID = ?g")
+    _, in_space = _plans(hotel,
+                         "SELECT Guest.GuestName FROM Guest "
+                         "WHERE Guest.GuestID IN (?a, ?b, ?c)")
+
+    def first_lookup(space):
+        return min((plan.steps[0] for plan in space
+                    if isinstance(plan.steps[0], IndexLookupStep)),
+                   key=lambda step: step.bindings)
+
+    assert first_lookup(in_space).bindings == pytest.approx(
+        3 * first_lookup(eq_space).bindings)
+    # k point gets cost more than one under a request-dominated model
+    model = CassandraCostModel()
+    eq_cost = min(model.cost_plan(plan) for plan in eq_space)
+    in_cost = min(model.cost_plan(plan) for plan in in_space)
+    assert in_cost > eq_cost
+
+
+def test_inequality_predicates_are_filtered_client_side(hotel):
+    query, space = _plans(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID = ?g AND Guest.GuestName != ?n")
+    assert space
+    for plan in space:
+        filters = [step for step in plan.steps
+                   if isinstance(step, FilterStep)]
+        assert any(condition.operator == "!="
+                   for step in filters
+                   for condition in step.conditions)
+
+
+def test_union_and_aggregate_steps_cost_nothing_in_simple_model(hotel):
+    query, space = _plans(
+        hotel,
+        "SELECT Guest.GuestName, COUNT(*) FROM Guest "
+        "WHERE Guest.GuestID = ?a OR Guest.GuestName = ?b "
+        "GROUP BY Guest.GuestName")
+    model = SimpleCostModel()
+    for plan in space:
+        model.cost_plan(plan)
+        for step in plan.tail_steps:
+            assert step.cost == 0.0

@@ -40,7 +40,23 @@ def test_range_operators_on_values():
 
 def test_unknown_operator_rejected():
     with pytest.raises(ValueError):
-        matches("!=", 1, 2)
+        matches("LIKE", 1, 2)
+
+
+def test_inequality_and_membership_matching():
+    assert matches("!=", 1, 2)
+    assert not matches("!=", 1, 1)
+    # != is the exact complement of =, so NULL != NULL is False and
+    # NULL != 1 is True
+    assert not matches("!=", None, None)
+    assert matches("!=", None, 1)
+    assert matches("!=", 1, None)
+    assert matches("IN", 2, (1, 2, 3))
+    assert not matches("IN", 4, (1, 2, 3))
+    # membership is member-wise equality, so NULL IN (.., NULL, ..) holds
+    assert matches("IN", None, (1, None))
+    assert not matches("IN", None, (1, 2))
+    assert not matches("IN", 1, ())
 
 
 def test_nulls_sort_last():

@@ -12,9 +12,11 @@ def rate(hotel):
 
 def test_operator_validation(rate):
     with pytest.raises(ValueError):
-        Condition(rate, "!=")
+        Condition(rate, "<>")
     with pytest.raises(ValueError):
         Condition(rate, "BETWEEN")
+    with pytest.raises(ValueError):
+        Condition(rate, "IN")  # IN requires parameter names
 
 
 def test_parameter_defaults_to_field_name(rate):
@@ -35,6 +37,33 @@ def test_selectivity(rate):
     eq = Condition(rate, "=")
     assert eq.selectivity == pytest.approx(1.0 / rate.cardinality)
     assert Condition(rate, ">").selectivity == RANGE_SELECTIVITY
+
+
+def test_membership_selectivity_scales_with_list_size(rate):
+    membership = Condition(rate, "IN", ("a", "b", "c"))
+    assert membership.cardinality == 3
+    assert membership.selectivity == pytest.approx(
+        3.0 / rate.cardinality)
+    # a list longer than the domain cannot exceed certainty
+    wide = Condition(rate, "IN",
+                     tuple(f"p{i}" for i in range(rate.cardinality + 5)))
+    assert wide.selectivity == 1.0
+
+
+def test_inequality_selectivity_is_the_complement(rate):
+    inequality = Condition(rate, "!=")
+    assert inequality.selectivity == pytest.approx(
+        1.0 - 1.0 / rate.cardinality)
+    assert inequality.is_inequality
+    assert not inequality.is_bindable
+
+
+def test_bind_resolves_scalars_and_lists(rate):
+    assert Condition(rate, "=", "p").bind({"p": 7}) == 7
+    membership = Condition(rate, "IN", ("a", "b"))
+    assert membership.bind({"a": 1, "b": 2}) == (1, 2)
+    assert membership.matches(2, (1, 2))
+    assert not membership.matches(3, (1, 2))
 
 
 def test_matches_each_operator(rate):

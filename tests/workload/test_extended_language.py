@@ -1,0 +1,224 @@
+"""The extended statement language: aggregation, IN, OR, != and the
+positioned parse errors of the grammar rewrite."""
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.workload import Aggregate, Query, parse_statement
+from repro.workload.digest import statement_digest, statement_signature
+
+
+# -- parse errors carry positions -----------------------------------------
+
+
+def test_parse_error_carries_line_and_column(hotel):
+    with pytest.raises(ParseError) as caught:
+        parse_statement(hotel,
+                        "SELECT Guest.Nope FROM Guest "
+                        "WHERE Guest.GuestID = ?")
+    error = caught.value
+    assert error.line == 1
+    assert error.column == 8
+    rendered = str(error)
+    assert "line 1, column 8" in rendered
+    # caret annotation points at the offending reference
+    caret_line = rendered.splitlines()[-1]
+    assert caret_line.strip() == "^"
+    assert caret_line.index("^") - rendered.splitlines()[-2].index(
+        "SELECT") == 7
+
+
+def test_unexpected_token_is_positioned(hotel):
+    with pytest.raises(ParseError) as caught:
+        parse_statement(hotel, "SELECT Guest.GuestName FROM")
+    assert "end of statement" in str(caught.value)
+
+
+def test_or_in_update_is_rejected_with_position(hotel):
+    with pytest.raises(ParseError) as caught:
+        parse_statement(hotel,
+                        "UPDATE Guest SET GuestName = ?v "
+                        "WHERE Guest.GuestID = ?a OR Guest.GuestName = ?b")
+    assert "OR predicates are not supported" in str(caught.value)
+    assert caught.value.column is not None
+
+
+# -- aggregation ----------------------------------------------------------
+
+
+def test_count_star_and_grouped_aggregates_parse(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Room.RoomNumber, COUNT(*), MIN(Room.RoomRate) "
+        "FROM Room.Hotel WHERE Hotel.HotelCity = ?city "
+        "GROUP BY Room.RoomNumber")
+    assert query.is_aggregate
+    assert [a.func for a in query.aggregates] == ["COUNT", "MIN"]
+    assert query.aggregates[0].field is None
+    assert [f.id for f in query.group_by] == ["Room.RoomNumber"]
+    # the underlying select folds over distinct target rows
+    assert "Room.RoomID" in {f.id for f in query.select}
+    assert query.output_ids == ("Room.RoomNumber", "COUNT(*)",
+                                "MIN(Room.RoomRate)")
+
+
+def test_plain_select_fields_must_be_grouped(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(
+            hotel,
+            "SELECT Room.RoomNumber, COUNT(*) FROM Room "
+            "WHERE Room.RoomID = ?r")
+
+
+def test_group_by_without_aggregates_is_rejected(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(
+            hotel,
+            "SELECT Room.RoomNumber FROM Room "
+            "WHERE Room.RoomID = ?r GROUP BY Room.RoomNumber")
+
+
+def test_order_by_must_be_grouped(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(
+            hotel,
+            "SELECT Room.RoomNumber, COUNT(*) FROM Room.Hotel "
+            "WHERE Hotel.HotelCity = ?c GROUP BY Room.RoomNumber "
+            "ORDER BY Room.RoomRate")
+
+
+def test_sum_requires_a_field_argument(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(hotel, "SELECT SUM(*) FROM Room "
+                               "WHERE Room.RoomID = ?r")
+
+
+def test_aggregate_helper_validation(hotel):
+    room_rate = hotel.entities["Room"]["RoomRate"]
+    assert Aggregate("AVG", room_rate).output_id == "AVG(Room.RoomRate)"
+    with pytest.raises(ValueError):
+        Aggregate("SUM")  # only COUNT may omit the field
+    with pytest.raises(ValueError):
+        Aggregate("MEDIAN", room_rate)
+
+
+# -- IN lists -------------------------------------------------------------
+
+
+def test_in_list_parses_with_named_and_anonymous_parameters(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID IN (?a, ?b, ?)")
+    condition = query.conditions[0]
+    assert condition.operator == "IN"
+    assert condition.is_membership and condition.is_bindable
+    assert len(condition.parameter) == 3
+    assert condition.parameter[:2] == ("a", "b")
+    assert condition.cardinality == 3
+    assert condition.bind({"a": 1, "b": 2,
+                           condition.parameter[2]: 3}) == (1, 2, 3)
+
+
+def test_empty_in_list_is_rejected(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(hotel, "SELECT Guest.GuestName FROM Guest "
+                               "WHERE Guest.GuestID IN ()")
+
+
+# -- != and <> ------------------------------------------------------------
+
+
+def test_not_equal_spellings_normalize(hotel):
+    for spelling in ("!=", "<>"):
+        query = parse_statement(
+            hotel,
+            f"SELECT Guest.GuestName FROM Guest "
+            f"WHERE Guest.GuestID = ?g AND Guest.GuestName {spelling} ?n")
+        inequality = query.conditions[1]
+        assert inequality.operator == "!="
+        assert inequality.is_inequality
+        assert not inequality.is_bindable and not inequality.is_range
+        assert inequality.selectivity == pytest.approx(
+            1.0 - 1.0 / inequality.field.cardinality)
+
+
+def test_not_equal_affects_the_digest(hotel):
+    eq = parse_statement(hotel, "SELECT Guest.GuestName FROM Guest "
+                                "WHERE Guest.GuestID = ?g "
+                                "AND Guest.GuestName = ?n")
+    neq = parse_statement(hotel, "SELECT Guest.GuestName FROM Guest "
+                                 "WHERE Guest.GuestID = ?g "
+                                 "AND Guest.GuestName != ?n")
+    assert statement_digest(eq) != statement_digest(neq)
+    assert statement_signature(eq) != statement_signature(neq)
+
+
+# -- disjunction ----------------------------------------------------------
+
+
+def test_or_produces_disjunct_branches(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE Guest.GuestID = ?a OR Guest.GuestName = ?b")
+    assert query.is_disjunctive
+    assert len(query.disjuncts) == 2
+    branches = query.branch_queries
+    assert len(branches) == 2
+    assert all(isinstance(branch, Query) for branch in branches)
+    assert not branches[0].is_disjunctive
+    assert branches[0].conditions[0].field.id == "Guest.GuestID"
+    assert branches[1].conditions[0].field.id == "Guest.GuestName"
+
+
+def test_parenthesized_and_distributes_over_or(hotel):
+    query = parse_statement(
+        hotel,
+        "SELECT Guest.GuestName FROM Guest "
+        "WHERE (Guest.GuestID = ?a OR Guest.GuestName = ?b) "
+        "AND Guest.GuestEmail = ?c")
+    assert len(query.disjuncts) == 2
+    for branch in query.disjuncts:
+        assert "Guest.GuestEmail" in {c.field.id for c in branch}
+
+
+def test_every_or_branch_needs_a_bindable_predicate(hotel):
+    with pytest.raises(ParseError):
+        parse_statement(
+            hotel,
+            "SELECT Guest.GuestName FROM Guest "
+            "WHERE Guest.GuestID = ?a OR Guest.GuestName > ?b")
+
+
+# -- unparse round-trips --------------------------------------------------
+
+ROUND_TRIPS = [
+    "SELECT Guest.GuestName, Guest.GuestEmail FROM Guest "
+    "WHERE Guest.GuestID = ?gid",
+    "SELECT Guest.GuestName FROM Guest "
+    "WHERE Guest.GuestID IN (?a, ?b, ?c)",
+    "SELECT Guest.GuestName FROM Guest "
+    "WHERE (Guest.GuestID = ?a) OR (Guest.GuestName = ?b AND "
+    "Guest.GuestEmail != ?c)",
+    "SELECT Room.RoomNumber, COUNT(*), MAX(Room.RoomRate) "
+    "FROM Room.Hotel WHERE Hotel.HotelCity = ?city "
+    "GROUP BY Room.RoomNumber ORDER BY Room.RoomNumber LIMIT 5",
+    "UPDATE Guest SET GuestEmail = ?mail "
+    "WHERE Guest.GuestID IN (?a, ?b)",
+    "DELETE FROM Reservation.Guest WHERE Guest.GuestID = ?gid",
+    "INSERT INTO Guest SET GuestID = ?, GuestName = ?, GuestEmail = ? "
+    "AND CONNECT TO Reservations(?res)",
+    "CONNECT Reservation(?res) TO Room(?room)",
+    "DISCONNECT Reservation(?res) FROM Room(?room)",
+]
+
+
+@pytest.mark.parametrize("text", ROUND_TRIPS)
+def test_parse_unparse_parse_is_stable(hotel, text):
+    first = parse_statement(hotel, text)
+    rendered = first.unparse()
+    second = parse_statement(hotel, rendered)
+    assert statement_digest(first) == statement_digest(second)
+    assert statement_signature(first) == statement_signature(second)
+    assert second.unparse() == rendered

@@ -148,4 +148,7 @@ def test_statement_repr_and_str(hotel):
     bare = Query(hotel.path(["Guest"]),
                  [hotel.field("Guest", "GuestName")],
                  [Condition(hotel.field("Guest", "GuestID"), "=")])
-    assert "Query" in str(bare)
+    # statements without source text render via unparse()
+    assert str(bare) == ("SELECT Guest.GuestName FROM Guest "
+                         "WHERE Guest.GuestID = ?GuestID")
+    assert "Query" in repr(bare)
