@@ -14,6 +14,9 @@ Usage::
     nose-advisor profile --demo rubis --mix bidding --output-json profile.json
     nose-advisor monitor --demo drift --output-json monitor.json
     nose-advisor monitor --trace-in trace.json --model my_model.py
+    nose-advisor monitor --demo drift --replan-requests 5000
+    nose-advisor windows --demo rubis-drift --output-json windows.json
+    nose-advisor windows --model app.py --windows "quiet:800,busy:1200"
 
 With ``--model``, the given Python file must define ``build()``
 returning a ``(model, workload)`` pair; this mirrors how the original
@@ -29,7 +32,15 @@ measured latencies (see :mod:`repro.profile`).
 The ``monitor`` subcommand watches live (or recorded) traffic drift
 away from the advised workload and prices the regret of keeping the
 old schema (see :mod:`repro.monitor`); it exits with status 3 when
-drift was detected.
+drift was detected.  With ``--replan-requests`` it hands the observed
+mix to the windowed advisor, which decides migrate-or-hold instead of
+only pricing regret.
+The ``windows`` subcommand advises a schema *schedule* for an ordered
+sequence of workload windows, co-optimizing per-window schemas with
+costed migrations between them (see :mod:`repro.windows`); it exits
+with status 2 if the windowed schedule is ever worse than the static
+or naive-per-window baselines — an internal-consistency guarantee CI
+relies on.
 """
 
 from __future__ import annotations
@@ -545,11 +556,25 @@ def build_monitor_parser():
     parser.add_argument("--output-json", metavar="FILE",
                         help="write the nose-monitor/1 document as "
                              "byte-stable JSON")
+    parser.add_argument("--replan-requests", type=float, default=None,
+                        metavar="N",
+                        help="hand the observed mix to the windowed "
+                             "advisor: decide whether migrating away "
+                             "from the advised schema pays off over "
+                             "the next N requests")
+    parser.add_argument("--replan-out", metavar="FILE",
+                        help="write the replan decision as a "
+                             "nose-windows/1 document")
     return parser
 
 
-def _monitor_trace(arguments):
-    """Replay a trace file; returns the monitor document."""
+def _monitor_trace(arguments, capture=None):
+    """Replay a trace file; returns the monitor document.
+
+    A ``capture`` dict, when given, is filled with the live objects
+    (advisor, workload, recommendation, monitor) the replan bridge
+    needs after the document is assembled.
+    """
     import json as json_module
 
     from repro.monitor import (
@@ -597,6 +622,9 @@ def _monitor_trace(arguments):
     recommendation = advisor.recommend(workload)
     regret = estimate_regret(advisor, workload, recommendation,
                              monitor, jobs=arguments.jobs)
+    if capture is not None:
+        capture.update(advisor=advisor, workload=workload,
+                       recommendation=recommendation, monitor=monitor)
     meta = {"source": source, "trace": arguments.trace_in,
             "advised_mix": workload.active_mix,
             "events": len(events)}
@@ -609,13 +637,18 @@ def run_monitor(argv):
     try:
         if not arguments.demo and not arguments.trace_in:
             raise NoseError("pass --demo drift or --trace-in FILE")
+        if arguments.replan_out and arguments.replan_requests is None:
+            raise NoseError("--replan-out requires --replan-requests")
         if arguments.trace:
             scope = telemetry.activate()
         else:
             scope = contextlib.nullcontext(None)
+        replanning = arguments.replan_requests is not None
+        capture = {} if replanning else None
+        replan = None
         with scope as sink:
             if arguments.trace_in:
-                document = _monitor_trace(arguments)
+                document = _monitor_trace(arguments, capture=capture)
             else:
                 from repro.monitor import drift_demo
                 document = drift_demo(
@@ -625,11 +658,29 @@ def run_monitor(argv):
                     weight_threshold=arguments.weight_threshold,
                     structural_threshold=arguments.structural_threshold,
                     seed=arguments.seed, jobs=arguments.jobs,
-                    users=arguments.users)
+                    users=arguments.users, capture=capture)
+            if replanning:
+                from repro.windows import replan_from_monitor
+                replan = replan_from_monitor(
+                    capture["advisor"], capture["workload"],
+                    capture["recommendation"], capture["monitor"],
+                    requests=arguments.replan_requests,
+                    jobs=arguments.jobs)
     except NoseError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
     print(monitor_report(document))
+    if replan is not None:
+        print()
+        print(replan.describe())
+        if arguments.replan_out:
+            from repro.io import dump_windows
+            from repro.windows import windows_document
+            replan_doc = windows_document(replan, meta={
+                "source": "monitor-replan",
+                "advised_mix": document["meta"].get("advised_mix")})
+            dump_windows(replan_doc, arguments.replan_out)
+            print(f"\nreplan decision written to {arguments.replan_out}")
     if arguments.trace and sink is not None and sink.enabled:
         print()
         print(sink.report(meta={"command": "monitor"}).render())
@@ -645,6 +696,134 @@ def run_monitor(argv):
     return 0
 
 
+def build_windows_parser():
+    parser = argparse.ArgumentParser(
+        prog="nose-advisor windows",
+        description="Advise a schema *schedule* for an ordered "
+                    "sequence of workload windows: one BIP chooses the "
+                    "column families to hold in each window and the "
+                    "migrations to run between windows, with data "
+                    "movement priced in the same cost units as serving "
+                    "(a nose-windows/1 document).  Exits 2 if the "
+                    "windowed schedule costs more than the static or "
+                    "naive-per-window baselines.")
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--demo", choices=["rubis-drift"],
+                        help="run the bundled RUBiS browsing->bidding->"
+                             "browsing drift schedule")
+    source.add_argument("--model", metavar="FILE",
+                        help="Python file defining build() -> "
+                             "(model, workload)")
+    source.add_argument("--json", metavar="FILE", dest="json_file",
+                        help="JSON application document (see repro.io)")
+    parser.add_argument("--windows", metavar="SPEC",
+                        help="comma-separated mix:requests windows, "
+                             "e.g. 'browsing:800,bidding:1200' "
+                             "(required with --model/--json; overrides "
+                             "the demo schedule)")
+    parser.add_argument("--load-rate", type=float, default=0.15,
+                        metavar="COST",
+                        help="migration cost per row loaded into a new "
+                             "column family (default 0.15, the "
+                             "Cassandra cost model's put cost)")
+    parser.add_argument("--byte-rate", type=float, default=0.0,
+                        metavar="COST",
+                        help="additional migration cost per byte "
+                             "loaded (default 0)")
+    parser.add_argument("--users", type=int, default=2000,
+                        help="demo dataset scale in users "
+                             "(default 2000)")
+    parser.add_argument("--space-limit", type=float, default=None,
+                        metavar="BYTES",
+                        help="per-window storage budget for each "
+                             "held schema")
+    parser.add_argument("--max-plans", type=int, default=500,
+                        help="cap on enumerated plans per statement")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker threads for per-statement "
+                             "planning and costing (default: serial)")
+    parser.add_argument("--mip-gap", type=float, default=1e-4,
+                        help="relative MIP gap for the windowed solve "
+                             "(default 1e-4)")
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        metavar="SECONDS",
+                        help="solver time limit (default 120)")
+    parser.add_argument("--timing", action="store_true",
+                        help="print the windowed stage timing "
+                             "breakdown")
+    parser.add_argument("--output-json", metavar="FILE",
+                        help="write the nose-windows/1 document as "
+                             "byte-stable JSON")
+    return parser
+
+
+def run_windows(argv):
+    arguments = build_windows_parser().parse_args(argv)
+    from repro.reporting import windows_report
+    from repro.tools.migration import MigrationCostModel
+    from repro.windows import (
+        parse_window_spec,
+        recommend_windows,
+        windows_document,
+    )
+    try:
+        migration_model = MigrationCostModel(
+            row_cost=arguments.load_rate, byte_cost=arguments.byte_rate)
+        if arguments.demo:
+            from repro.windows import rubis_drift_scenario
+            model, workload, schedule, _default = rubis_drift_scenario(
+                users=arguments.users)
+            source = "rubis-drift"
+            meta = {"source": source, "users": arguments.users}
+        else:
+            if not arguments.windows:
+                raise NoseError(
+                    "pass --windows 'mix:requests,...' with "
+                    "--model/--json")
+            if arguments.json_file:
+                from repro.io import load_application
+                model, workload = load_application(arguments.json_file)
+            else:
+                model, workload = _load_module(arguments.model, None)
+            source = arguments.json_file or arguments.model
+            meta = {"source": source}
+        if arguments.windows:
+            schedule = parse_window_spec(arguments.windows)
+        advisor = Advisor(model, max_plans=arguments.max_plans,
+                          jobs=arguments.jobs)
+        recommendation = recommend_windows(
+            advisor, workload, schedule,
+            migration_model=migration_model,
+            space_limit=arguments.space_limit, jobs=arguments.jobs,
+            mip_rel_gap=arguments.mip_gap,
+            time_limit=arguments.time_limit)
+        document = windows_document(recommendation, meta=meta)
+    except NoseError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(windows_report(document))
+    if arguments.timing:
+        print()
+        print("Stage timing (seconds):")
+        for stage, seconds in recommendation.timing.items():
+            print(f"  {stage:<18} {seconds:.3f}")
+    if arguments.output_json:
+        from repro.io import dump_windows
+        dump_windows(document, arguments.output_json)
+        print(f"\nwindows document written to {arguments.output_json}")
+    windowed = document["totals"]["total_cost"]
+    best = min(entry["total_cost"]
+               for entry in document["baselines"].values())
+    # both baselines are feasible points of the windowed program, so
+    # beyond solver tolerance this inequality cannot fail; CI leans on
+    # it as an end-to-end consistency check
+    if windowed > best * (1.0 + 1e-6) + 1e-6:
+        print(f"error: windowed schedule ({windowed:.3f}) costs more "
+              f"than the best baseline ({best:.3f})", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv=None):
     if argv is None:
         argv = sys.argv[1:]
@@ -656,6 +835,8 @@ def main(argv=None):
         return run_profile(argv[1:])
     if argv and argv[0] == "monitor":
         return run_monitor(argv[1:])
+    if argv and argv[0] == "windows":
+        return run_windows(argv[1:])
     parser = build_parser()
     arguments = parser.parse_args(argv)
     report = None

@@ -13,11 +13,13 @@ from repro.io.serialize import (
     dump_monitor,
     dump_profile,
     dump_run_report,
+    dump_windows,
     load_application,
     load_explain,
     load_monitor,
     load_profile,
     load_run_report,
+    load_windows,
     model_from_dict,
     model_to_dict,
     run_report_from_dict,
@@ -32,11 +34,13 @@ __all__ = [
     "dump_monitor",
     "dump_profile",
     "dump_run_report",
+    "dump_windows",
     "load_application",
     "load_explain",
     "load_monitor",
     "load_profile",
     "load_run_report",
+    "load_windows",
     "model_from_dict",
     "model_to_dict",
     "run_report_from_dict",

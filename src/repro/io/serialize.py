@@ -333,6 +333,36 @@ def load_run_report(path):
     return run_report_from_dict(document)
 
 
+# -- windows documents ------------------------------------------------------------
+
+
+def dump_windows(document, path):
+    """Write a "nose-windows/1" schedule document as stable JSON.
+
+    Accepts either a prepared document dict or a
+    :class:`~repro.windows.advisor.WindowedRecommendation`.  Keys are
+    sorted and a trailing newline appended, so serial and ``jobs=N``
+    windowed runs of the same schedule are byte-identical on disk.
+    """
+    if not isinstance(document, dict):
+        document = document.document()
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_windows(path):
+    """Load a windows document from a JSON file (format required)."""
+    with open(path) as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict):
+        raise ParseError(f"{path} is not a windows document")
+    from repro.windows.document import WINDOWS_FORMAT
+    return _check_format(document, WINDOWS_FORMAT, path, "windows",
+                         required=True)
+
+
 # -- monitor documents -----------------------------------------------------------
 
 

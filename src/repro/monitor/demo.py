@@ -54,7 +54,7 @@ def epsilon_floored_workload(workload, base_mix, live_mix=LIVE_MIX,
 
 def drift_demo(half_life=60.0, requests=400, checkpoint_every=20,
                weight_threshold=0.1, structural_threshold=1,
-               seed=0, jobs=None, users=2000):
+               seed=0, jobs=None, users=2000, capture=None):
     """Run the browsing→bidding shift; return the monitor document.
 
     The first half of ``requests`` replays the browsing mix (the mix
@@ -63,6 +63,10 @@ def drift_demo(half_life=60.0, requests=400, checkpoint_every=20,
     default ``half_life`` of 60 requests the browsing phase decays away
     within the bidding phase, so the observed distribution converges on
     the bidding mix and the Jensen–Shannon alert fires mid-shift.
+
+    A ``capture`` dict, when given, is filled with the live objects
+    (advisor, workload, recommendation, monitor) so callers can feed
+    the observation into :func:`repro.windows.replan_from_monitor`.
     """
     from repro.rubis import generate_dataset, rubis_model, rubis_workload
 
@@ -109,6 +113,9 @@ def drift_demo(half_life=60.0, requests=400, checkpoint_every=20,
 
     regret = estimate_regret(advisor, advised, recommendation, monitor,
                              jobs=jobs)
+    if capture is not None:
+        capture.update(advisor=advisor, workload=advised,
+                       recommendation=recommendation, monitor=monitor)
     meta = {
         "source": "rubis-drift-demo",
         "advised_mix": LIVE_MIX,

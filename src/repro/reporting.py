@@ -597,3 +597,78 @@ def monitor_report(document, width=32, top=12):
                 f"{regret.get('fresh_indexes')} column families "
                 f"(current schema has {regret.get('stale_indexes')})")
     return "\n".join(lines)
+
+
+def windows_report(document):
+    """Plain-text rendering of a "nose-windows/1" schedule document
+    (``repro.windows.windows_document``): the schedule, each window's
+    schema as a diff against the previous window (created / dropped /
+    kept column families with migration volume), the per-window cost
+    ledger, and the baseline comparison.
+    """
+    meta = document.get("meta", {})
+    totals = document.get("totals", {})
+    windows = document.get("windows", [])
+    lines = ["windowed schema schedule"]
+    for key in sorted(meta):
+        lines.append(f"  {key}: {meta[key]}")
+    schedule = ", ".join(
+        f"{window.get('mix')}:{_fmt(window.get('requests'))}"
+        for window in document.get("schedule", []))
+    lines.append(f"  schedule: {schedule}")
+    initial = document.get("initial", [])
+    lines.append(f"  initial schema: {len(initial)} column families")
+    model = document.get("migration_model", {})
+    lines.append(
+        f"  migration pricing: {_fmt(model.get('row_cost'))}/row, "
+        f"{_fmt(model.get('byte_cost'))}/byte")
+
+    for window in windows:
+        migration = window.get("migration", {})
+        created = migration.get("create", [])
+        dropped = migration.get("drop", [])
+        lines.append("")
+        lines.append(
+            f"window {window.get('label')} ({window.get('mix')} x "
+            f"{_fmt(window.get('requests'))}): "
+            f"{len(window.get('indexes', []))} column families, "
+            f"serving {_fmt(window.get('serving_cost'))}, "
+            f"migration {_fmt(migration.get('cost'))}")
+        if created or dropped:
+            lines.append(
+                f"  migrate in: +{len(created)} -{len(dropped)} "
+                f"={migration.get('keep', 0)}  "
+                f"(~{_fmt(migration.get('rows_to_load'))} rows, "
+                f"{_fmt((migration.get('bytes_to_load') or 0.0) / 1e6)}"
+                f" MB to load)")
+            for key in created:
+                lines.append(f"    + {key}")
+            for key in dropped:
+                lines.append(f"    - {key}")
+        else:
+            lines.append(f"  schema held "
+                         f"(={migration.get('keep', 0)}, no migration)")
+
+    lines.append("")
+    lines.append(
+        f"totals: serving {_fmt(totals.get('serving_cost'))} + "
+        f"migration {_fmt(totals.get('migration_cost'))} = "
+        f"{_fmt(totals.get('total_cost'))}")
+    baselines = document.get("baselines", {})
+    if baselines:
+        lines.append("baselines (same evaluator):")
+        total = totals.get("total_cost")
+        for name in sorted(baselines):
+            baseline = baselines[name]
+            base_total = baseline.get("total_cost")
+            if total is not None and base_total:
+                saved = 100.0 * (base_total - total) / base_total
+                suffix = f"  (windowed saves {saved:.2f}%)"
+            else:
+                suffix = ""
+            lines.append(
+                f"  {name}: serving "
+                f"{_fmt(baseline.get('serving_cost'))} + migration "
+                f"{_fmt(baseline.get('migration_cost'))} = "
+                f"{_fmt(base_total)}{suffix}")
+    return "\n".join(lines)

@@ -8,9 +8,11 @@ store without touching shared ones.
 """
 
 from repro.tools.migration import (
+    MigrationCostModel,
     SchemaMigration,
     execute_migration,
     plan_migration,
 )
 
-__all__ = ["SchemaMigration", "execute_migration", "plan_migration"]
+__all__ = ["MigrationCostModel", "SchemaMigration", "execute_migration",
+           "plan_migration"]

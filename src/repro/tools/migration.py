@@ -19,6 +19,43 @@ def _indexes_of(schema):
     return list(schema)
 
 
+class MigrationCostModel:
+    """Prices schema migrations in the advisor's abstract cost units.
+
+    Loading a new column family costs ``row_cost`` per materialized
+    row (the write-path work of one put) plus ``byte_cost`` per byte
+    (transfer and compaction volume); dropping is free — a drop is a
+    metadata operation.  The defaults align the per-row charge with
+    :class:`~repro.cost.CassandraCostModel`'s ``put_cost`` so one
+    loaded row costs about as much as one workload write, which makes
+    migration totals directly comparable to serving totals in the
+    windowed BIP objective.
+    """
+
+    def __init__(self, row_cost=0.15, byte_cost=0.0):
+        if row_cost < 0 or byte_cost < 0:
+            raise ValueError("migration costs must be non-negative")
+        self.row_cost = float(row_cost)
+        self.byte_cost = float(byte_cost)
+
+    def index_cost(self, index):
+        """Cost of materializing one column family from scratch."""
+        return self.row_cost * index.entries + self.byte_cost * index.size
+
+    def migration_cost(self, migration):
+        """Total cost of a planned migration (creates only)."""
+        return sum(self.index_cost(index)
+                   for index in migration.create)
+
+    def cost_terms(self):
+        """Parameters as a plain dict (for documents and reports)."""
+        return {"row_cost": self.row_cost, "byte_cost": self.byte_cost}
+
+    def __repr__(self):
+        return (f"MigrationCostModel(row_cost={self.row_cost}, "
+                f"byte_cost={self.byte_cost})")
+
+
 class SchemaMigration:
     """A diff between two schemas, with movement estimates."""
 

@@ -1,0 +1,39 @@
+"""The bundled RUBiS browsing->bidding drift scenario.
+
+One canonical schedule shared by the ``nose-advisor windows`` demo,
+the CI smoke and the windows benchmark: a read-only *browsing* phase,
+then the write-heavy *bidding* phase, then browsing again — the shape
+of a site's day.  The request volumes and migration load rate sit in
+the regime the windowed advisor is for: migrating toward each phase's
+best schema pays off over a window (so the static single schema loses)
+but not for every marginal column family (so naive per-window
+re-advising overpays on migrations).
+"""
+
+from __future__ import annotations
+
+from repro.tools.migration import MigrationCostModel
+from repro.windows.schedule import WindowSchedule
+
+__all__ = ["rubis_drift_scenario"]
+
+
+def rubis_drift_scenario(users=2000, browsing_requests=6000.0,
+                         bidding_requests=6000.0, load_rate=0.15):
+    """Build the scenario: ``(model, workload, schedule, migration_model)``.
+
+    ``users`` scales the RUBiS model (and with it every column family's
+    entry count, hence migration cost); ``load_rate`` is the
+    :class:`MigrationCostModel` row cost.  The defaults are the ones
+    BENCH_windows.json records.
+    """
+    from repro.rubis import rubis_model, rubis_workload
+    model = rubis_model(users=users)
+    workload = rubis_workload(model, mix="browsing")
+    schedule = WindowSchedule([
+        ("browsing", browsing_requests),
+        ("bidding", bidding_requests),
+        ("browsing", browsing_requests),
+    ])
+    return model, workload, schedule, MigrationCostModel(
+        row_cost=load_rate)

@@ -1,0 +1,126 @@
+"""Workload window schedules: an ordered sequence of (mix, volume).
+
+A :class:`WorkloadWindow` names one period of operation — which
+workload mix is live and how many requests arrive while it is — and a
+:class:`WindowSchedule` orders them into the timeline the windowed
+advisor optimizes over (a RUBiS day might be ``browsing:800`` followed
+by ``bidding:800``).  Windows deliberately carry *request volume*
+rather than wall-clock duration: every cost in the advisor is
+per-request, so volume is the unit that makes serving cost and
+migration cost directly comparable.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import WorkloadError
+
+__all__ = ["WindowSchedule", "WorkloadWindow", "parse_window_spec"]
+
+
+class WorkloadWindow:
+    """One window: a workload mix live for ``requests`` requests."""
+
+    def __init__(self, mix, requests=1.0, label=None):
+        if not isinstance(mix, str) or not mix:
+            raise WorkloadError(
+                f"window mix must be a non-empty string, got {mix!r}")
+        try:
+            requests = float(requests)
+        except (TypeError, ValueError):
+            raise WorkloadError(
+                f"window request volume must be a number, got "
+                f"{requests!r}") from None
+        if not math.isfinite(requests) or requests <= 0:
+            raise WorkloadError(
+                f"window request volume must be positive and finite, "
+                f"got {requests!r}")
+        self.mix = mix
+        self.requests = requests
+        self.label = label
+
+    def __repr__(self):
+        name = f"{self.label}: " if self.label else ""
+        return f"WorkloadWindow({name}{self.mix} x {self.requests:g})"
+
+
+class WindowSchedule:
+    """An ordered, validated sequence of workload windows.
+
+    Accepts :class:`WorkloadWindow` objects, ``(mix, requests)`` pairs
+    or bare mix names (volume 1.0).  Windows without labels are named
+    positionally (``w0``, ``w1``, ...); labels must be unique since the
+    windows document keys per-window sections by them.
+    """
+
+    def __init__(self, windows):
+        resolved = []
+        for position, window in enumerate(windows):
+            if isinstance(window, str):
+                window = WorkloadWindow(window)
+            elif isinstance(window, tuple):
+                window = WorkloadWindow(*window)
+            elif not isinstance(window, WorkloadWindow):
+                raise WorkloadError(
+                    f"not a workload window: {window!r}")
+            if window.label is None:
+                window = WorkloadWindow(window.mix, window.requests,
+                                        label=f"w{position}")
+            resolved.append(window)
+        if not resolved:
+            raise WorkloadError("a window schedule needs at least one "
+                                "window")
+        labels = [window.label for window in resolved]
+        if len(set(labels)) != len(labels):
+            raise WorkloadError(
+                f"window labels must be unique, got {labels}")
+        self.windows = tuple(resolved)
+
+    def validate(self, workload):
+        """Check every window's mix against the workload's known mixes.
+
+        This is the strict path: a typo'd mix name raises instead of
+        silently falling back to default weights (see
+        :meth:`repro.workload.Workload.validate_mix`).  Returns self.
+        """
+        for window in self.windows:
+            workload.validate_mix(window.mix)
+        return self
+
+    @property
+    def total_requests(self):
+        return sum(window.requests for window in self.windows)
+
+    def __len__(self):
+        return len(self.windows)
+
+    def __iter__(self):
+        return iter(self.windows)
+
+    def __getitem__(self, position):
+        return self.windows[position]
+
+    def __repr__(self):
+        parts = ", ".join(f"{w.mix}:{w.requests:g}" for w in self.windows)
+        return f"WindowSchedule({parts})"
+
+
+def parse_window_spec(spec):
+    """Parse a CLI window spec: ``"browsing:800,bidding:800"``.
+
+    Each comma-separated element is ``mix`` or ``mix:requests``.
+    """
+    windows = []
+    for element in spec.split(","):
+        element = element.strip()
+        if not element:
+            continue
+        if ":" in element:
+            mix, _, requests = element.partition(":")
+            windows.append(WorkloadWindow(mix.strip(), requests.strip()))
+        else:
+            windows.append(WorkloadWindow(element))
+    if not windows:
+        raise WorkloadError(f"empty window spec {spec!r}")
+    return WindowSchedule(windows)

@@ -2,10 +2,42 @@
 
 from __future__ import annotations
 
+import copy
+import math
+
 from repro.exceptions import ParseError, WorkloadError
 from repro.workload.digest import structural_diff
 from repro.workload.parser import parse_statement
 from repro.workload.statements import Query, Statement
+
+
+def _checked_weight(weight, label, mix=None, allow_zero=True):
+    """Validate one weight value; returns it as a float.
+
+    Weights flow unchecked into the BIP objective, where a negative
+    value voids the optimizer's lower-bound arguments and a NaN
+    silently poisons every comparison — so every write path (initial
+    registration, per-mix tables, later :meth:`Workload.set_weight`
+    adjustments) funnels through this one check.  Zero is allowed
+    where noted: epsilon-floored and idle statements legitimately
+    carry weight 0 in some mixes.
+    """
+    try:
+        value = float(weight)
+    except (TypeError, ValueError):
+        raise WorkloadError(
+            f"statement weight must be a number, got {weight!r}"
+            f" for {label!r}") from None
+    if math.isnan(value) or math.isinf(value):
+        raise WorkloadError(
+            f"statement weight must be finite, got {value!r} for "
+            f"{label!r}")
+    if value < 0 or (value == 0 and not allow_zero):
+        bound = "non-negative" if allow_zero else "positive"
+        raise WorkloadError(
+            f"statement weight must be {bound}: {value!r} for "
+            f"{label!r}")
+    return value
 
 
 class Workload:
@@ -46,24 +78,41 @@ class Workload:
             raise ParseError(f"not a statement: {statement!r}")
         if label is None:
             label = statement.label or f"statement_{len(self.statements)}"
-        statement.label = label
         if label in self.statements:
             raise WorkloadError(f"duplicate statement label {label!r}")
-        if weight <= 0 and not mixes:
-            raise WorkloadError(
-                f"statement weight must be positive: {weight}")
-        self.statements[label] = statement
+        if statement.label != label:
+            if statement.label is not None:
+                # never relabel a statement object in place: clone() and
+                # with_mix() share statement objects across workloads, so
+                # mutating the label here would silently corrupt the
+                # label->statement map of every workload that already
+                # registered it — register a relabelled copy instead
+                statement = copy.copy(statement)
+            statement.label = label
         if mixes:
-            self._weights[label] = dict(mixes)
+            self._weights[label] = {
+                mix: _checked_weight(value, label, mix=mix)
+                for mix, value in mixes.items()}
         else:
-            self._weights[label] = {self.DEFAULT_MIX: weight}
+            self._weights[label] = {
+                self.DEFAULT_MIX: _checked_weight(weight, label,
+                                                  allow_zero=False)}
+        self.statements[label] = statement
         return statement
 
     def set_weight(self, label, weight, mix=None):
-        """Adjust the weight of an existing statement (for one mix)."""
+        """Adjust the weight of an existing statement (for one mix).
+
+        Weights are validated exactly like :meth:`add_statement`'s —
+        finite and non-negative — except that zero is allowed here: a
+        statement may go idle in one mix (epsilon-floored advising
+        relies on this) without being removed from the others.
+        """
         if label not in self.statements:
             raise WorkloadError(f"unknown statement label {label!r}")
-        self._weights[label][mix or self.active_mix] = weight
+        mix = mix or self.active_mix
+        self._weights[label][mix] = _checked_weight(weight, label,
+                                                    mix=mix)
 
     def remove_statement(self, label):
         """Drop a statement (all mixes); returns the removed statement."""
@@ -88,8 +137,41 @@ class Workload:
 
     # -- access ------------------------------------------------------------
 
-    def weight(self, statement, mix=None):
-        """Weight of a statement in the given (default: active) mix."""
+    @property
+    def known_mixes(self):
+        """Sorted names of every mix any statement carries a weight for.
+
+        Always includes :data:`DEFAULT_MIX` — a statement registered
+        with a scalar ``weight`` lands there, and :meth:`weight` falls
+        back to it for statements missing an entry in a known mix.
+        """
+        names = {self.DEFAULT_MIX}
+        for weights in self._weights.values():
+            names.update(weights)
+        return sorted(names)
+
+    def validate_mix(self, mix):
+        """Raise :class:`WorkloadError` unless ``mix`` is a known mix.
+
+        The plain :meth:`weight` lookup deliberately falls back to the
+        default mix for unknown names so ad-hoc mixes can be layered on
+        incrementally; schedule-driven paths (windowed advising) call
+        this first so a typo'd window mix fails loudly instead of
+        silently reusing default weights.  Returns the mix name.
+        """
+        if mix not in self.known_mixes:
+            known = ", ".join(repr(name) for name in self.known_mixes)
+            raise WorkloadError(
+                f"unknown workload mix {mix!r} (known mixes: {known})")
+        return mix
+
+    def weight(self, statement, mix=None, strict=False):
+        """Weight of a statement in the given (default: active) mix.
+
+        With ``strict=True`` the mix must be a known mix name
+        (:meth:`validate_mix`); otherwise unknown mixes silently fall
+        back to the default-mix weight.
+        """
         label = statement.label if isinstance(statement, Statement) \
             else statement
         try:
@@ -98,12 +180,21 @@ class Workload:
             raise WorkloadError(
                 f"unknown statement label {label!r}") from None
         mix = mix or self.active_mix
+        if strict:
+            self.validate_mix(mix)
         if mix in weights:
             return weights[mix]
         return weights.get(self.DEFAULT_MIX, 0.0)
 
-    def with_mix(self, mix):
-        """A view of this workload with a different active mix."""
+    def with_mix(self, mix, strict=False):
+        """A view of this workload with a different active mix.
+
+        With ``strict=True`` the mix must already be known
+        (:meth:`validate_mix`) — use this when the mix name comes from
+        external input such as a window schedule.
+        """
+        if strict:
+            self.validate_mix(mix)
         view = Workload(self.model, mix=mix)
         view.statements = self.statements
         view._weights = self._weights

@@ -126,7 +126,10 @@ def test_bip_matches_brute_force_on_random_queries(query, weight):
 @given(query=queries(), weight=st.floats(0.1, 10.0))
 def test_advisor_end_to_end_on_random_query(query, weight):
     workload = Workload(MODEL)
-    workload.add_statement(query, weight=weight, label="only")
+    # add_statement registers a relabelled copy when the statement
+    # already carries a different label; the return value is the
+    # registered object, which keys the recommendation's plans
+    query = workload.add_statement(query, weight=weight, label="only")
     recommendation = Advisor(MODEL).recommend(workload)
     assert recommendation.indexes
     plan = recommendation.query_plans[query]

@@ -80,3 +80,58 @@ def test_execute_migration_moves_store_to_target(drifted):
     # dropped column families are gone
     for index in migration.drop:
         assert index.key not in engine.store
+
+
+def test_window_schedule_migrations_round_trip():
+    """Walking a windowed schedule through ``execute_migration`` must
+    leave the store byte-identical to re-materializing each window's
+    schema from the dataset — checked by the differential oracle's
+    store sweep after every transition."""
+    from repro.backend.dataset import materialize_rows
+    from repro.backend.store import Store
+    from repro.demo.hotel import hotel_dataset as build_dataset
+    from repro.verify.runner import DifferentialRunner
+    from repro.windows import WindowSchedule, recommend_windows
+
+    class PreloadedEngine(ExecutionEngine):
+        # the store under test was populated by the migrations; the
+        # oracle must not reload it from scratch
+        def load(self):
+            return 0
+
+    model = hotel_model(scale=0.02)
+    workload = hotel_workload(model, include_updates=True)
+    workload.scale_weights(50, mix="writes")
+    dataset = build_dataset(model, seed=7)
+    dataset.sync_counts()
+    advisor = Advisor(model)
+    schedule = WindowSchedule([("default", 400.0), ("writes", 400.0),
+                               ("default", 400.0)])
+    windowed = recommend_windows(advisor, workload, schedule)
+
+    store = Store()
+    previous = ()
+    for result, window in zip(windowed.windows, schedule):
+        migration = plan_migration(previous, result.indexes)
+        execute_migration(store, dataset, migration)
+        previous = result.indexes
+        # the store holds exactly this window's schema, nothing stale
+        assert sorted(store.column_families) == sorted(result.keys)
+        recommendation = advisor.plan_for_schema(
+            workload.with_mix(window.mix), result.indexes)
+        runner = DifferentialRunner(
+            model, recommendation, dataset,
+            engine_factory=lambda m, r, d, **kw: PreloadedEngine(
+                m, r, d, store=store, **kw))
+        assert runner.sweep() == []
+        assert runner.ok
+
+    # and the final store is byte-identical to a cold materialization
+    fresh = Store()
+    for index in windowed.windows[-1].indexes:
+        fresh.create(index).put_many(materialize_rows(dataset, index),
+                                     charge=False)
+    assert {key: cf._partitions
+            for key, cf in store.column_families.items()} \
+        == {key: cf._partitions
+            for key, cf in fresh.column_families.items()}

@@ -1,0 +1,59 @@
+"""Tests for workload window schedules."""
+
+import pytest
+
+from repro.demo import hotel_model, hotel_workload
+from repro.exceptions import WorkloadError
+from repro.windows import WindowSchedule, WorkloadWindow, parse_window_spec
+
+
+def test_window_requires_nonempty_mix_name():
+    with pytest.raises(WorkloadError, match="non-empty string"):
+        WorkloadWindow("")
+    with pytest.raises(WorkloadError, match="non-empty string"):
+        WorkloadWindow(None)
+
+
+@pytest.mark.parametrize("requests", [0, -5, float("nan"),
+                                      float("inf"), "lots"])
+def test_window_rejects_bad_request_volumes(requests):
+    with pytest.raises(WorkloadError):
+        WorkloadWindow("default", requests)
+
+
+def test_schedule_auto_labels_positionally():
+    schedule = WindowSchedule([("browsing", 10), "bidding",
+                               WorkloadWindow("browsing", 5,
+                                              label="late")])
+    assert [window.label for window in schedule] == ["w0", "w1", "late"]
+    assert schedule[1].requests == 1.0
+    assert len(schedule) == 3
+    assert schedule.total_requests == pytest.approx(16.0)
+
+
+def test_schedule_rejects_duplicate_labels_and_junk():
+    with pytest.raises(WorkloadError, match="unique"):
+        WindowSchedule([WorkloadWindow("a", label="x"),
+                        WorkloadWindow("b", label="x")])
+    with pytest.raises(WorkloadError, match="at least one"):
+        WindowSchedule([])
+    with pytest.raises(WorkloadError, match="not a workload window"):
+        WindowSchedule([42])
+
+
+def test_parse_window_spec_round_trip():
+    schedule = parse_window_spec("browsing:800, bidding:1200,browsing")
+    assert [(w.mix, w.requests) for w in schedule] == [
+        ("browsing", 800.0), ("bidding", 1200.0), ("browsing", 1.0)]
+    with pytest.raises(WorkloadError, match="empty window spec"):
+        parse_window_spec(" , ")
+
+
+def test_validate_rejects_unknown_mixes_strictly():
+    model = hotel_model()
+    workload = hotel_workload(model)
+    schedule = WindowSchedule([("default", 10), ("bidding", 10)])
+    # the silent DEFAULT_MIX fallback must not apply on this path
+    with pytest.raises(WorkloadError, match="known mixes"):
+        schedule.validate(workload)
+    assert WindowSchedule([("default", 10)]).validate(workload)

@@ -150,6 +150,79 @@ def test_clone_is_independent(hotel):
     assert copy.statements["b"] is workload.statements["b"]
 
 
+def test_readd_under_new_label_copies_instead_of_mutating(hotel):
+    # clone() shares statement objects; re-adding one under a new
+    # label must not relabel the shared object in place (that would
+    # corrupt the source workload's label->statement map)
+    workload = Workload(hotel)
+    original = workload.add_statement(_query_text(0), label="a")
+    copy = workload.clone()
+    copy.remove_statement("a")
+    renamed = copy.add_statement(original, weight=1.0, label="renamed")
+    assert original.label == "a"
+    assert renamed.label == "renamed"
+    assert renamed is not original
+    assert workload.statements["a"] is original
+    assert workload.weight("a") == 1.0
+    assert copy.statements["renamed"] is renamed
+
+
+def test_readd_same_label_keeps_identity(hotel):
+    # re-registering under the statement's own label needs no copy
+    workload = Workload(hotel)
+    original = workload.add_statement(_query_text(0), label="a")
+    copy = workload.clone()
+    copy.remove_statement("a")
+    again = copy.add_statement(original, weight=2.0, label="a")
+    assert again is original
+
+
+def test_set_weight_validates_like_add_statement(hotel):
+    from repro.exceptions import WorkloadError
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(), label="q")
+    for bad in (-1.0, float("nan"), float("inf"), float("-inf"),
+                "heavy", None):
+        with pytest.raises(WorkloadError):
+            workload.set_weight("q", bad)
+    assert workload.weight("q") == 1.0
+    # zero stays allowed: statements may go idle in one mix
+    workload.set_weight("q", 0.0, mix="idle")
+    assert workload.with_mix("idle").weight("q") == 0.0
+
+
+def test_add_statement_validates_mix_weights(hotel):
+    from repro.exceptions import WorkloadError
+    workload = Workload(hotel)
+    with pytest.raises(WorkloadError):
+        workload.add_statement(_query_text(), label="q",
+                               mixes={"a": 1.0, "b": float("nan")})
+    with pytest.raises(WorkloadError):
+        workload.add_statement(_query_text(), label="q",
+                               mixes={"a": -2.0})
+    assert "q" not in workload.statements
+
+
+def test_known_mixes_and_strict_lookup(hotel):
+    from repro.exceptions import WorkloadError
+    workload = Workload(hotel)
+    workload.add_statement(_query_text(0), label="q",
+                           mixes={"bidding": 2.0, "browsing": 1.0})
+    workload.add_statement(_query_text(1), label="r", weight=1.0)
+    assert workload.known_mixes == ["bidding", "browsing", "default"]
+    assert workload.validate_mix("bidding") == "bidding"
+    with pytest.raises(WorkloadError, match="known mixes"):
+        workload.validate_mix("biddng")
+    with pytest.raises(WorkloadError):
+        workload.with_mix("biddng", strict=True)
+    with pytest.raises(WorkloadError):
+        workload.weight("q", mix="biddng", strict=True)
+    # non-strict lookup keeps the documented default-mix fallback
+    assert workload.with_mix("biddng").weight("r") == 1.0
+    strict_view = workload.with_mix("bidding", strict=True)
+    assert strict_view.weight("q") == 2.0
+
+
 def test_structural_diff_reports_churn(hotel):
     workload = Workload(hotel)
     workload.add_statement(_query_text(0), label="a")
